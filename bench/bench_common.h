@@ -1,0 +1,98 @@
+//===- bench_common.h - Shared helpers for the table/figure benches -*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common plumbing for the benchmark binaries that regenerate the paper's
+/// tables and figures. Environment knobs:
+///   EVA_BENCH_FULL=1     run every network at full size (default: the
+///                        heavier networks are skipped or compile-only)
+///   EVA_BENCH_THREADS=k  max thread count for the scaling sweeps
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_BENCH_COMMON_H
+#define EVA_BENCH_COMMON_H
+
+#include "eva/runtime/CkksExecutor.h"
+#include "eva/support/Timer.h"
+#include "eva/tensor/Network.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace evabench {
+
+inline bool fullMode() {
+  const char *V = std::getenv("EVA_BENCH_FULL");
+  return V != nullptr && V[0] == '1';
+}
+
+inline size_t maxThreads() {
+  if (const char *V = std::getenv("EVA_BENCH_THREADS"))
+    return static_cast<size_t>(std::atoi(V));
+  return 2; // the container used for this reproduction has 2 cores
+}
+
+/// Encodes an image tensor into the program's slot layout.
+inline std::vector<double> imageSlots(const eva::NetworkDefinition &Net,
+                                      const eva::Tensor &Image,
+                                      size_t VecSize) {
+  eva::CipherLayout L = eva::CipherLayout::forImage(
+      Net.inputChannels(), Net.inputHeight(), Net.inputWidth());
+  std::vector<double> Slots(VecSize, 0.0);
+  for (size_t C = 0; C < L.C; ++C)
+    for (size_t Y = 0; Y < L.H; ++Y)
+      for (size_t X = 0; X < L.W; ++X)
+        Slots[L.slotOf(C, Y, X)] = Image.at3(C, Y, X);
+  return Slots;
+}
+
+/// One compiled network ready to run.
+struct PreparedNetwork {
+  eva::NetworkDefinition Net;
+  std::unique_ptr<eva::Program> Prog;
+  eva::CompiledProgram Compiled;
+  std::shared_ptr<eva::CkksWorkspace> Workspace;
+  double CompileSeconds = 0;
+  double ContextSeconds = 0;
+};
+
+/// Compiles \p Net with \p Options and builds keys. Returns false (with a
+/// message) on failure.
+inline bool prepare(eva::NetworkDefinition Net,
+                    const eva::CompilerOptions &Options, PreparedNetwork &Out,
+                    bool WithContext = true) {
+  eva::TensorScales Scales;
+  Out.Net = std::move(Net);
+  Out.Prog = Out.Net.buildProgram(Scales);
+  eva::Timer CompileT;
+  eva::Expected<eva::CompiledProgram> CP = eva::compile(*Out.Prog, Options);
+  Out.CompileSeconds = CompileT.seconds();
+  if (!CP) {
+    std::fprintf(stderr, "%s: compile error: %s\n", Out.Net.name().c_str(),
+                 CP.message().c_str());
+    return false;
+  }
+  Out.Compiled = std::move(CP.value());
+  if (!WithContext)
+    return true;
+  eva::Timer ContextT;
+  eva::Expected<std::shared_ptr<eva::CkksWorkspace>> WS =
+      eva::CkksWorkspace::create(Out.Compiled, 1234);
+  Out.ContextSeconds = ContextT.seconds();
+  if (!WS) {
+    std::fprintf(stderr, "%s: context error: %s\n", Out.Net.name().c_str(),
+                 WS.message().c_str());
+    return false;
+  }
+  Out.Workspace = WS.value();
+  return true;
+}
+
+} // namespace evabench
+
+#endif // EVA_BENCH_COMMON_H

@@ -1,0 +1,170 @@
+//===- micro_ckks.cpp - Microbenchmarks of the CKKS substrate -------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// google-benchmark microbenchmarks of every homomorphic primitive the EVA
+// instructions map to, across polynomial degrees — the per-op costs that
+// Tables 5/8 aggregate. "The paper's" per-op numbers are not reported, but
+// these locate the hot spots (key switching dominates rotations and
+// relinearization, as in SEAL).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/ckks/Decryptor.h"
+#include "eva/ckks/Encoder.h"
+#include "eva/ckks/Encryptor.h"
+#include "eva/ckks/Evaluator.h"
+#include "eva/ckks/KeyGenerator.h"
+#include "eva/math/NTT.h"
+#include "eva/math/Primes.h"
+#include "eva/support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace eva;
+
+namespace {
+
+struct Setup {
+  std::shared_ptr<CkksContext> Ctx;
+  std::unique_ptr<CkksEncoder> Enc;
+  std::unique_ptr<KeyGenerator> Gen;
+  std::unique_ptr<Encryptor> Encryptor_;
+  std::unique_ptr<Decryptor> Dec;
+  std::unique_ptr<Evaluator> Eval;
+  RelinKeys Rk;
+  GaloisKeys Gk;
+  Ciphertext A, B;
+  Plaintext P;
+
+  static Setup &get(uint64_t N) {
+    static std::map<uint64_t, Setup> Cache;
+    auto It = Cache.find(N);
+    if (It != Cache.end())
+      return It->second;
+    Setup S;
+    std::vector<int> Bits = {60, 40, 40, 40, 60};
+    S.Ctx = CkksContext::createFromBitSizes(N, Bits, SecurityLevel::None)
+                .value();
+    S.Enc = std::make_unique<CkksEncoder>(S.Ctx);
+    S.Gen = std::make_unique<KeyGenerator>(S.Ctx, 42);
+    S.Encryptor_ =
+        std::make_unique<Encryptor>(S.Ctx, S.Gen->createPublicKey(), 43);
+    S.Dec = std::make_unique<Decryptor>(S.Ctx, S.Gen->secretKey());
+    S.Eval = std::make_unique<Evaluator>(S.Ctx);
+    S.Rk = S.Gen->createRelinKeys();
+    S.Gk = S.Gen->createGaloisKeys({1});
+    RandomSource Rng(7);
+    std::vector<double> V(S.Ctx->slotCount());
+    for (double &X : V)
+      X = Rng.uniformReal(-1, 1);
+    S.Enc->encode(V, std::ldexp(1.0, 40), 4, S.P);
+    S.A = S.Encryptor_->encrypt(S.P);
+    S.B = S.Encryptor_->encrypt(S.P);
+    return Cache.emplace(N, std::move(S)).first->second;
+  }
+};
+
+void BM_NttForward(benchmark::State &State) {
+  uint64_t N = static_cast<uint64_t>(State.range(0));
+  uint64_t Prime = generateNttPrimes(N, 50, 1).value()[0];
+  Modulus Q(Prime);
+  NttTables T(N, Q);
+  RandomSource Rng(1);
+  std::vector<uint64_t> X(N);
+  for (uint64_t &V : X)
+    V = Rng.uniformBelow(Prime);
+  for (auto _ : State) {
+    T.forward(X);
+    benchmark::DoNotOptimize(X.data());
+  }
+}
+BENCHMARK(BM_NttForward)->Arg(4096)->Arg(8192)->Arg(16384)->Arg(32768);
+
+void BM_Encode(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  RandomSource Rng(3);
+  std::vector<double> V(S.Ctx->slotCount());
+  for (double &X : V)
+    X = Rng.uniformReal(-1, 1);
+  Plaintext P;
+  for (auto _ : State)
+    S.Enc->encode(V, std::ldexp(1.0, 40), 4, P);
+}
+BENCHMARK(BM_Encode)->Arg(8192)->Arg(16384);
+
+void BM_Decode(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.Enc->decode(S.P));
+}
+BENCHMARK(BM_Decode)->Arg(8192)->Arg(16384);
+
+void BM_Encrypt(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.Encryptor_->encrypt(S.P));
+}
+BENCHMARK(BM_Encrypt)->Arg(8192)->Arg(16384);
+
+void BM_Decrypt(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.Dec->decrypt(S.A));
+}
+BENCHMARK(BM_Decrypt)->Arg(8192)->Arg(16384);
+
+void BM_Add(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.Eval->add(S.A, S.B));
+}
+BENCHMARK(BM_Add)->Arg(8192)->Arg(16384);
+
+void BM_MultiplyPlain(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.Eval->multiplyPlain(S.A, S.P));
+}
+BENCHMARK(BM_MultiplyPlain)->Arg(8192)->Arg(16384);
+
+void BM_Multiply(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.Eval->multiply(S.A, S.B));
+}
+BENCHMARK(BM_Multiply)->Arg(8192)->Arg(16384);
+
+void BM_MultiplyRelinearize(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        S.Eval->relinearize(S.Eval->multiply(S.A, S.B), S.Rk));
+}
+BENCHMARK(BM_MultiplyRelinearize)->Arg(8192)->Arg(16384);
+
+void BM_Rescale(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  Ciphertext Prod = S.Eval->multiplyPlain(S.A, S.P);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.Eval->rescale(Prod));
+}
+BENCHMARK(BM_Rescale)->Arg(8192)->Arg(16384);
+
+void BM_ModSwitch(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.Eval->modSwitch(S.A));
+}
+BENCHMARK(BM_ModSwitch)->Arg(8192)->Arg(16384);
+
+void BM_Rotate(benchmark::State &State) {
+  Setup &S = Setup::get(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.Eval->rotateLeft(S.A, 1, S.Gk));
+}
+BENCHMARK(BM_Rotate)->Arg(8192)->Arg(16384);
+
+} // namespace
+
+BENCHMARK_MAIN();

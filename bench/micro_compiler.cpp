@@ -1,0 +1,98 @@
+//===- micro_compiler.cpp - Compiler and serializer microbenchmarks -------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// google-benchmark microbenchmarks of the compiler itself: full Algorithm 1
+// compilation versus term-graph size (Table 7's compile column is the DNN
+// instance of this), plus wire-format serialization round-trips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Compiler.h"
+#include "eva/frontend/Expr.h"
+#include "eva/serialize/ProtoIO.h"
+#include "eva/support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace eva;
+
+namespace {
+
+/// A DNN-shaped program with the requested number of multiply layers and
+/// fan-out (rotations + plaintext multiplies + adds per layer).
+std::unique_ptr<Program> syntheticProgram(size_t Layers, size_t FanOut) {
+  ProgramBuilder B("synthetic", 4096);
+  Expr X = B.inputCipher("x", 25);
+  Expr V = X;
+  RandomSource Rng(5);
+  for (size_t L = 0; L < Layers; ++L) {
+    Expr Acc;
+    for (size_t F = 0; F < FanOut; ++F) {
+      Expr T = (V << static_cast<int32_t>(Rng.uniformBelow(4096))) *
+               B.constant(Rng.uniformReal(-1, 1), 20);
+      Acc = F == 0 ? T : Acc + T;
+    }
+    V = Acc * Acc; // square activation
+  }
+  B.output("out", V, 25);
+  return B.take();
+}
+
+void BM_Compile(benchmark::State &State) {
+  std::unique_ptr<Program> P = syntheticProgram(
+      static_cast<size_t>(State.range(0)), static_cast<size_t>(State.range(1)));
+  for (auto _ : State) {
+    Expected<CompiledProgram> CP = compile(*P);
+    benchmark::DoNotOptimize(CP.ok());
+  }
+  State.counters["instructions"] =
+      static_cast<double>(P->instructionCount());
+}
+BENCHMARK(BM_Compile)
+    ->Args({2, 8})
+    ->Args({4, 32})
+    ->Args({6, 64})
+    ->Args({8, 128});
+
+void BM_CompileChetMode(benchmark::State &State) {
+  std::unique_ptr<Program> P = syntheticProgram(4, 32);
+  for (auto _ : State) {
+    Expected<CompiledProgram> CP = compile(*P, CompilerOptions::chet());
+    benchmark::DoNotOptimize(CP.ok());
+  }
+}
+BENCHMARK(BM_CompileChetMode);
+
+void BM_Serialize(benchmark::State &State) {
+  std::unique_ptr<Program> P = syntheticProgram(4, 64);
+  size_t Bytes = 0;
+  for (auto _ : State) {
+    std::string Data = serializeProgram(*P);
+    Bytes = Data.size();
+    benchmark::DoNotOptimize(Data.data());
+  }
+  State.counters["bytes"] = static_cast<double>(Bytes);
+}
+BENCHMARK(BM_Serialize);
+
+void BM_Deserialize(benchmark::State &State) {
+  std::unique_ptr<Program> P = syntheticProgram(4, 64);
+  std::string Data = serializeProgram(*P);
+  for (auto _ : State) {
+    Expected<std::unique_ptr<Program>> Q = deserializeProgram(Data);
+    benchmark::DoNotOptimize(Q.ok());
+  }
+}
+BENCHMARK(BM_Deserialize);
+
+void BM_CloneGraph(benchmark::State &State) {
+  std::unique_ptr<Program> P = syntheticProgram(6, 64);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P->clone());
+}
+BENCHMARK(BM_CloneGraph);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+//===- regressions.cpp - Encrypted statistical machine learning ----------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// The paper's three statistical-ML applications (Section 8.3, Table 8):
+// linear regression, polynomial regression, and multivariate regression on
+// encrypted vectors. FHE has no division, so the fitting variants output
+// numerator and denominator separately (the client divides after
+// decryption); prediction variants evaluate the fitted model directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/frontend/Expr.h"
+#include "eva/runtime/CkksExecutor.h"
+#include "eva/support/Random.h"
+#include "eva/support/Timer.h"
+
+#include <cstdio>
+
+using namespace eva;
+
+namespace {
+
+double runOne(const char *Name, Program &P,
+              const std::map<std::string, std::vector<double>> &Inputs,
+              std::map<std::string, std::vector<double>> &Out) {
+  Expected<CompiledProgram> CP = compile(P);
+  if (!CP) {
+    std::fprintf(stderr, "%s: compile error: %s\n", Name,
+                 CP.message().c_str());
+    return -1;
+  }
+  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::create(*CP);
+  if (!WS) {
+    std::fprintf(stderr, "%s: context error: %s\n", Name,
+                 WS.message().c_str());
+    return -1;
+  }
+  CkksExecutor Exec(*CP, WS.value());
+  Timer T;
+  Out = Exec.runPlain(Inputs);
+  double Elapsed = T.seconds();
+  std::printf("%-24s N=%-6llu r=%-2zu time %.3f s\n", Name,
+              static_cast<unsigned long long>(CP->PolyDegree),
+              CP->modulusLength(), Elapsed);
+  return Elapsed;
+}
+
+} // namespace
+
+int main() {
+  RandomSource Rng(7);
+
+  // --- Linear regression (fit): slope/intercept from encrypted samples.
+  // slope = (n*Sxy - Sx*Sy) / (n*Sxx - Sx^2); both parts are outputs.
+  {
+    const uint64_t N = 2048;
+    ProgramBuilder B("linear_regression", N);
+    Expr X = B.inputCipher("x", 30);
+    Expr Y = B.inputCipher("y", 30);
+    Expr Sx = B.sumSlots(X), Sy = B.sumSlots(Y);
+    Expr Sxy = B.sumSlots(X * Y), Sxx = B.sumSlots(X * X);
+    Expr Cn = B.constant(static_cast<double>(N) / 1024.0, 30);
+    // Scale sums by 1/1024 to keep magnitudes near 1 (documented fixed-point
+    // hygiene; the client rescales after decryption).
+    Expr Inv = B.constant(1.0 / 1024.0, 30);
+    Expr SxN = Sx * Inv, SyN = Sy * Inv, SxyN = Sxy * Inv, SxxN = Sxx * Inv;
+    B.output("num", SxyN * Cn - SxN * SyN, 30);
+    B.output("den", SxxN * Cn - SxN * SxN, 30);
+
+    std::vector<double> Xs(N), Ys(N);
+    const double TrueA = 0.75, TrueB = 0.2;
+    for (uint64_t I = 0; I < N; ++I) {
+      Xs[I] = Rng.uniformReal(-1, 1);
+      Ys[I] = TrueA * Xs[I] + TrueB + Rng.uniformReal(-0.05, 0.05);
+    }
+    std::map<std::string, std::vector<double>> Out;
+    if (runOne("linear regression", B.program(), {{"x", Xs}, {"y", Ys}},
+               Out) < 0)
+      return 1;
+    double Slope = Out["num"][0] / Out["den"][0];
+    std::printf("  fitted slope %.4f (true %.2f)\n", Slope, TrueA);
+  }
+
+  // --- Polynomial regression (predict): y = c3 x^3 + c2 x^2 + c1 x + c0.
+  {
+    const uint64_t N = 4096;
+    ProgramBuilder B("polynomial_regression", N);
+    Expr X = B.inputCipher("x", 30);
+    Expr X2 = X * X;
+    Expr Y = X2 * X * B.constant(0.3, 30) + X2 * B.constant(-0.5, 30) +
+             X * B.constant(1.1, 30) + B.constant(0.25, 30);
+    B.output("y", Y, 30);
+
+    std::vector<double> Xs(N);
+    for (double &V : Xs)
+      V = Rng.uniformReal(-1, 1);
+    std::map<std::string, std::vector<double>> Out;
+    if (runOne("polynomial regression", B.program(), {{"x", Xs}}, Out) < 0)
+      return 1;
+    double Err = 0;
+    for (uint64_t I = 0; I < N; ++I) {
+      double W = 0.3 * Xs[I] * Xs[I] * Xs[I] - 0.5 * Xs[I] * Xs[I] +
+                 1.1 * Xs[I] + 0.25;
+      Err = std::max(Err, std::abs(W - Out["y"][I]));
+    }
+    std::printf("  max prediction error %.2e\n", Err);
+  }
+
+  // --- Multivariate regression (predict): y = w . x over 16 features,
+  // feature-major layout (feature f of sample s at slot f*128 + s).
+  {
+    const uint64_t Samples = 128, Features = 16;
+    ProgramBuilder B("multivariate_regression", Samples * Features);
+    Expr X = B.inputCipher("x", 30);
+    std::vector<double> W(Features * Samples);
+    RandomSource WRng(11);
+    std::vector<double> TrueW(Features);
+    for (uint64_t F = 0; F < Features; ++F) {
+      TrueW[F] = WRng.uniformReal(-1, 1);
+      for (uint64_t S = 0; S < Samples; ++S)
+        W[F * Samples + S] = TrueW[F];
+    }
+    Expr Weighted = X * B.constantVector(W, 30);
+    // Reduce across features: rotate by feature blocks.
+    Expr Acc = Weighted;
+    for (uint64_t Step = Samples; Step < Samples * Features; Step <<= 1)
+      Acc = Acc + (Acc << static_cast<int32_t>(Step));
+    B.output("y", Acc, 30);
+
+    std::vector<double> Xs(Samples * Features);
+    for (double &V : Xs)
+      V = Rng.uniformReal(-1, 1);
+    std::map<std::string, std::vector<double>> Out;
+    if (runOne("multivariate regression", B.program(), {{"x", Xs}}, Out) < 0)
+      return 1;
+    double Err = 0;
+    for (uint64_t S = 0; S < Samples; ++S) {
+      double Want = 0;
+      for (uint64_t F = 0; F < Features; ++F)
+        Want += TrueW[F] * Xs[F * Samples + S];
+      Err = std::max(Err, std::abs(Want - Out["y"][S]));
+    }
+    std::printf("  max prediction error %.2e\n", Err);
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===- statistics.cpp - Encrypted descriptive statistics -----------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// Another statistical-ML workload in the spirit of Section 8.3: mean,
+// variance, standard deviation (via the degree-3 sqrt approximation), and
+// covariance of two encrypted samples — the building blocks of the paper's
+// "statistical machine learning" application family, each a few frontend
+// lines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/frontend/Expr.h"
+#include "eva/runtime/CkksExecutor.h"
+#include "eva/support/Random.h"
+#include "eva/support/Timer.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace eva;
+
+int main() {
+  const uint64_t N = 2048;
+  const double Scale = 35;
+  ProgramBuilder B("statistics", N);
+  Expr X = B.inputCipher("x", Scale);
+  Expr Y = B.inputCipher("y", Scale);
+  Expr InvN = B.constant(1.0 / static_cast<double>(N), 25);
+
+  // mean = sum(x)/n, replicated in every slot by the reduction.
+  Expr MeanX = B.sumSlots(X) * InvN;
+  Expr MeanY = B.sumSlots(Y) * InvN;
+  // var = E[x^2] - E[x]^2 ; cov = E[xy] - E[x]E[y].
+  Expr Ex2 = B.sumSlots(X * X) * InvN;
+  Expr Exy = B.sumSlots(X * Y) * InvN;
+  Expr VarX = Ex2 - MeanX * MeanX;
+  Expr CovXY = Exy - MeanX * MeanY;
+  // std ~= sqrt(var) by the Figure 6 polynomial (accurate on (0, 1]).
+  Expr V2 = VarX * VarX;
+  Expr StdX = VarX * B.constant(2.214, 25) + V2 * B.constant(-1.098, 25) +
+              V2 * VarX * B.constant(0.173, 25);
+
+  B.output("mean", MeanX, 30);
+  B.output("var", VarX, 30);
+  B.output("std", StdX, 30);
+  B.output("cov", CovXY, 30);
+
+  Expected<CompiledProgram> CP = compile(B.program());
+  if (!CP) {
+    std::fprintf(stderr, "compile error: %s\n", CP.message().c_str());
+    return 1;
+  }
+  std::printf("encrypted statistics over %llu samples: N = %llu, r = %zu, "
+              "log2 Q = %d\n",
+              static_cast<unsigned long long>(N),
+              static_cast<unsigned long long>(CP->PolyDegree),
+              CP->modulusLength(), CP->TotalModulusBits);
+  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::create(*CP);
+  if (!WS) {
+    std::fprintf(stderr, "context error: %s\n", WS.message().c_str());
+    return 1;
+  }
+
+  // Correlated synthetic data.
+  RandomSource Rng(2024);
+  std::vector<double> Xs(N), Ys(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    Xs[I] = Rng.uniformReal(-1, 1);
+    Ys[I] = 0.6 * Xs[I] + 0.4 * Rng.uniformReal(-1, 1);
+  }
+
+  CkksExecutor Exec(*CP, WS.value());
+  Timer T;
+  std::map<std::string, std::vector<double>> Out =
+      Exec.runPlain({{"x", Xs}, {"y", Ys}});
+  double Elapsed = T.seconds();
+
+  double MeanX = 0, MeanY = 0;
+  for (uint64_t I = 0; I < N; ++I) {
+    MeanX += Xs[I];
+    MeanY += Ys[I];
+  }
+  MeanX /= N;
+  MeanY /= N;
+  double VarX = 0, Cov = 0;
+  for (uint64_t I = 0; I < N; ++I) {
+    VarX += (Xs[I] - MeanX) * (Xs[I] - MeanX);
+    Cov += (Xs[I] - MeanX) * (Ys[I] - MeanY);
+  }
+  VarX /= N;
+  Cov /= N;
+
+  std::printf("  %-10s %12s %12s\n", "statistic", "encrypted", "plaintext");
+  std::printf("  %-10s %12.6f %12.6f\n", "mean", Out["mean"][0], MeanX);
+  std::printf("  %-10s %12.6f %12.6f\n", "variance", Out["var"][0], VarX);
+  std::printf("  %-10s %12.6f %12.6f (sqrt approx: %.6f)\n", "std dev",
+              Out["std"][0], std::sqrt(VarX),
+              2.214 * VarX - 1.098 * VarX * VarX +
+                  0.173 * VarX * VarX * VarX);
+  std::printf("  %-10s %12.6f %12.6f\n", "covariance", Out["cov"][0], Cov);
+  std::printf("  time: %.3f s\n", Elapsed);
+  bool Ok = std::abs(Out["mean"][0] - MeanX) < 1e-3 &&
+            std::abs(Out["var"][0] - VarX) < 1e-3 &&
+            std::abs(Out["cov"][0] - Cov) < 1e-3;
+  return Ok ? 0 : 2;
+}

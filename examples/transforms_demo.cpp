@@ -1,0 +1,111 @@
+//===- transforms_demo.cpp - The paper's Figures 2, 3, and 5 -------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// Reproduces the worked transformation examples of the paper on real term
+// graphs: x^2*y^3 (Figure 2), x^2+x (Figure 3), and x^2+x+x (Figure 5),
+// printing the program after each insertion pass so the figures can be
+// compared side by side.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Compiler.h"
+#include "eva/frontend/Expr.h"
+#include "eva/ir/Printer.h"
+
+#include <cstdio>
+
+using namespace eva;
+
+namespace {
+
+void banner(const char *Title) {
+  std::printf("\n==== %s ====\n", Title);
+}
+
+void show(const char *Stage, const Program &P) {
+  std::printf("-- %s --\n%s", Stage, printProgram(P).c_str());
+  std::printf("   (rescale: %zu, modswitch: %zu, relinearize: %zu, "
+              "matchscale-mults: %zu)\n",
+              countOps(P, OpCode::Rescale), countOps(P, OpCode::ModSwitch),
+              countOps(P, OpCode::Relinearize), P.constants().size());
+}
+
+std::unique_ptr<Program> makeX2Y3() {
+  ProgramBuilder B("fig2_x2y3", 8);
+  Expr X = B.inputCipher("x", 60);
+  Expr Y = B.inputCipher("y", 30);
+  B.output("out", (X * X) * ((Y * Y) * Y), 30);
+  return B.take();
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 2: x^2 * y^3 (x.scale = 2^60, y.scale = 2^30)");
+  {
+    std::unique_ptr<Program> P = makeX2Y3();
+    show("(a) input", *P);
+
+    std::unique_ptr<Program> Always = P->clone();
+    alwaysRescalePass(*Always, 60);
+    show("(b) after ALWAYS-RESCALE", *Always);
+
+    std::unique_ptr<Program> D = P->clone();
+    waterlineRescalePass(*D, 60);
+    show("(d) after WATERLINE-RESCALE", *D);
+    eagerModSwitchPass(*D);
+    relinearizePass(*D);
+    show("(e) after WATERLINE-RESCALE & MODSWITCH & RELINEARIZE", *D);
+
+    Expected<CompiledProgram> CP = compile(*P);
+    if (CP) {
+      std::printf("selected bit sizes (special, chain..., factors...): ");
+      for (int B : CP->BitSizes)
+        std::printf("%d ", B);
+      std::printf("-> r = %zu, N = %llu\n", CP->modulusLength(),
+                  static_cast<unsigned long long>(CP->PolyDegree));
+    }
+  }
+
+  banner("Figure 3: x^2 + x (x.scale = 2^30)");
+  {
+    ProgramBuilder B("fig3_x2px", 8);
+    Expr X = B.inputCipher("x", 30);
+    B.output("out", X * X + X, 30);
+    std::unique_ptr<Program> P = B.take();
+    show("(a) input", *P);
+    std::unique_ptr<Program> C = P->clone();
+    waterlineRescalePass(*C, 60);
+    eagerModSwitchPass(*C);
+    matchScalePass(*C);
+    show("(c) after MATCH-SCALE (multiply by 1 at scale 2^30)", *C);
+    Expected<CompiledProgram> CP = compile(*P);
+    if (CP)
+      std::printf("q = {2^60, s_o}: r = %zu (vs r = 3 for the "
+                  "RESCALE+MODSWITCH alternative of Figure 3(b))\n",
+                  CP->modulusLength());
+  }
+
+  banner("Figure 5: x^2 + x + x (x.scale = 2^60)");
+  {
+    auto Build = []() {
+      ProgramBuilder B("fig5_x2xx", 8);
+      Expr X = B.inputCipher("x", 60);
+      B.output("out", X * X + X + X, 30);
+      return B.take();
+    };
+    std::unique_ptr<Program> Lazy = Build();
+    waterlineRescalePass(*Lazy, 60);
+    lazyModSwitchPass(*Lazy);
+    show("(b) after WATERLINE-RESCALE & LAZY-MODSWITCH", *Lazy);
+
+    std::unique_ptr<Program> Eager = Build();
+    waterlineRescalePass(*Eager, 60);
+    eagerModSwitchPass(*Eager);
+    show("(c) after WATERLINE-RESCALE & EAGER-MODSWITCH "
+         "(one shared MODSWITCH below x)",
+         *Eager);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+//===- eva/ckks/Ciphertext.h - CKKS ciphertext ------------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CKKS ciphertext: 2 or more RNS polynomials in NTT form (freshly
+/// encrypted ciphertexts have 2; each ciphertext-ciphertext MULTIPLY grows
+/// the count until RELINEARIZE shrinks it back — the paper's Constraint 3),
+/// the fixed-point scale, and implicitly the level via the component count
+/// of its polynomials.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_CKKS_CIPHERTEXT_H
+#define EVA_CKKS_CIPHERTEXT_H
+
+#include "eva/ckks/Poly.h"
+
+#include <vector>
+
+namespace eva {
+
+struct Ciphertext {
+  std::vector<RnsPoly> Polys;
+  double Scale = 1.0;
+
+  size_t size() const { return Polys.size(); }
+  size_t primeCount() const {
+    return Polys.empty() ? 0 : Polys.front().primeCount();
+  }
+  uint64_t degree() const { return Polys.empty() ? 0 : Polys.front().Degree; }
+
+  /// Approximate memory footprint in bytes (executor memory accounting).
+  size_t memoryBytes() const {
+    return size() * primeCount() * degree() * sizeof(uint64_t);
+  }
+};
+
+} // namespace eva
+
+#endif // EVA_CKKS_CIPHERTEXT_H

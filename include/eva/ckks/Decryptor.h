@@ -1,0 +1,36 @@
+//===- eva/ckks/Decryptor.h - Secret-key decryption -------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_CKKS_DECRYPTOR_H
+#define EVA_CKKS_DECRYPTOR_H
+
+#include "eva/ckks/Ciphertext.h"
+#include "eva/ckks/Context.h"
+#include "eva/ckks/Keys.h"
+#include "eva/ckks/Plaintext.h"
+
+#include <memory>
+
+namespace eva {
+
+/// Decrypts ciphertexts of any polynomial count: m = sum_i c_i * s^i. The
+/// result plaintext carries the ciphertext's scale so decoding recovers the
+/// approximate message.
+class Decryptor {
+public:
+  Decryptor(std::shared_ptr<const CkksContext> Ctx, SecretKey Sk)
+      : Ctx(std::move(Ctx)), Sk(std::move(Sk)) {}
+
+  Plaintext decrypt(const Ciphertext &Ct) const;
+
+private:
+  std::shared_ptr<const CkksContext> Ctx;
+  SecretKey Sk;
+};
+
+} // namespace eva
+
+#endif // EVA_CKKS_DECRYPTOR_H

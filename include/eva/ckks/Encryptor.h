@@ -1,0 +1,39 @@
+//===- eva/ckks/Encryptor.h - Public-key encryption -------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_CKKS_ENCRYPTOR_H
+#define EVA_CKKS_ENCRYPTOR_H
+
+#include "eva/ckks/Ciphertext.h"
+#include "eva/ckks/Context.h"
+#include "eva/ckks/KeyGenerator.h"
+#include "eva/ckks/Keys.h"
+#include "eva/ckks/Plaintext.h"
+
+#include <memory>
+
+namespace eva {
+
+/// Encrypts encoded plaintexts under the public key. Fresh ciphertexts have
+/// 2 polynomials and carry the plaintext's scale; they are created over the
+/// plaintext's prime count (always the full data chain in compiled EVA
+/// programs, since MODSWITCH instructions lower levels explicitly).
+class Encryptor {
+public:
+  Encryptor(std::shared_ptr<const CkksContext> Ctx, PublicKey Pk,
+            uint64_t Seed = 0);
+
+  Ciphertext encrypt(const Plaintext &Pt);
+
+private:
+  std::shared_ptr<const CkksContext> Ctx;
+  PublicKey Pk;
+  KeyGenerator Sampler; // reused for ternary/error sampling only
+};
+
+} // namespace eva
+
+#endif // EVA_CKKS_ENCRYPTOR_H

@@ -1,0 +1,86 @@
+//===- eva/ckks/Evaluator.h - Homomorphic evaluation ------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Homomorphic operations of the RNS-CKKS scheme, one per EVA instruction
+/// opcode (Table 2 of the paper): NEGATE, ADD, SUB, MULTIPLY (ciphertext and
+/// plaintext variants), ROTATELEFT/ROTATERIGHT (via Galois automorphism plus
+/// key switching), RELINEARIZE, MODSWITCH, and RESCALE. Operand restrictions
+/// (equal coefficient moduli for binary ops, equal scales for additive ops,
+/// two-polynomial inputs to MULTIPLY) are asserted here; the EVA compiler
+/// guarantees they hold for compiled programs, which is the paper's central
+/// "no runtime exceptions" claim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_CKKS_EVALUATOR_H
+#define EVA_CKKS_EVALUATOR_H
+
+#include "eva/ckks/Ciphertext.h"
+#include "eva/ckks/Context.h"
+#include "eva/ckks/Keys.h"
+#include "eva/ckks/Plaintext.h"
+
+#include <array>
+#include <memory>
+
+namespace eva {
+
+class Evaluator {
+public:
+  explicit Evaluator(std::shared_ptr<const CkksContext> Ctx)
+      : Ctx(std::move(Ctx)) {}
+
+  Ciphertext negate(const Ciphertext &A) const;
+  Ciphertext add(const Ciphertext &A, const Ciphertext &B) const;
+  Ciphertext sub(const Ciphertext &A, const Ciphertext &B) const;
+  Ciphertext addPlain(const Ciphertext &A, const Plaintext &B) const;
+  Ciphertext subPlain(const Ciphertext &A, const Plaintext &B) const;
+  /// B - A (the EVA SUB instruction with a plaintext left operand).
+  Ciphertext subFromPlain(const Plaintext &B, const Ciphertext &A) const;
+
+  /// Ciphertext-ciphertext multiply; result has size(A)+size(B)-1
+  /// polynomials and the product scale.
+  Ciphertext multiply(const Ciphertext &A, const Ciphertext &B) const;
+  Ciphertext multiplyPlain(const Ciphertext &A, const Plaintext &B) const;
+
+  /// Reduces a 3-polynomial ciphertext back to 2 (Constraint 3).
+  Ciphertext relinearize(const Ciphertext &A, const RelinKeys &Keys) const;
+
+  /// Divides by (and drops) the last prime of the chain, rounding; the
+  /// scale divides by the actual prime value (the paper's footnote 1).
+  Ciphertext rescale(const Ciphertext &A) const;
+
+  /// Drops the last prime without changing the scale.
+  Ciphertext modSwitch(const Ciphertext &A) const;
+
+  /// Rotates all N/2 slots left by \p Steps (in [1, N/2)). Requires the
+  /// Galois key for 5^Steps.
+  Ciphertext rotateLeft(const Ciphertext &A, uint64_t Steps,
+                        const GaloisKeys &Keys) const;
+
+private:
+  Ciphertext addSub(const Ciphertext &A, const Ciphertext &B,
+                    bool Subtract) const;
+  void checkBinaryOperands(const Ciphertext &A, const Ciphertext &B) const;
+  void checkScaleMatch(double SA, double SB) const;
+
+  /// Key-switches \p Target (NTT form over `count` data primes) to the
+  /// secret key, returning the (c0, c1) contribution over the same primes.
+  std::array<RnsPoly, 2> keySwitch(const RnsPoly &Target,
+                                   const KSwitchKey &Key) const;
+
+  /// Rounded division of NTT-form components by the prime at PrimeIdx.back()
+  /// (dropped on return). PrimeIdx maps each component to its context prime.
+  void divideRoundDropLast(std::vector<std::vector<uint64_t>> &Comps,
+                           const std::vector<size_t> &PrimeIdx) const;
+
+  std::shared_ptr<const CkksContext> Ctx;
+};
+
+} // namespace eva
+
+#endif // EVA_CKKS_EVALUATOR_H

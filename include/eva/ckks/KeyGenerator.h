@@ -1,0 +1,62 @@
+//===- eva/ckks/KeyGenerator.h - Key generation -----------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the secret key (ternary), public key, relinearization key
+/// (for s^2) and Galois keys for a requested set of rotation steps — the
+/// "encryption context" whose generation time Table 7 of the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_CKKS_KEYGENERATOR_H
+#define EVA_CKKS_KEYGENERATOR_H
+
+#include "eva/ckks/Context.h"
+#include "eva/ckks/Keys.h"
+#include "eva/support/Random.h"
+
+#include <memory>
+#include <set>
+
+namespace eva {
+
+class KeyGenerator {
+public:
+  explicit KeyGenerator(std::shared_ptr<const CkksContext> Ctx,
+                        uint64_t Seed = 0);
+
+  const SecretKey &secretKey() const { return Secret; }
+  PublicKey createPublicKey();
+  RelinKeys createRelinKeys();
+  /// One Galois key per left-rotation step in \p Steps (steps are slot
+  /// counts in [1, N/2)).
+  GaloisKeys createGaloisKeys(const std::set<uint64_t> &Steps);
+
+  /// Samples a fresh ternary polynomial in NTT form over \p PrimeCount
+  /// context primes (exposed for the encryptor's ephemeral u).
+  RnsPoly sampleTernaryNtt(size_t PrimeCount);
+  /// Samples an error polynomial in NTT form over \p PrimeCount primes.
+  RnsPoly sampleErrorNtt(size_t PrimeCount);
+  /// Samples a uniform polynomial over \p PrimeCount primes (NTT form).
+  RnsPoly sampleUniform(size_t PrimeCount);
+
+  RandomSource &rng() { return Rng; }
+
+private:
+  /// (c0, c1) with c0 + c1*s = e over the first \p PrimeCount primes.
+  std::array<RnsPoly, 2> encryptZeroSymmetric(size_t PrimeCount);
+  /// Builds a key-switching key for target polynomial \p W (NTT form over
+  /// all primes): component i encrypts P * W * (CRT basis_i).
+  KSwitchKey createKSwitchKey(const RnsPoly &W);
+
+  std::shared_ptr<const CkksContext> Ctx;
+  RandomSource Rng;
+  SecretKey Secret;
+};
+
+} // namespace eva
+
+#endif // EVA_CKKS_KEYGENERATOR_H

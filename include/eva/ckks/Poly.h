@@ -1,0 +1,64 @@
+//===- eva/ckks/Poly.h - RNS polynomials ------------------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An element of R_Q = Z_Q[X]/(X^N + 1) in residue-number-system (RNS)
+/// representation: one length-N component per prime in the current modulus
+/// chain. Components are usually kept in NTT (evaluation) form, matching
+/// SEAL's CKKS data layout; rescaling and key-switch decomposition
+/// temporarily leave NTT form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_CKKS_POLY_H
+#define EVA_CKKS_POLY_H
+
+#include "eva/math/Modulus.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eva {
+
+struct RnsPoly {
+  RnsPoly() = default;
+  RnsPoly(uint64_t Degree, size_t PrimeCount)
+      : Degree(Degree), Comps(PrimeCount, std::vector<uint64_t>(Degree, 0)) {}
+
+  uint64_t Degree = 0;
+  /// One residue vector per prime, in chain order (data primes first).
+  std::vector<std::vector<uint64_t>> Comps;
+
+  size_t primeCount() const { return Comps.size(); }
+  bool empty() const { return Comps.empty(); }
+
+  /// Drops the last component (used by MODSWITCH and after rescaling).
+  void dropLastComp() {
+    assert(!Comps.empty() && "no component to drop");
+    Comps.pop_back();
+  }
+};
+
+/// Elementwise helpers over one RNS component. All operands must be reduced.
+void addPolyComp(std::span<const uint64_t> A, std::span<const uint64_t> B,
+                 std::span<uint64_t> Out, const Modulus &Q);
+void subPolyComp(std::span<const uint64_t> A, std::span<const uint64_t> B,
+                 std::span<uint64_t> Out, const Modulus &Q);
+void negatePolyComp(std::span<const uint64_t> A, std::span<uint64_t> Out,
+                    const Modulus &Q);
+void mulPolyComp(std::span<const uint64_t> A, std::span<const uint64_t> B,
+                 std::span<uint64_t> Out, const Modulus &Q);
+/// Out += A * B (pointwise, NTT domain).
+void mulAccPolyComp(std::span<const uint64_t> A, std::span<const uint64_t> B,
+                    std::span<uint64_t> Out, const Modulus &Q);
+/// Reduces every element of A (values below some other prime) modulo Q.
+void reducePolyComp(std::span<const uint64_t> A, std::span<uint64_t> Out,
+                    const Modulus &Q);
+
+} // namespace eva
+
+#endif // EVA_CKKS_POLY_H

@@ -1,0 +1,56 @@
+//===- eva/ckks/SecurityTable.h - HE-standard parameter bounds --*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Upper bounds on the total coefficient-modulus bit count per polynomial
+/// degree, following the HomomorphicEncryption.org security standard
+/// (Albrecht et al. 2018) at the 128-bit classical level used throughout the
+/// paper's evaluation ("All experiments use the default 128-bit security
+/// level", Section 8.1). The 65536-degree bound follows the LWE-estimator
+/// extrapolation commonly used for that degree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_CKKS_SECURITYTABLE_H
+#define EVA_CKKS_SECURITYTABLE_H
+
+#include <cstdint>
+
+namespace eva {
+
+enum class SecurityLevel {
+  None,  ///< No enforcement (tests and microbenchmarks only).
+  TC128, ///< 128-bit classical security.
+};
+
+/// Maximum total log2(Q*P) for the given polynomial degree, or 0 if the
+/// degree is unsupported at this security level.
+inline int maxCoeffModulusBits(uint64_t PolyDegree, SecurityLevel Level) {
+  if (Level == SecurityLevel::None)
+    return 1 << 20;
+  switch (PolyDegree) {
+  case 1024:
+    return 27;
+  case 2048:
+    return 54;
+  case 4096:
+    return 109;
+  case 8192:
+    return 218;
+  case 16384:
+    return 438;
+  case 32768:
+    return 881;
+  case 65536:
+    return 1792;
+  default:
+    return 0;
+  }
+}
+
+} // namespace eva
+
+#endif // EVA_CKKS_SECURITYTABLE_H

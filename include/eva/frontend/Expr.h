@@ -1,0 +1,125 @@
+//===- eva/frontend/Expr.h - Expression-building frontend -------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C++ embedded DSL playing the role of the paper's PyEVA frontend
+/// (Section 7.1): Expr wraps a term-graph node and overloads arithmetic and
+/// shift operators, so the Sobel example of Figure 6 transliterates almost
+/// line for line:
+///
+/// \code
+///   ProgramBuilder B("sobel", 64 * 64);
+///   Expr Image = B.inputCipher("image", 30);
+///   Expr Rot = Image << (I * 64 + J);
+///   Expr H = Rot * B.constant(F[I][J], 30);
+///   B.output("out", H, 30);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_FRONTEND_EXPR_H
+#define EVA_FRONTEND_EXPR_H
+
+#include "eva/ir/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eva {
+
+class ProgramBuilder;
+
+/// A handle to a value under construction. Copyable; all Exprs share the
+/// builder's program.
+class Expr {
+public:
+  Expr() = default;
+  Expr(ProgramBuilder *Builder, Node *N) : Builder(Builder), N(N) {}
+
+  Node *node() const { return N; }
+  bool valid() const { return N != nullptr; }
+
+  Expr operator+(const Expr &RHS) const;
+  Expr operator-(const Expr &RHS) const;
+  Expr operator*(const Expr &RHS) const;
+  Expr operator-() const;
+  /// Rotate left by \p Steps slots (PyEVA's `x << n`).
+  Expr operator<<(int32_t Steps) const;
+  /// Rotate right by \p Steps slots.
+  Expr operator>>(int32_t Steps) const;
+
+  /// x^k by square-and-multiply (PyEVA's `x ** k`), k >= 1.
+  Expr pow(unsigned K) const;
+
+private:
+  ProgramBuilder *Builder = nullptr;
+  Node *N = nullptr;
+};
+
+/// Owns a Program and provides the PyEVA-style construction API.
+class ProgramBuilder {
+public:
+  ProgramBuilder(std::string Name, uint64_t VecSize)
+      : Prog(std::make_unique<Program>(VecSize, std::move(Name))) {}
+
+  Program &program() { return *Prog; }
+  uint64_t vecSize() const { return Prog->vecSize(); }
+
+  /// PyEVA's inputEncrypted(scale).
+  Expr inputCipher(std::string Name, double LogScale) {
+    return wrap(Prog->makeInput(std::move(Name), ValueType::Cipher, LogScale));
+  }
+  /// A plaintext (unencrypted) vector input.
+  Expr inputPlain(std::string Name, double LogScale) {
+    return wrap(Prog->makeInput(std::move(Name), ValueType::Vector, LogScale));
+  }
+  /// PyEVA's constant(scale, value) for scalars.
+  Expr constant(double Value, double LogScale) {
+    return wrap(Prog->makeScalarConstant(Value, LogScale));
+  }
+  /// Vector constant (replicated if shorter than vec_size).
+  Expr constantVector(std::vector<double> Values, double LogScale) {
+    return wrap(Prog->makeConstant(std::move(Values), LogScale));
+  }
+
+  /// PyEVA's output(expr, scale): marks an output with a desired scale.
+  void output(std::string Name, const Expr &E, double DesiredLogScale) {
+    Node *O = Prog->makeOutput(std::move(Name), E.node());
+    O->setLogScale(DesiredLogScale);
+  }
+
+  /// Sum of all vec_size slots, replicated into every slot.
+  Expr sumSlots(const Expr &E) {
+    return wrap(Prog->makeInstruction(OpCode::Sum, {E.node()}));
+  }
+
+  /// Takes ownership of the finished program.
+  std::unique_ptr<Program> take() { return std::move(Prog); }
+
+  Expr wrap(Node *N) { return Expr(this, N); }
+
+  /// Tags nodes created inside F with a fresh kernel id (the tensor
+  /// frontend's per-kernel annotation for the CHET-style executor).
+  template <typename Fn> auto inKernel(Fn &&F) {
+    ++CurrentKernel;
+    uint64_t Before = Prog->maxNodeId();
+    auto Result = F();
+    for (Node *N : Prog->nodes())
+      if (N->id() >= Before)
+        N->setKernelId(CurrentKernel);
+    return Result;
+  }
+
+private:
+  friend class Expr;
+  std::unique_ptr<Program> Prog;
+  int32_t CurrentKernel = -1;
+};
+
+} // namespace eva
+
+#endif // EVA_FRONTEND_EXPR_H

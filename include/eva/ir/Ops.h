@@ -1,0 +1,111 @@
+//===- eva/ir/Ops.h - EVA instruction opcodes -------------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcodes of the EVA language (Table 2 and the Protocol Buffers schema of
+/// Figure 1 in the paper). The first group may appear in input programs;
+/// RELINEARIZE, MODSWITCH, RESCALE, and NORMALIZESCALE are FHE-specific and
+/// only the compiler inserts them. Input, Constant, and Output are node
+/// kinds rather than proto opcodes; they are folded into this enum because
+/// the in-memory term graph represents them as nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_IR_OPS_H
+#define EVA_IR_OPS_H
+
+#include <cstdint>
+
+namespace eva {
+
+enum class OpCode : uint8_t {
+  // Graph sources and sinks.
+  Input,
+  Constant,
+  Output,
+  // Frontend-visible instructions (Table 2, first group).
+  Negate,
+  Add,
+  Sub,
+  Multiply,
+  RotateLeft,
+  RotateRight,
+  Sum,  ///< Frontend convenience: all-slots reduction (lowered to a
+        ///< rotate-and-add tree before compilation).
+  Copy, ///< Frontend convenience: identity (eliminated by lowering).
+  // Compiler-inserted instructions (Table 2, second group).
+  Relinearize,
+  ModSwitch,
+  Rescale,
+  NormalizeScale, ///< Re-encodes a plaintext operand at a new scale (the
+                  ///< plaintext arm of the MATCH-SCALE rule).
+};
+
+const char *opName(OpCode Op);
+
+/// True for opcodes the frontend may emit (the input-program subset).
+inline bool isFrontendOp(OpCode Op) {
+  switch (Op) {
+  case OpCode::Negate:
+  case OpCode::Add:
+  case OpCode::Sub:
+  case OpCode::Multiply:
+  case OpCode::RotateLeft:
+  case OpCode::RotateRight:
+  case OpCode::Sum:
+  case OpCode::Copy:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True for the FHE-specific instructions only the compiler inserts.
+inline bool isCompilerInsertedOp(OpCode Op) {
+  switch (Op) {
+  case OpCode::Relinearize:
+  case OpCode::ModSwitch:
+  case OpCode::Rescale:
+  case OpCode::NormalizeScale:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True for nodes that consume a prime from the modulus chain (the paper's
+/// rescale-chain members, Definition 3).
+inline bool consumesModulus(OpCode Op) {
+  return Op == OpCode::Rescale || Op == OpCode::ModSwitch;
+}
+
+inline bool isBinaryArith(OpCode Op) {
+  return Op == OpCode::Add || Op == OpCode::Sub || Op == OpCode::Multiply;
+}
+
+inline bool isAdditive(OpCode Op) {
+  return Op == OpCode::Add || Op == OpCode::Sub;
+}
+
+inline bool isRotation(OpCode Op) {
+  return Op == OpCode::RotateLeft || Op == OpCode::RotateRight;
+}
+
+/// Value types of the EVA language (Table 1). Integer arguments (rotation
+/// counts) are node attributes, not values.
+enum class ValueType : uint8_t {
+  Cipher, ///< Encrypted vector of fixed-point values.
+  Vector, ///< Plaintext vector of 64-bit floats.
+  Scalar, ///< Plaintext 64-bit float (broadcast over the vector).
+};
+
+const char *typeName(ValueType Ty);
+
+inline bool isPlainType(ValueType Ty) { return Ty != ValueType::Cipher; }
+
+} // namespace eva
+
+#endif // EVA_IR_OPS_H

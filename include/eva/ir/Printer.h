@@ -1,0 +1,37 @@
+//===- eva/ir/Printer.h - Textual program dumps -----------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dumps of EVA programs: an assembly-like text listing used
+/// by tests and the transformation demos (Figures 2, 3, 5 of the paper), and
+/// Graphviz DOT output for visualizing the term graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_IR_PRINTER_H
+#define EVA_IR_PRINTER_H
+
+#include "eva/ir/Program.h"
+
+#include <string>
+
+namespace eva {
+
+/// Assembly-like listing, one instruction per line in forward order. With
+/// \p ElideConstants long constant payloads are abbreviated for human
+/// consumption; pass false for a lossless listing that parseProgramText
+/// (TextFormat.h) round-trips.
+std::string printProgram(const Program &P, bool ElideConstants = true);
+
+/// Graphviz DOT rendering of the term graph.
+std::string printDot(const Program &P);
+
+/// Counts nodes with the given opcode (handy in tests and demos).
+size_t countOps(const Program &P, OpCode Op);
+
+} // namespace eva
+
+#endif // EVA_IR_PRINTER_H

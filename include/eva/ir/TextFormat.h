@@ -1,0 +1,43 @@
+//===- eva/ir/TextFormat.h - Textual program parsing ------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the assembly-like listing emitted by printProgram(P, false):
+///
+/// \code
+///   program sobel vec_size=4096
+///     %0 = input cipher @image scale=30
+///     %1 = constant scalar scale=30 [2.214]
+///     %2 = rotate_left %0 steps=65
+///     %3 = multiply %2 %1
+///     %4 = rescale %3 bits=60
+///     %5 = output @edges %4 scale=30
+/// \endcode
+///
+/// Together with the printer this gives a human-editable interchange format
+/// alongside the binary proto3 one; evac's --dump output parses back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_IR_TEXTFORMAT_H
+#define EVA_IR_TEXTFORMAT_H
+
+#include "eva/ir/Program.h"
+#include "eva/support/Error.h"
+
+#include <memory>
+#include <string_view>
+
+namespace eva {
+
+/// Parses a program listing; fails with a line-numbered diagnostic on
+/// malformed input. Node ids are renumbered densely but references and
+/// structure are preserved.
+Expected<std::unique_ptr<Program>> parseProgramText(std::string_view Text);
+
+} // namespace eva
+
+#endif // EVA_IR_TEXTFORMAT_H

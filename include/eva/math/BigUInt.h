@@ -1,0 +1,118 @@
+//===- eva/math/BigUInt.h - Minimal unsigned bignum -------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal little-endian multi-word unsigned integer. Only the operations
+/// the CKKS decoder needs are provided: multiply-accumulate by a word
+/// (Horner evaluation of Garner's mixed-radix digits), comparison,
+/// subtraction, and lossy conversion to long double. Coefficients composed
+/// from up to ~20 sixty-bit RNS primes exceed both uint64 and double range,
+/// hence this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_MATH_BIGUINT_H
+#define EVA_MATH_BIGUINT_H
+
+#include "eva/math/Modulus.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace eva {
+
+class BigUInt {
+public:
+  BigUInt() = default;
+  explicit BigUInt(uint64_t Value) {
+    if (Value != 0)
+      Words.push_back(Value);
+  }
+
+  bool isZero() const { return Words.empty(); }
+
+  /// this = this * W + Addend.
+  void mulAddWord(uint64_t W, uint64_t Addend) {
+    Uint128 Carry = Addend;
+    for (uint64_t &Word : Words) {
+      Uint128 T = Uint128(Word) * W + Carry;
+      Word = static_cast<uint64_t>(T);
+      Carry = T >> 64;
+    }
+    while (Carry != 0) {
+      Words.push_back(static_cast<uint64_t>(Carry));
+      Carry >>= 64;
+    }
+    trim();
+  }
+
+  /// Three-way comparison: negative, zero, or positive as this <,==,> Other.
+  int compare(const BigUInt &Other) const {
+    if (Words.size() != Other.Words.size())
+      return Words.size() < Other.Words.size() ? -1 : 1;
+    for (size_t I = Words.size(); I-- > 0;) {
+      if (Words[I] != Other.Words[I])
+        return Words[I] < Other.Words[I] ? -1 : 1;
+    }
+    return 0;
+  }
+
+  /// this = Other - this. Requires this <= Other.
+  void rsubFrom(const BigUInt &Other) {
+    assert(compare(Other) <= 0 && "rsubFrom would underflow");
+    std::vector<uint64_t> Result(Other.Words.size());
+    uint64_t Borrow = 0;
+    for (size_t I = 0; I < Other.Words.size(); ++I) {
+      uint64_t A = Other.Words[I];
+      uint64_t B = I < Words.size() ? Words[I] : 0;
+      uint64_t D = A - B - Borrow;
+      Borrow = (A < B + Borrow || (B + Borrow < B)) ? 1 : 0;
+      Result[I] = D;
+    }
+    Words = std::move(Result);
+    trim();
+  }
+
+  /// Halves the value (used for Q/2 thresholds).
+  void shiftRightOne() {
+    uint64_t Carry = 0;
+    for (size_t I = Words.size(); I-- > 0;) {
+      uint64_t Next = Words[I] & 1;
+      Words[I] = (Words[I] >> 1) | (Carry << 63);
+      Carry = Next;
+    }
+    trim();
+  }
+
+  /// Lossy conversion keeping the top ~128 bits of precision, which is far
+  /// more than the long double mantissa.
+  long double toLongDouble() const {
+    if (Words.empty())
+      return 0.0L;
+    size_t Top = Words.size() - 1;
+    long double V = static_cast<long double>(Words[Top]);
+    if (Top >= 1)
+      V = V * 18446744073709551616.0L + static_cast<long double>(Words[Top - 1]);
+    int Exp = static_cast<int>(64 * (Top >= 1 ? Top - 1 : 0));
+    if (Top == 0)
+      Exp = 0;
+    return std::ldexp(V, Exp);
+  }
+
+  const std::vector<uint64_t> &words() const { return Words; }
+
+private:
+  void trim() {
+    while (!Words.empty() && Words.back() == 0)
+      Words.pop_back();
+  }
+  std::vector<uint64_t> Words; // little-endian, no trailing zero words
+};
+
+} // namespace eva
+
+#endif // EVA_MATH_BIGUINT_H

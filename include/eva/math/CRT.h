@@ -1,0 +1,50 @@
+//===- eva/math/CRT.h - Garner CRT composition ------------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Composes an RNS residue vector back into a centered integer value using
+/// Garner's mixed-radix algorithm (no big-integer division needed). The
+/// CKKS decoder uses this to recover plaintext coefficients when more than
+/// one prime remains in the modulus chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_MATH_CRT_H
+#define EVA_MATH_CRT_H
+
+#include "eva/math/BigUInt.h"
+#include "eva/math/Modulus.h"
+
+#include <vector>
+
+namespace eva {
+
+class CrtComposer {
+public:
+  CrtComposer() = default;
+  explicit CrtComposer(std::vector<Modulus> ModuliIn);
+
+  size_t size() const { return Moduli.size(); }
+
+  /// Composes one coefficient from its residues (Residues[i] mod q_i,
+  /// strided by \p Stride) into a centered value in (-Q/2, Q/2], returned as
+  /// long double.
+  long double composeCentered(const uint64_t *const *Residues,
+                              size_t Index) const;
+
+private:
+  std::vector<Modulus> Moduli;
+  // InvPrefix[k] = (q_0 * ... * q_{k-1})^{-1} mod q_k, Shoup-scaled.
+  std::vector<ShoupMul> InvPrefix;
+  // PrefixMod[k][j] = (q_0 * ... * q_{j-1}) mod q_k for j < k.
+  std::vector<std::vector<uint64_t>> PrefixMod;
+  BigUInt HalfQ; // floor(Q / 2)
+  BigUInt Q;
+};
+
+} // namespace eva
+
+#endif // EVA_MATH_CRT_H

@@ -1,0 +1,145 @@
+//===- eva/math/Modulus.h - Word-size modular arithmetic --------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A prime modulus of at most 60 bits with precomputed Barrett constants
+/// (floor(2^128 / q)), plus Shoup-precomputed multiplication for hot loops
+/// such as NTT butterflies. This mirrors SEAL's util::Modulus /
+/// MultiplyUIntModOperand machinery, which the paper's s_f = 2^60 limit on
+/// rescale values ("enables a performant implementation by limiting scales
+/// to machine-sized integers", Section 4.2) depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_MATH_MODULUS_H
+#define EVA_MATH_MODULUS_H
+
+#include "eva/support/Common.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace eva {
+
+using Uint128 = unsigned __int128;
+
+/// Maximum bit size of a coefficient modulus prime (the paper's log2 s_f).
+inline constexpr unsigned MaxModulusBits = 60;
+
+class Modulus {
+public:
+  Modulus() = default;
+  explicit Modulus(uint64_t Value) : Val(Value) {
+    assert(Value > 1 && "modulus must exceed 1");
+    assert((Value >> MaxModulusBits) == 0 && "modulus exceeds 60 bits");
+    // ConstRatio = floor(2^128 / Value), split into two 64-bit words.
+    Uint128 Numerator = ~Uint128(0); // 2^128 - 1
+    Uint128 Ratio = Numerator / Value;
+    // Adjust: floor((2^128 - 1)/q) == floor(2^128/q) unless q divides 2^128,
+    // which cannot happen for odd primes.
+    RatioLo = static_cast<uint64_t>(Ratio);
+    RatioHi = static_cast<uint64_t>(Ratio >> 64);
+  }
+
+  uint64_t value() const { return Val; }
+  unsigned bitCount() const {
+    unsigned R = 0;
+    for (uint64_t X = Val; X != 0; X >>= 1)
+      ++R;
+    return R;
+  }
+  bool isZero() const { return Val == 0; }
+
+  /// Barrett reduction of a 128-bit value into [0, q).
+  uint64_t reduce128(Uint128 X) const {
+    uint64_t XLo = static_cast<uint64_t>(X);
+    uint64_t XHi = static_cast<uint64_t>(X >> 64);
+    // Compute the high 128 bits of X * ConstRatio; only the low 64 bits of
+    // the quotient matter for the final correction.
+    Uint128 Lo = Uint128(XLo) * RatioLo;
+    Uint128 M1 = Uint128(XHi) * RatioLo + static_cast<uint64_t>(Lo >> 64);
+    Uint128 M2 = Uint128(XLo) * RatioHi + static_cast<uint64_t>(M1);
+    uint64_t QuotLo = XHi * RatioHi + static_cast<uint64_t>(M1 >> 64) +
+                      static_cast<uint64_t>(M2 >> 64);
+    uint64_t R = XLo - QuotLo * Val;
+    // One conditional subtraction suffices for moduli below 2^62.
+    return R >= Val ? R - Val : R;
+  }
+
+  /// Reduction of a 64-bit value into [0, q).
+  uint64_t reduce(uint64_t X) const {
+    if (X < Val)
+      return X;
+    return reduce128(X);
+  }
+
+private:
+  uint64_t Val = 0;
+  uint64_t RatioLo = 0;
+  uint64_t RatioHi = 0;
+};
+
+inline uint64_t addMod(uint64_t A, uint64_t B, const Modulus &Q) {
+  assert(A < Q.value() && B < Q.value() && "operands not reduced");
+  uint64_t S = A + B;
+  return S >= Q.value() ? S - Q.value() : S;
+}
+
+inline uint64_t subMod(uint64_t A, uint64_t B, const Modulus &Q) {
+  assert(A < Q.value() && B < Q.value() && "operands not reduced");
+  return A >= B ? A - B : A + Q.value() - B;
+}
+
+inline uint64_t negateMod(uint64_t A, const Modulus &Q) {
+  assert(A < Q.value() && "operand not reduced");
+  return A == 0 ? 0 : Q.value() - A;
+}
+
+inline uint64_t mulMod(uint64_t A, uint64_t B, const Modulus &Q) {
+  return Q.reduce128(Uint128(A) * B);
+}
+
+inline uint64_t powMod(uint64_t Base, uint64_t Exp, const Modulus &Q) {
+  uint64_t R = 1;
+  Base = Q.reduce(Base);
+  while (Exp != 0) {
+    if (Exp & 1)
+      R = mulMod(R, Base, Q);
+    Base = mulMod(Base, Base, Q);
+    Exp >>= 1;
+  }
+  return R;
+}
+
+/// Inverse modulo a prime via Fermat's little theorem.
+inline uint64_t invMod(uint64_t A, const Modulus &Q) {
+  assert(Q.reduce(A) != 0 && "zero has no inverse");
+  return powMod(A, Q.value() - 2, Q);
+}
+
+/// Shoup-precomputed multiplicand: multiplication by a fixed Operand modulo
+/// q with one 64x64 high product and no division.
+struct ShoupMul {
+  uint64_t Operand = 0;  // the fixed multiplicand, in [0, q)
+  uint64_t Quotient = 0; // floor(Operand * 2^64 / q)
+
+  ShoupMul() = default;
+  ShoupMul(uint64_t Op, const Modulus &Q) : Operand(Op) {
+    assert(Op < Q.value() && "operand not reduced");
+    Quotient = static_cast<uint64_t>((Uint128(Op) << 64) / Q.value());
+  }
+};
+
+/// Computes X * W.Operand mod q given Shoup precomputation; result in [0,q).
+inline uint64_t mulModShoup(uint64_t X, const ShoupMul &W, const Modulus &Q) {
+  uint64_t Hi = static_cast<uint64_t>((Uint128(X) * W.Quotient) >> 64);
+  uint64_t R = X * W.Operand - Hi * Q.value();
+  return R >= Q.value() ? R - Q.value() : R;
+}
+
+} // namespace eva
+
+#endif // EVA_MATH_MODULUS_H

@@ -1,0 +1,62 @@
+//===- eva/math/NTT.h - Negacyclic number-theoretic transform ---*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative negacyclic NTT over Z_q[X]/(X^N + 1) with precomputed,
+/// bit-reversed, Shoup-scaled root tables (the Longa-Naehrig / SEAL layout).
+/// The forward transform maps coefficients to evaluations at the odd powers
+/// of a primitive 2N-th root of unity; pointwise products then realize
+/// negacyclic convolution, which is what every homomorphic multiply in the
+/// CKKS evaluator reduces to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_MATH_NTT_H
+#define EVA_MATH_NTT_H
+
+#include "eva/math/Modulus.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eva {
+
+/// Precomputed tables for the NTT over one prime modulus.
+class NttTables {
+public:
+  /// Builds tables for degree \p N (a power of two) and modulus \p Q, which
+  /// must satisfy Q == 1 mod 2N. Fatal error otherwise (Context validates
+  /// parameters before building tables).
+  NttTables(uint64_t N, const Modulus &Q);
+
+  uint64_t degree() const { return N; }
+  const Modulus &modulus() const { return Q; }
+
+  /// In-place forward negacyclic NTT. Input in standard coefficient order;
+  /// output in bit-reversed evaluation order (the internal format used by
+  /// all pointwise operations).
+  void forward(std::span<uint64_t> Values) const;
+
+  /// In-place inverse transform; output in standard coefficient order.
+  void inverse(std::span<uint64_t> Values) const;
+
+private:
+  uint64_t N;
+  Modulus Q;
+  // RootPowers[i] = psi^{bitrev(i)} for the 2N-th root psi, Shoup-scaled.
+  std::vector<ShoupMul> RootPowers;
+  std::vector<ShoupMul> InvRootPowers;
+  ShoupMul InvDegree; // N^{-1} mod q
+};
+
+/// Finds a primitive \p Order-th root of unity mod prime \p Q (Order a power
+/// of two dividing Q - 1).
+uint64_t findPrimitiveRoot(uint64_t Order, const Modulus &Q);
+
+} // namespace eva
+
+#endif // EVA_MATH_NTT_H

@@ -1,0 +1,44 @@
+//===- eva/math/Primes.h - NTT-friendly prime generation --------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Miller-Rabin primality testing and generation of NTT-friendly primes
+/// (p == 1 mod 2N) of requested bit sizes. This is the counterpart of
+/// SEAL's CoeffModulus::Create: the EVA compiler emits a vector of bit sizes
+/// (Algorithm 1's B_v) and this module turns them into concrete primes
+/// "close to a power-of-2" (the paper's footnote 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_MATH_PRIMES_H
+#define EVA_MATH_PRIMES_H
+
+#include "eva/math/Modulus.h"
+#include "eva/support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace eva {
+
+/// Deterministic Miller-Rabin for 64-bit integers.
+bool isPrime(uint64_t N);
+
+/// Generates \p Count distinct primes congruent to 1 mod 2*PolyDegree with
+/// the given bit size, searching downward from 2^BitSize. Primes already in
+/// \p Exclude are skipped. Fails if the search space is exhausted.
+Expected<std::vector<uint64_t>>
+generateNttPrimes(uint64_t PolyDegree, unsigned BitSize, unsigned Count,
+                  const std::vector<uint64_t> &Exclude = {});
+
+/// SEAL-style coefficient-modulus creation: one prime per entry of
+/// \p BitSizes, all congruent to 1 mod 2*PolyDegree, pairwise distinct.
+Expected<std::vector<uint64_t>>
+createCoeffModulus(uint64_t PolyDegree, const std::vector<int> &BitSizes);
+
+} // namespace eva
+
+#endif // EVA_MATH_PRIMES_H

@@ -1,0 +1,44 @@
+//===- eva/runtime/ReferenceExecutor.h - Identity-scheme semantics -*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an EVA program under the paper's reference semantics
+/// (Section 3): the dummy "id" encryption scheme whose encryption and
+/// decryption are the identity, so every instruction acts on plain
+/// double-vectors and the FHE-specific instructions are value-preserving.
+/// Tests use it both to define expected results for the CKKS executors and
+/// to check that compilation preserves program semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_RUNTIME_REFERENCEEXECUTOR_H
+#define EVA_RUNTIME_REFERENCEEXECUTOR_H
+
+#include "eva/ir/Program.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eva {
+
+class ReferenceExecutor {
+public:
+  explicit ReferenceExecutor(const Program &P) : P(P) {}
+
+  /// Runs the program on \p Inputs (one vec_size-or-shorter vector per input
+  /// name; shorter vectors are replicated) and returns one vec_size vector
+  /// per output name.
+  std::map<std::string, std::vector<double>>
+  run(const std::map<std::string, std::vector<double>> &Inputs) const;
+
+private:
+  const Program &P;
+};
+
+} // namespace eva
+
+#endif // EVA_RUNTIME_REFERENCEEXECUTOR_H

@@ -1,0 +1,168 @@
+//===- eva/serialize/Wire.h - Protocol Buffers wire format ------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal hand-rolled implementation of the proto3 wire format (varints,
+/// fixed64, and length-delimited fields) — enough to serialize the EVA
+/// program schema of Figure 1 in the paper without an external Protocol
+/// Buffers dependency. Readers are defensive: malformed input yields an
+/// error, never undefined behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SERIALIZE_WIRE_H
+#define EVA_SERIALIZE_WIRE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace eva {
+
+enum class WireType : uint8_t {
+  Varint = 0,
+  Fixed64 = 1,
+  LengthDelimited = 2,
+};
+
+class WireWriter {
+public:
+  void varint(uint64_t V) {
+    while (V >= 0x80) {
+      Buffer.push_back(static_cast<char>((V & 0x7F) | 0x80));
+      V >>= 7;
+    }
+    Buffer.push_back(static_cast<char>(V));
+  }
+
+  void tag(uint32_t Field, WireType Type) {
+    varint((static_cast<uint64_t>(Field) << 3) |
+           static_cast<uint64_t>(Type));
+  }
+
+  void varintField(uint32_t Field, uint64_t V) {
+    tag(Field, WireType::Varint);
+    varint(V);
+  }
+
+  void doubleField(uint32_t Field, double V) {
+    tag(Field, WireType::Fixed64);
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    for (int I = 0; I < 8; ++I)
+      Buffer.push_back(static_cast<char>((Bits >> (8 * I)) & 0xFF));
+  }
+
+  void bytesField(uint32_t Field, std::string_view Bytes) {
+    tag(Field, WireType::LengthDelimited);
+    varint(Bytes.size());
+    Buffer.append(Bytes);
+  }
+
+  const std::string &str() const { return Buffer; }
+  std::string take() { return std::move(Buffer); }
+
+private:
+  std::string Buffer;
+};
+
+class WireReader {
+public:
+  explicit WireReader(std::string_view Data) : Data(Data) {}
+
+  bool atEnd() const { return Pos >= Data.size() || Failed; }
+  bool failed() const { return Failed; }
+
+  /// Reads the next field header; returns false at end or on error.
+  bool nextField(uint32_t &Field, WireType &Type) {
+    if (atEnd())
+      return false;
+    uint64_t Key;
+    if (!readVarint(Key))
+      return false;
+    Field = static_cast<uint32_t>(Key >> 3);
+    uint8_t T = Key & 7;
+    if (T != 0 && T != 1 && T != 2) {
+      Failed = true;
+      return false;
+    }
+    Type = static_cast<WireType>(T);
+    return true;
+  }
+
+  bool readVarint(uint64_t &V) {
+    V = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      if (Pos >= Data.size()) {
+        Failed = true;
+        return false;
+      }
+      uint8_t B = static_cast<uint8_t>(Data[Pos++]);
+      V |= static_cast<uint64_t>(B & 0x7F) << Shift;
+      if ((B & 0x80) == 0)
+        return true;
+    }
+    Failed = true;
+    return false;
+  }
+
+  bool readDouble(double &V) {
+    if (Pos + 8 > Data.size()) {
+      Failed = true;
+      return false;
+    }
+    uint64_t Bits = 0;
+    for (int I = 0; I < 8; ++I)
+      Bits |= static_cast<uint64_t>(static_cast<uint8_t>(Data[Pos + I]))
+              << (8 * I);
+    Pos += 8;
+    std::memcpy(&V, &Bits, 8);
+    return true;
+  }
+
+  bool readBytes(std::string_view &Out) {
+    uint64_t Len;
+    if (!readVarint(Len))
+      return false;
+    if (Len > Data.size() - Pos) {
+      Failed = true;
+      return false;
+    }
+    Out = Data.substr(Pos, Len);
+    Pos += Len;
+    return true;
+  }
+
+  /// Skips a field of the given wire type (unknown-field tolerance).
+  bool skip(WireType Type) {
+    switch (Type) {
+    case WireType::Varint: {
+      uint64_t V;
+      return readVarint(V);
+    }
+    case WireType::Fixed64: {
+      double D;
+      return readDouble(D);
+    }
+    case WireType::LengthDelimited: {
+      std::string_view B;
+      return readBytes(B);
+    }
+    }
+    Failed = true;
+    return false;
+  }
+
+private:
+  std::string_view Data;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace eva
+
+#endif // EVA_SERIALIZE_WIRE_H

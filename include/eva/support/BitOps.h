@@ -1,0 +1,57 @@
+//===- eva/support/BitOps.h - Bit manipulation helpers ----------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Power-of-two and bit-reversal utilities shared by the NTT, the encoder's
+/// special FFT and the EVA language's vector-size checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SUPPORT_BITOPS_H
+#define EVA_SUPPORT_BITOPS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace eva {
+
+inline bool isPowerOfTwo(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+/// Exact log2 of a power of two.
+inline unsigned log2Exact(uint64_t X) {
+  assert(isPowerOfTwo(X) && "log2Exact requires a power of two");
+  unsigned R = 0;
+  while (X > 1) {
+    X >>= 1;
+    ++R;
+  }
+  return R;
+}
+
+/// Number of significant bits (bit length) of \p X; 0 for X == 0.
+inline unsigned bitLength(uint64_t X) {
+  unsigned R = 0;
+  while (X != 0) {
+    X >>= 1;
+    ++R;
+  }
+  return R;
+}
+
+/// Reverses the low \p BitCount bits of \p X.
+inline uint64_t reverseBits(uint64_t X, unsigned BitCount) {
+  assert(BitCount <= 64 && "bit count out of range");
+  uint64_t R = 0;
+  for (unsigned I = 0; I < BitCount; ++I) {
+    R = (R << 1) | (X & 1);
+    X >>= 1;
+  }
+  return R;
+}
+
+} // namespace eva
+
+#endif // EVA_SUPPORT_BITOPS_H

@@ -1,0 +1,46 @@
+//===- eva/support/Common.h - Basic macros and fatal errors ----*- C++ -*-===//
+//
+// Part of the EVA-CKKS project. Reproduction of "EVA: An Encrypted Vector
+// Arithmetic Language and Compiler for Efficient Homomorphic Computation"
+// (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Project-wide assertion and fatal-error helpers. Library code never throws
+/// exceptions; programmer errors are assertions, user-facing errors flow
+/// through eva::Expected (see Error.h), and impossible states call
+/// eva::fatalError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SUPPORT_COMMON_H
+#define EVA_SUPPORT_COMMON_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace eva {
+
+/// Prints \p Message to stderr and aborts. Used for unrecoverable internal
+/// states (the moral equivalent of llvm::report_fatal_error).
+[[noreturn]] inline void fatalError(const std::string &Message) {
+  std::fprintf(stderr, "eva fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+/// Marks a point in code that must be unreachable.
+[[noreturn]] inline void unreachableImpl(const char *Message, const char *File,
+                                         int Line) {
+  std::fprintf(stderr, "eva unreachable at %s:%d: %s\n", File, Line, Message);
+  std::abort();
+}
+
+} // namespace eva
+
+#define EVA_UNREACHABLE(MSG) ::eva::unreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // EVA_SUPPORT_COMMON_H

@@ -1,0 +1,100 @@
+//===- eva/support/Error.h - Expected<T> error propagation ------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Expected<T>/Status pair for error propagation without
+/// exceptions. The compiler returns Expected values so that constraint
+/// violations surface as compile-time diagnostics (the paper's "throws an
+/// exception" in Algorithm 1) rather than runtime faults in the FHE library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SUPPORT_ERROR_H
+#define EVA_SUPPORT_ERROR_H
+
+#include "eva/support/Common.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace eva {
+
+/// Success-or-message result for operations with no payload.
+class Status {
+public:
+  Status() = default;
+  static Status success() { return Status(); }
+  static Status error(std::string Message) {
+    Status S;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return !Message.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const std::string &message() const {
+    assert(!ok() && "no message on a success Status");
+    return *Message;
+  }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// Either a value of type T or an error message. Accessing the value of an
+/// errored Expected is a fatal error; callers must check first.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Expected(Status S) {
+    assert(!S.ok() && "constructing Expected from a success Status");
+    ErrorMessage = S.message();
+  }
+
+  static Expected error(std::string Message) {
+    Expected E;
+    E.ErrorMessage = std::move(Message);
+    return E;
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const std::string &message() const {
+    assert(!ok() && "no message on a success Expected");
+    return *ErrorMessage;
+  }
+
+  T &value() {
+    if (!ok())
+      fatalError("accessed value of errored Expected: " + *ErrorMessage);
+    return *Value;
+  }
+  const T &value() const {
+    if (!ok())
+      fatalError("accessed value of errored Expected: " + *ErrorMessage);
+    return *Value;
+  }
+  T &operator*() { return value(); }
+  T *operator->() { return &value(); }
+
+  /// Converts an error into a Status (for forwarding up the stack).
+  Status takeStatus() const {
+    if (ok())
+      return Status::success();
+    return Status::error(*ErrorMessage);
+  }
+
+private:
+  Expected() = default;
+  std::optional<T> Value;
+  std::optional<std::string> ErrorMessage;
+};
+
+} // namespace eva
+
+#endif // EVA_SUPPORT_ERROR_H

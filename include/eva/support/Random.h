@@ -1,0 +1,70 @@
+//===- eva/support/Random.h - Randomness for keys and noise -----*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random source used for key generation, encryption randomness, and test
+/// workload generation. A reproduction substitutes a seeded Mersenne Twister
+/// for SEAL's hardware-backed PRNG; the distributions (uniform mod q,
+/// ternary, rounded Gaussian sigma = 3.2) match the scheme's requirements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SUPPORT_RANDOM_H
+#define EVA_SUPPORT_RANDOM_H
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace eva {
+
+/// Standard deviation of the RLWE error distribution (HE-standard value).
+inline constexpr double ErrorStandardDeviation = 3.2;
+
+class RandomSource {
+public:
+  explicit RandomSource(uint64_t Seed = std::random_device{}())
+      : Engine(Seed) {}
+
+  /// Uniform value in [0, Bound).
+  uint64_t uniformBelow(uint64_t Bound) {
+    return std::uniform_int_distribution<uint64_t>(0, Bound - 1)(Engine);
+  }
+
+  uint64_t uniform64() { return Engine(); }
+
+  /// Uniform value in {-1, 0, 1}, returned as 0, 1, or Modulus-1 encoding is
+  /// the caller's job; here we return the signed value.
+  int ternary() {
+    return static_cast<int>(uniformBelow(3)) - 1;
+  }
+
+  /// Rounded Gaussian with standard deviation ErrorStandardDeviation.
+  int64_t gaussian() {
+    std::normal_distribution<double> D(0.0, ErrorStandardDeviation);
+    double V = D(Engine);
+    // Clamp to 6 sigma as the HE standard's distribution does.
+    double Limit = 6.0 * ErrorStandardDeviation;
+    if (V > Limit)
+      V = Limit;
+    if (V < -Limit)
+      V = -Limit;
+    return static_cast<int64_t>(std::llround(V));
+  }
+
+  double uniformReal(double Lo, double Hi) {
+    return std::uniform_real_distribution<double>(Lo, Hi)(Engine);
+  }
+
+  std::mt19937_64 &engine() { return Engine; }
+
+private:
+  std::mt19937_64 Engine;
+};
+
+} // namespace eva
+
+#endif // EVA_SUPPORT_RANDOM_H

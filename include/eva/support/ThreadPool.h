@@ -1,0 +1,67 @@
+//===- eva/support/ThreadPool.h - Worker pool for the executor --*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool. The paper's executor uses the Galois parallel
+/// library to schedule the instruction DAG asynchronously; this pool plus the
+/// dependency-counting scheduler in eva/runtime/ParallelExecutor.h plays that
+/// role. parallelFor provides the bulk-synchronous (OpenMP-like) schedule the
+/// CHET baseline executor uses within each kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SUPPORT_THREADPOOL_H
+#define EVA_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace eva {
+
+class ThreadPool {
+public:
+  /// Creates a pool with \p NumThreads workers (0 means hardware
+  /// concurrency). A pool of one worker still runs tasks on that worker so
+  /// scheduling behaviour is uniform.
+  explicit ThreadPool(size_t NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  size_t size() const { return Workers.size(); }
+
+  /// Enqueues \p Task for asynchronous execution.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void waitIdle();
+
+  /// Runs Body(I) for I in [0, Count) across the pool and waits for all
+  /// iterations (a barrier), mimicking an OpenMP parallel-for.
+  void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskAvailable;
+  std::condition_variable Idle;
+  size_t ActiveTasks = 0;
+  bool Stopping = false;
+};
+
+} // namespace eva
+
+#endif // EVA_SUPPORT_THREADPOOL_H

@@ -1,0 +1,37 @@
+//===- eva/support/Timer.h - Wall-clock timing ------------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timer used by the benchmark harnesses that regenerate the
+/// paper's tables (compile / context / encrypt / decrypt / latency timings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SUPPORT_TIMER_H
+#define EVA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace eva {
+
+class Timer {
+public:
+  Timer() { reset(); }
+  void reset() { Start = Clock::now(); }
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace eva
+
+#endif // EVA_SUPPORT_TIMER_H

@@ -1,0 +1,104 @@
+//===- eva/tensor/Kernels.h - Homomorphic tensor kernels --------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library of vectorized tensor kernels the DNN frontend lowers to
+/// (Section 7.2): each kernel emits plain EVA instructions (rotations,
+/// plaintext-mask multiplies, additions) over a single ciphertext holding a
+/// CHW-flattened tensor — the CHW data layout the paper's evaluation uses
+/// for both CHET and EVA. Kernels tag the nodes they emit with a kernel id,
+/// which the CHET-style bulk-synchronous executor uses as barrier
+/// boundaries.
+///
+/// Layout: pixel (c, y, x) of a tensor with logical dims (C, H, W) lives at
+/// slot c*GridH*GridW + y*StrideY*GridW + x*StrideX. Strided convolutions
+/// and pools leave values in place on the original grid and dilate the
+/// strides (CHET's strided layouts); masks carry the weights and zero out
+/// the garbage slots in between.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_TENSOR_KERNELS_H
+#define EVA_TENSOR_KERNELS_H
+
+#include "eva/frontend/Expr.h"
+#include "eva/tensor/Tensor.h"
+
+#include <map>
+
+namespace eva {
+
+struct CipherLayout {
+  size_t C = 0, H = 0, W = 0;      ///< logical tensor dims
+  size_t GridH = 0, GridW = 0;     ///< physical grid per channel
+  size_t StrideY = 1, StrideX = 1; ///< grid steps between logical pixels
+
+  size_t slotOf(size_t Ch, size_t Y, size_t X) const {
+    return Ch * GridH * GridW + Y * StrideY * GridW + X * StrideX;
+  }
+  size_t channelStride() const { return GridH * GridW; }
+  size_t slotExtent() const { return C * GridH * GridW; }
+  size_t logicalSize() const { return C * H * W; }
+
+  static CipherLayout forImage(size_t C, size_t H, size_t W) {
+    CipherLayout L;
+    L.C = C;
+    L.H = L.GridH = H;
+    L.W = L.GridW = W;
+    return L;
+  }
+};
+
+/// Scale configuration shared by all kernels (the Table 4 "input scales";
+/// the Vector default follows the LeNet-5-large row — with fan-in-scaled
+/// random weights the 2^-15 mask quantization of the smaller setting
+/// dominates the score gaps, see EXPERIMENTS.md).
+struct TensorScales {
+  double Cipher = 25; ///< encrypted image
+  double Vector = 20; ///< weight/mask vectors
+  double Scalar = 10; ///< scalar constants
+  double Output = 30; ///< desired output scale
+};
+
+/// A tensor value under construction: expression plus layout.
+struct CipherTensor {
+  Expr Value;
+  CipherLayout Layout;
+};
+
+/// Emits one convolution kernel. Weights: (Co, Ci, Kh, Kw); optional Bias:
+/// (Co). Rotations are cached by offset, so the rotation count is
+/// O((Ci + Co) * Kh * Kw) rather than O(Ci * Co * Kh * Kw).
+CipherTensor conv2d(ProgramBuilder &B, const CipherTensor &In,
+                    const Tensor &Weights, const Tensor &Bias, size_t Stride,
+                    bool SamePad, const TensorScales &Scales);
+
+/// KxK average pooling with stride (valid windows only).
+CipherTensor avgPool2d(ProgramBuilder &B, const CipherTensor &In, size_t K,
+                       size_t Stride, const TensorScales &Scales);
+
+/// Elementwise x^2 (the FHE-compatible activation the paper's networks
+/// use in place of ReLU).
+CipherTensor squareActivation(ProgramBuilder &B, const CipherTensor &In);
+
+/// Elementwise a*x^2 + b*x polynomial activation.
+CipherTensor polyActivation(ProgramBuilder &B, const CipherTensor &In,
+                            double A2, double A1, const TensorScales &Scales);
+
+/// Dense layer y = Wx + b; Weights: (Out, In) over the flattened logical
+/// CHW input. Output layout is dense: element j at slot j.
+CipherTensor fullyConnected(ProgramBuilder &B, const CipherTensor &In,
+                            const Tensor &Weights, const Tensor &Bias,
+                            const TensorScales &Scales);
+
+/// Concatenates B2 after B1 along channels (same grid and strides).
+CipherTensor concatChannels(ProgramBuilder &B, const CipherTensor &A,
+                            const CipherTensor &B2,
+                            const TensorScales &Scales);
+
+} // namespace eva
+
+#endif // EVA_TENSOR_KERNELS_H

@@ -1,0 +1,108 @@
+//===- eva/tensor/Network.h - DNN definitions and model zoo -----*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FHE-compatible network definitions (average pooling and polynomial
+/// activations in place of max-pool/ReLU, as the paper's Section 8.2
+/// networks) plus the model zoo of Table 3: LeNet-5 small/medium/large,
+/// Industrial, and SqueezeNet-CIFAR. Architectures are scaled so each
+/// intermediate tensor fits one ciphertext (our layouts are single-cipher
+/// CHW; the paper's CHET layout selection could split tensors), keeping the
+/// relative ordering of the five networks.
+///
+/// Every definition can (a) run a plaintext reference forward pass and
+/// (b) emit an EVA program via the homomorphic kernel library, with weights
+/// drawn from a seeded generator in place of the unavailable trained models
+/// (the paper itself evaluates Industrial with random weights).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_TENSOR_NETWORK_H
+#define EVA_TENSOR_NETWORK_H
+
+#include "eva/tensor/Kernels.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eva {
+
+struct Layer {
+  enum class Kind { Conv, Square, AvgPool, Fc, Fire } K;
+
+  // Conv: W (Co,Ci,Kh,Kw), Bias (Co), Stride, SamePad.
+  // Fc: W (Out,In), Bias (Out).
+  // Fire: SqueezeW + Expand1W (1x1) + Expand3W (3x3), squares inside.
+  Tensor W, Bias;
+  Tensor Expand1W, Expand1B;
+  Tensor Expand3W, Expand3B;
+  size_t Stride = 1;
+  size_t PoolK = 2;
+  bool SamePad = true;
+};
+
+class NetworkDefinition {
+public:
+  NetworkDefinition() = default;
+  NetworkDefinition(std::string Name, size_t InC, size_t InH, size_t InW)
+      : Name(Name), InC(InC), InH(InH), InW(InW) {}
+
+  const std::string &name() const { return Name; }
+  size_t inputChannels() const { return InC; }
+  size_t inputHeight() const { return InH; }
+  size_t inputWidth() const { return InW; }
+  const std::vector<Layer> &layers() const { return Layers; }
+
+  void addConv(Tensor W, Tensor Bias, size_t Stride, bool SamePad);
+  void addSquare();
+  void addAvgPool(size_t K, size_t Stride);
+  void addFc(Tensor W, Tensor Bias);
+  void addFire(Tensor Squeeze, Tensor SB, Tensor E1, Tensor E1B, Tensor E3,
+               Tensor E3B);
+
+  /// Counts of Table 3's columns.
+  size_t convLayerCount() const;
+  size_t fcLayerCount() const;
+  size_t activationCount() const;
+  /// Multiply-accumulate FP operation count of one forward pass.
+  size_t fpOperationCount() const;
+  size_t numClasses() const;
+
+  /// Plaintext reference inference (independent of the EVA path).
+  Tensor runPlain(const Tensor &Image) const;
+
+  /// Profiling-style weight calibration (the paper's scale selection uses
+  /// CHET's profiling similarly, Section 8.2): scales every weight layer so
+  /// its activations on \p Probe peak at \p Target, keeping the square
+  /// activations stable under random weights.
+  void calibrate(const Tensor &Probe, double Target = 0.8);
+
+  /// Smallest power-of-two vector size whose slots hold every layer.
+  size_t requiredVecSize() const;
+
+  /// Emits the EVA program: one Cipher input "image", one output "scores".
+  std::unique_ptr<Program> buildProgram(const TensorScales &Scales) const;
+
+private:
+  std::string Name;
+  size_t InC = 0, InH = 0, InW = 0;
+  std::vector<Layer> Layers;
+};
+
+/// The Table 3 model zoo (weights from \p Seed).
+NetworkDefinition makeLeNet5Small(uint64_t Seed);
+NetworkDefinition makeLeNet5Medium(uint64_t Seed);
+NetworkDefinition makeLeNet5Large(uint64_t Seed);
+NetworkDefinition makeIndustrial(uint64_t Seed);
+NetworkDefinition makeSqueezeNetCifar(uint64_t Seed);
+
+/// All five, in Table 3 order.
+std::vector<NetworkDefinition> makeAllNetworks(uint64_t Seed);
+
+} // namespace eva
+
+#endif // EVA_TENSOR_NETWORK_H

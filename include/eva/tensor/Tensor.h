@@ -1,0 +1,112 @@
+//===- eva/tensor/Tensor.h - Plain dense tensors ----------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense tensor in CHW order, used for model weights and for the
+/// plaintext reference implementations that the homomorphic kernels are
+/// tested against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_TENSOR_TENSOR_H
+#define EVA_TENSOR_TENSOR_H
+
+#include "eva/support/Random.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace eva {
+
+class Tensor {
+public:
+  Tensor() = default;
+  explicit Tensor(std::vector<size_t> Dims)
+      : Dims(std::move(Dims)), Data(elementCount(this->Dims), 0.0) {}
+
+  static size_t elementCount(const std::vector<size_t> &Dims) {
+    size_t N = 1;
+    for (size_t D : Dims)
+      N *= D;
+    return N;
+  }
+
+  /// Uniform random entries in [-Limit, Limit] (the paper evaluates the
+  /// proprietary Industrial model with random weights in [-1, 1]).
+  static Tensor random(std::vector<size_t> Dims, RandomSource &Rng,
+                       double Limit = 1.0) {
+    Tensor T(std::move(Dims));
+    for (double &V : T.Data)
+      V = Rng.uniformReal(-Limit, Limit);
+    return T;
+  }
+
+  const std::vector<size_t> &dims() const { return Dims; }
+  size_t size() const { return Data.size(); }
+  const std::vector<double> &data() const { return Data; }
+  std::vector<double> &data() { return Data; }
+
+  double &at(size_t I) { return Data[I]; }
+  double at(size_t I) const { return Data[I]; }
+
+  double &at2(size_t I, size_t J) {
+    assert(Dims.size() == 2);
+    return Data[I * Dims[1] + J];
+  }
+  double at2(size_t I, size_t J) const {
+    assert(Dims.size() == 2);
+    return Data[I * Dims[1] + J];
+  }
+
+  double &at3(size_t C, size_t Y, size_t X) {
+    assert(Dims.size() == 3);
+    return Data[(C * Dims[1] + Y) * Dims[2] + X];
+  }
+  double at3(size_t C, size_t Y, size_t X) const {
+    assert(Dims.size() == 3);
+    return Data[(C * Dims[1] + Y) * Dims[2] + X];
+  }
+
+  double &at4(size_t O, size_t I, size_t Y, size_t X) {
+    assert(Dims.size() == 4);
+    return Data[((O * Dims[1] + I) * Dims[2] + Y) * Dims[3] + X];
+  }
+  double at4(size_t O, size_t I, size_t Y, size_t X) const {
+    assert(Dims.size() == 4);
+    return Data[((O * Dims[1] + I) * Dims[2] + Y) * Dims[3] + X];
+  }
+
+private:
+  std::vector<size_t> Dims;
+  std::vector<double> Data;
+};
+
+/// Plaintext reference kernels (independent implementations used to
+/// validate the homomorphic kernels).
+namespace plain {
+
+/// Valid or zero-padded-same convolution with stride. In: (Ci, H, W),
+/// Weights: (Co, Ci, Kh, Kw), Bias: (Co) or empty.
+Tensor conv2d(const Tensor &In, const Tensor &Weights, const Tensor &Bias,
+              size_t Stride, bool SamePad);
+
+/// Average pooling with a KxK window and the given stride (same padding
+/// semantics: windows are clipped at borders, divisor stays K*K).
+Tensor avgPool2d(const Tensor &In, size_t K, size_t Stride);
+
+/// y = W x + b with W: (Out, In), x flattened CHW.
+Tensor fullyConnected(const Tensor &In, const Tensor &Weights,
+                      const Tensor &Bias);
+
+/// Elementwise x^2.
+Tensor square(const Tensor &In);
+
+} // namespace plain
+
+} // namespace eva
+
+#endif // EVA_TENSOR_TENSOR_H

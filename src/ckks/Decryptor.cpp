@@ -1,0 +1,32 @@
+//===- Decryptor.cpp - Secret-key decryption --------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/ckks/Decryptor.h"
+
+using namespace eva;
+
+Plaintext Decryptor::decrypt(const Ciphertext &Ct) const {
+  assert(Ct.size() >= 2 && "ciphertext must have at least two polynomials");
+  size_t Count = Ct.primeCount();
+  uint64_t N = Ctx->polyDegree();
+
+  Plaintext Pt;
+  Pt.Scale = Ct.Scale;
+  Pt.Poly = RnsPoly(N, Count);
+  std::vector<uint64_t> Tmp(N);
+  for (size_t C = 0; C < Count; ++C) {
+    const Modulus &Q = Ctx->prime(C);
+    // Horner in s: m = c0 + s*(c1 + s*(c2 + ...)).
+    const std::vector<uint64_t> &S = Sk.S.Comps[C];
+    std::vector<uint64_t> &Out = Pt.Poly.Comps[C];
+    Out = Ct.Polys.back().Comps[C];
+    for (size_t K = Ct.size() - 1; K-- > 0;) {
+      mulPolyComp(Out, S, Out, Q);
+      addPolyComp(Out, Ct.Polys[K].Comps[C], Out, Q);
+    }
+  }
+  return Pt;
+}

@@ -1,0 +1,300 @@
+//===- Evaluator.cpp - Homomorphic evaluation --------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/ckks/Evaluator.h"
+
+#include "eva/ckks/Galois.h"
+
+#include <cmath>
+#include <string>
+
+using namespace eva;
+
+void Evaluator::checkBinaryOperands(const Ciphertext &A,
+                                    const Ciphertext &B) const {
+  if (A.primeCount() != B.primeCount())
+    fatalError("binary operation on ciphertexts at different levels (" +
+               std::to_string(A.primeCount()) + " vs " +
+               std::to_string(B.primeCount()) +
+               " primes); the compiler must insert MODSWITCH/RESCALE");
+}
+
+void Evaluator::checkScaleMatch(double SA, double SB) const {
+  double Ratio = SA / SB;
+  if (Ratio < 1.0 - 1e-9 || Ratio > 1.0 + 1e-9)
+    fatalError("additive operation on mismatched scales (" +
+               std::to_string(SA) + " vs " + std::to_string(SB) +
+               "); the compiler must match scales");
+}
+
+Ciphertext Evaluator::negate(const Ciphertext &A) const {
+  Ciphertext Out = A;
+  for (RnsPoly &P : Out.Polys)
+    for (size_t C = 0; C < P.primeCount(); ++C)
+      negatePolyComp(P.Comps[C], P.Comps[C], Ctx->prime(C));
+  return Out;
+}
+
+Ciphertext Evaluator::addSub(const Ciphertext &A, const Ciphertext &B,
+                             bool Subtract) const {
+  checkBinaryOperands(A, B);
+  checkScaleMatch(A.Scale, B.Scale);
+  const Ciphertext &Big = A.size() >= B.size() ? A : B;
+  const Ciphertext &Small = A.size() >= B.size() ? B : A;
+  Ciphertext Out = Big;
+  if (Subtract && (&Big == &B)) {
+    // Result must be A - B; we copied B, so negate then add A.
+    for (RnsPoly &P : Out.Polys)
+      for (size_t C = 0; C < P.primeCount(); ++C)
+        negatePolyComp(P.Comps[C], P.Comps[C], Ctx->prime(C));
+    for (size_t K = 0; K < A.size(); ++K)
+      for (size_t C = 0; C < A.primeCount(); ++C)
+        addPolyComp(Out.Polys[K].Comps[C], A.Polys[K].Comps[C],
+                    Out.Polys[K].Comps[C], Ctx->prime(C));
+    Out.Scale = A.Scale;
+    return Out;
+  }
+  for (size_t K = 0; K < Small.size(); ++K) {
+    for (size_t C = 0; C < Small.primeCount(); ++C) {
+      const Modulus &Q = Ctx->prime(C);
+      if (Subtract)
+        subPolyComp(Out.Polys[K].Comps[C], Small.Polys[K].Comps[C],
+                    Out.Polys[K].Comps[C], Q);
+      else
+        addPolyComp(Out.Polys[K].Comps[C], Small.Polys[K].Comps[C],
+                    Out.Polys[K].Comps[C], Q);
+    }
+  }
+  Out.Scale = A.Scale;
+  return Out;
+}
+
+Ciphertext Evaluator::add(const Ciphertext &A, const Ciphertext &B) const {
+  return addSub(A, B, /*Subtract=*/false);
+}
+
+Ciphertext Evaluator::sub(const Ciphertext &A, const Ciphertext &B) const {
+  return addSub(A, B, /*Subtract=*/true);
+}
+
+Ciphertext Evaluator::addPlain(const Ciphertext &A, const Plaintext &B) const {
+  assert(A.primeCount() == B.primeCount() && "plaintext level mismatch");
+  checkScaleMatch(A.Scale, B.Scale);
+  Ciphertext Out = A;
+  for (size_t C = 0; C < A.primeCount(); ++C)
+    addPolyComp(Out.Polys[0].Comps[C], B.Poly.Comps[C], Out.Polys[0].Comps[C],
+                Ctx->prime(C));
+  return Out;
+}
+
+Ciphertext Evaluator::subPlain(const Ciphertext &A, const Plaintext &B) const {
+  assert(A.primeCount() == B.primeCount() && "plaintext level mismatch");
+  checkScaleMatch(A.Scale, B.Scale);
+  Ciphertext Out = A;
+  for (size_t C = 0; C < A.primeCount(); ++C)
+    subPolyComp(Out.Polys[0].Comps[C], B.Poly.Comps[C], Out.Polys[0].Comps[C],
+                Ctx->prime(C));
+  return Out;
+}
+
+Ciphertext Evaluator::subFromPlain(const Plaintext &B,
+                                   const Ciphertext &A) const {
+  Ciphertext Out = negate(A);
+  return addPlain(Out, B);
+}
+
+Ciphertext Evaluator::multiply(const Ciphertext &A,
+                               const Ciphertext &B) const {
+  checkBinaryOperands(A, B);
+  size_t K = A.size(), L = B.size();
+  size_t Count = A.primeCount();
+  uint64_t N = Ctx->polyDegree();
+  Ciphertext Out;
+  Out.Scale = A.Scale * B.Scale;
+  Out.Polys.assign(K + L - 1, RnsPoly(N, Count));
+  std::vector<uint64_t> Tmp(N);
+  for (size_t C = 0; C < Count; ++C) {
+    const Modulus &Q = Ctx->prime(C);
+    for (size_t I = 0; I < K; ++I) {
+      for (size_t J = 0; J < L; ++J) {
+        mulPolyComp(A.Polys[I].Comps[C], B.Polys[J].Comps[C], Tmp, Q);
+        addPolyComp(Out.Polys[I + J].Comps[C], Tmp,
+                    Out.Polys[I + J].Comps[C], Q);
+      }
+    }
+  }
+  return Out;
+}
+
+Ciphertext Evaluator::multiplyPlain(const Ciphertext &A,
+                                    const Plaintext &B) const {
+  assert(A.primeCount() == B.primeCount() && "plaintext level mismatch");
+  Ciphertext Out = A;
+  Out.Scale = A.Scale * B.Scale;
+  for (RnsPoly &P : Out.Polys)
+    for (size_t C = 0; C < P.primeCount(); ++C)
+      mulPolyComp(P.Comps[C], B.Poly.Comps[C], P.Comps[C], Ctx->prime(C));
+  return Out;
+}
+
+std::array<RnsPoly, 2> Evaluator::keySwitch(const RnsPoly &Target,
+                                            const KSwitchKey &Key) const {
+  size_t Count = Target.primeCount();
+  size_t SpecialIdx = Ctx->specialPrimeIndex();
+  uint64_t N = Ctx->polyDegree();
+  assert(Count <= Key.Keys.size() && "not enough key components");
+
+  // Decompose: coefficient-domain copy of each component.
+  std::vector<std::vector<uint64_t>> TCoeff(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    TCoeff[I] = Target.Comps[I];
+    Ctx->ntt(I).inverse(TCoeff[I]);
+  }
+
+  // Output prime indices: current data primes plus the special prime.
+  std::vector<size_t> OutIdx(Count + 1);
+  for (size_t I = 0; I < Count; ++I)
+    OutIdx[I] = I;
+  OutIdx[Count] = SpecialIdx;
+
+  std::array<RnsPoly, 2> Acc = {RnsPoly(N, Count + 1), RnsPoly(N, Count + 1)};
+  std::vector<uint64_t> Tmp(N);
+  std::vector<Uint128> Lazy0(N), Lazy1(N);
+  for (size_t R = 0; R < OutIdx.size(); ++R) {
+    size_t PrimeIdx = OutIdx[R];
+    const Modulus &Qr = Ctx->prime(PrimeIdx);
+    std::fill(Lazy0.begin(), Lazy0.end(), Uint128(0));
+    std::fill(Lazy1.begin(), Lazy1.end(), Uint128(0));
+    for (size_t I = 0; I < Count; ++I) {
+      if (PrimeIdx == I)
+        Tmp = TCoeff[I]; // already reduced mod q_i
+      else
+        reducePolyComp(TCoeff[I], Tmp, Qr);
+      Ctx->ntt(PrimeIdx).forward(Tmp);
+      const std::vector<uint64_t> &K0 = Key.Keys[I][0].Comps[PrimeIdx];
+      const std::vector<uint64_t> &K1 = Key.Keys[I][1].Comps[PrimeIdx];
+      for (uint64_t X = 0; X < N; ++X) {
+        Lazy0[X] += Uint128(Tmp[X]) * K0[X];
+        Lazy1[X] += Uint128(Tmp[X]) * K1[X];
+      }
+    }
+    for (uint64_t X = 0; X < N; ++X) {
+      Acc[0].Comps[R][X] = Qr.reduce128(Lazy0[X]);
+      Acc[1].Comps[R][X] = Qr.reduce128(Lazy1[X]);
+    }
+  }
+
+  // Divide by the special prime (rounding) to return to the data chain.
+  std::vector<size_t> DownIdx = OutIdx;
+  divideRoundDropLast(Acc[0].Comps, DownIdx);
+  divideRoundDropLast(Acc[1].Comps, DownIdx);
+  return Acc;
+}
+
+void Evaluator::divideRoundDropLast(
+    std::vector<std::vector<uint64_t>> &Comps,
+    const std::vector<size_t> &PrimeIdx) const {
+  size_t K = PrimeIdx.size();
+  assert(Comps.size() == K && K >= 2 && "component/prime mismatch");
+  size_t DivIdx = PrimeIdx[K - 1];
+  const Modulus &Qd = Ctx->prime(DivIdx);
+  uint64_t Half = Qd.value() >> 1;
+
+  std::vector<uint64_t> Last = std::move(Comps[K - 1]);
+  Ctx->ntt(DivIdx).inverse(Last);
+  for (uint64_t &V : Last)
+    V = addMod(V, Half, Qd);
+
+  uint64_t N = Ctx->polyDegree();
+  std::vector<uint64_t> Tmp(N);
+  for (size_t T = 0; T < K - 1; ++T) {
+    size_t TgtIdx = PrimeIdx[T];
+    const Modulus &Qt = Ctx->prime(TgtIdx);
+    uint64_t HalfMod = Qt.reduce(Half);
+    reducePolyComp(Last, Tmp, Qt);
+    // Remove the rounding offset in coefficient form, then transform.
+    for (uint64_t &V : Tmp)
+      V = subMod(V, HalfMod, Qt);
+    Ctx->ntt(TgtIdx).forward(Tmp);
+    const ShoupMul &Inv = Ctx->inversePrime(DivIdx, TgtIdx);
+    std::vector<uint64_t> &C = Comps[T];
+    for (uint64_t X = 0; X < N; ++X)
+      C[X] = mulModShoup(subMod(C[X], Tmp[X], Qt), Inv, Qt);
+  }
+  Comps.pop_back();
+}
+
+Ciphertext Evaluator::relinearize(const Ciphertext &A,
+                                  const RelinKeys &Keys) const {
+  if (A.size() == 2)
+    return A;
+  if (A.size() != 3)
+    fatalError("relinearization supports exactly 3-polynomial ciphertexts "
+               "(Constraint 3 guarantees at most one unrelinearized "
+               "multiply)");
+  if (Keys.empty())
+    fatalError("relinearization keys not generated");
+  std::array<RnsPoly, 2> Ks = keySwitch(A.Polys[2], Keys.Key);
+  Ciphertext Out;
+  Out.Scale = A.Scale;
+  Out.Polys = {A.Polys[0], A.Polys[1]};
+  for (size_t C = 0; C < Out.primeCount(); ++C) {
+    const Modulus &Q = Ctx->prime(C);
+    addPolyComp(Out.Polys[0].Comps[C], Ks[0].Comps[C], Out.Polys[0].Comps[C],
+                Q);
+    addPolyComp(Out.Polys[1].Comps[C], Ks[1].Comps[C], Out.Polys[1].Comps[C],
+                Q);
+  }
+  return Out;
+}
+
+Ciphertext Evaluator::rescale(const Ciphertext &A) const {
+  if (A.primeCount() < 2)
+    fatalError("rescale with no prime left to drop: the modulus chain is "
+               "exhausted");
+  size_t Count = A.primeCount();
+  std::vector<size_t> Idx(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Idx[I] = I;
+  Ciphertext Out = A;
+  for (RnsPoly &P : Out.Polys) {
+    divideRoundDropLast(P.Comps, Idx);
+  }
+  Out.Scale = A.Scale / static_cast<double>(Ctx->prime(Count - 1).value());
+  return Out;
+}
+
+Ciphertext Evaluator::modSwitch(const Ciphertext &A) const {
+  if (A.primeCount() < 2)
+    fatalError("modswitch with no prime left to drop");
+  Ciphertext Out = A;
+  for (RnsPoly &P : Out.Polys)
+    P.dropLastComp();
+  return Out;
+}
+
+Ciphertext Evaluator::rotateLeft(const Ciphertext &A, uint64_t Steps,
+                                 const GaloisKeys &Keys) const {
+  assert(A.size() == 2 && "rotation requires a relinearized ciphertext");
+  assert(Steps > 0 && Steps < Ctx->slotCount() && "steps out of range");
+  uint64_t G = galoisEltFromStep(Steps, Ctx->polyDegree());
+  if (!Keys.has(G))
+    fatalError("missing Galois key for rotation by " + std::to_string(Steps) +
+               " (the compiler's rotation-selection pass must request it)");
+
+  RnsPoly C0 = applyGaloisNttPoly(*Ctx, A.Polys[0], G,
+                                  /*SpansSpecialPrime=*/false);
+  RnsPoly C1 = applyGaloisNttPoly(*Ctx, A.Polys[1], G,
+                                  /*SpansSpecialPrime=*/false);
+  std::array<RnsPoly, 2> Ks = keySwitch(C1, Keys.at(G));
+  Ciphertext Out;
+  Out.Scale = A.Scale;
+  Out.Polys = {std::move(C0), std::move(Ks[1])};
+  for (size_t C = 0; C < Out.primeCount(); ++C)
+    addPolyComp(Out.Polys[0].Comps[C], Ks[0].Comps[C], Out.Polys[0].Comps[C],
+                Ctx->prime(C));
+  return Out;
+}

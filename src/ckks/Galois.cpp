@@ -1,0 +1,60 @@
+//===- Galois.cpp - Galois automorphisms for rotation ----------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/ckks/Galois.h"
+
+using namespace eva;
+
+uint64_t eva::galoisEltFromStep(uint64_t Steps, uint64_t PolyDegree) {
+  uint64_t M = 2 * PolyDegree;
+  uint64_t Slots = PolyDegree / 2;
+  assert(Steps > 0 && Steps < Slots && "steps out of range");
+  (void)Slots;
+  uint64_t G = 1;
+  for (uint64_t I = 0; I < Steps; ++I)
+    G = (G * 5) % M;
+  return G;
+}
+
+void eva::applyGaloisComp(std::span<const uint64_t> In,
+                          std::span<uint64_t> Out, uint64_t GaloisElt,
+                          uint64_t PolyDegree, const Modulus &Q) {
+  assert(In.size() == PolyDegree && Out.size() == PolyDegree);
+  assert((GaloisElt & 1) != 0 && "galois element must be odd");
+  uint64_t M = 2 * PolyDegree;
+  // X^i -> X^{i*g mod 2N}; X^N == -1 folds indices >= N with a sign flip.
+  for (uint64_t I = 0; I < PolyDegree; ++I) {
+    uint64_t J = (I * GaloisElt) % M;
+    uint64_t V = In[I];
+    if (J >= PolyDegree)
+      Out[J - PolyDegree] = negateMod(V, Q);
+    else
+      Out[J] = V;
+  }
+}
+
+RnsPoly eva::applyGaloisNttPoly(const CkksContext &Ctx, const RnsPoly &Poly,
+                                uint64_t GaloisElt, bool SpansSpecialPrime) {
+  size_t Count = Poly.primeCount();
+  RnsPoly Out(Poly.Degree, Count);
+  std::vector<uint64_t> Tmp(Poly.Degree);
+  for (size_t I = 0; I < Count; ++I) {
+    size_t PrimeIdx = I;
+    if (SpansSpecialPrime) {
+      assert(Count == Ctx.totalPrimeCount() &&
+             "key polynomials must span all primes");
+    } else {
+      assert(Count <= Ctx.dataPrimeCount() && "too many components");
+    }
+    const NttTables &Tables = Ctx.ntt(PrimeIdx);
+    Tmp = Poly.Comps[I];
+    Tables.inverse(Tmp);
+    applyGaloisComp(Tmp, Out.Comps[I], GaloisElt, Poly.Degree,
+                    Ctx.prime(PrimeIdx));
+    Tables.forward(Out.Comps[I]);
+  }
+  return Out;
+}

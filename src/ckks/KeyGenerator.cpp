@@ -1,0 +1,133 @@
+//===- KeyGenerator.cpp - Key generation ------------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/ckks/KeyGenerator.h"
+
+#include "eva/ckks/Galois.h"
+
+using namespace eva;
+
+KeyGenerator::KeyGenerator(std::shared_ptr<const CkksContext> CtxIn,
+                           uint64_t Seed)
+    : Ctx(std::move(CtxIn)), Rng(Seed == 0 ? 0x5EA1C0DEull : Seed) {
+  Secret.S = sampleTernaryNtt(Ctx->totalPrimeCount());
+}
+
+RnsPoly KeyGenerator::sampleTernaryNtt(size_t PrimeCount) {
+  uint64_t N = Ctx->polyDegree();
+  std::vector<int> Coeffs(N);
+  for (uint64_t I = 0; I < N; ++I)
+    Coeffs[I] = Rng.ternary();
+  RnsPoly P(N, PrimeCount);
+  for (size_t C = 0; C < PrimeCount; ++C) {
+    const Modulus &Q = Ctx->prime(C);
+    for (uint64_t I = 0; I < N; ++I) {
+      int V = Coeffs[I];
+      P.Comps[C][I] = V < 0 ? Q.value() - 1 : static_cast<uint64_t>(V);
+    }
+    Ctx->ntt(C).forward(P.Comps[C]);
+  }
+  return P;
+}
+
+RnsPoly KeyGenerator::sampleErrorNtt(size_t PrimeCount) {
+  uint64_t N = Ctx->polyDegree();
+  std::vector<int64_t> Coeffs(N);
+  for (uint64_t I = 0; I < N; ++I)
+    Coeffs[I] = Rng.gaussian();
+  RnsPoly P(N, PrimeCount);
+  for (size_t C = 0; C < PrimeCount; ++C) {
+    const Modulus &Q = Ctx->prime(C);
+    for (uint64_t I = 0; I < N; ++I) {
+      int64_t V = Coeffs[I];
+      P.Comps[C][I] = V < 0 ? Q.value() - static_cast<uint64_t>(-V)
+                            : static_cast<uint64_t>(V);
+    }
+    Ctx->ntt(C).forward(P.Comps[C]);
+  }
+  return P;
+}
+
+RnsPoly KeyGenerator::sampleUniform(size_t PrimeCount) {
+  uint64_t N = Ctx->polyDegree();
+  RnsPoly P(N, PrimeCount);
+  for (size_t C = 0; C < PrimeCount; ++C) {
+    uint64_t Q = Ctx->prime(C).value();
+    for (uint64_t I = 0; I < N; ++I)
+      P.Comps[C][I] = Rng.uniformBelow(Q);
+  }
+  return P;
+}
+
+std::array<RnsPoly, 2> KeyGenerator::encryptZeroSymmetric(size_t PrimeCount) {
+  uint64_t N = Ctx->polyDegree();
+  RnsPoly C1 = sampleUniform(PrimeCount);
+  RnsPoly E = sampleErrorNtt(PrimeCount);
+  RnsPoly C0(N, PrimeCount);
+  // c0 = e - c1 * s, so that c0 + c1 * s = e.
+  for (size_t C = 0; C < PrimeCount; ++C) {
+    const Modulus &Q = Ctx->prime(C);
+    mulPolyComp(C1.Comps[C], Secret.S.Comps[C], C0.Comps[C], Q);
+    subPolyComp(E.Comps[C], C0.Comps[C], C0.Comps[C], Q);
+  }
+  return {std::move(C0), std::move(C1)};
+}
+
+PublicKey KeyGenerator::createPublicKey() {
+  std::array<RnsPoly, 2> Z = encryptZeroSymmetric(Ctx->totalPrimeCount());
+  PublicKey Pk;
+  Pk.P0 = std::move(Z[0]);
+  Pk.P1 = std::move(Z[1]);
+  return Pk;
+}
+
+KSwitchKey KeyGenerator::createKSwitchKey(const RnsPoly &W) {
+  assert(W.primeCount() == Ctx->totalPrimeCount() &&
+         "key target must span all primes");
+  size_t DecompCount = Ctx->dataPrimeCount();
+  uint64_t SpecialPrime = Ctx->prime(Ctx->specialPrimeIndex()).value();
+  KSwitchKey Key;
+  Key.Keys.resize(DecompCount);
+  for (size_t I = 0; I < DecompCount; ++I) {
+    std::array<RnsPoly, 2> Z = encryptZeroSymmetric(Ctx->totalPrimeCount());
+    // Add P * W on the i-th CRT component only (the CRT basis trick).
+    const Modulus &Qi = Ctx->prime(I);
+    uint64_t Factor = Qi.reduce(SpecialPrime);
+    ShoupMul FactorMul(Factor, Qi);
+    std::vector<uint64_t> &Dst = Z[0].Comps[I];
+    const std::vector<uint64_t> &Src = W.Comps[I];
+    for (uint64_t N = 0; N < Ctx->polyDegree(); ++N)
+      Dst[N] = addMod(Dst[N], mulModShoup(Src[N], FactorMul, Qi), Qi);
+    Key.Keys[I] = std::move(Z);
+  }
+  return Key;
+}
+
+RelinKeys KeyGenerator::createRelinKeys() {
+  // Target w = s^2 over all primes.
+  RnsPoly S2(Ctx->polyDegree(), Ctx->totalPrimeCount());
+  for (size_t C = 0; C < Ctx->totalPrimeCount(); ++C)
+    mulPolyComp(Secret.S.Comps[C], Secret.S.Comps[C], S2.Comps[C],
+                Ctx->prime(C));
+  RelinKeys Rk;
+  Rk.Key = createKSwitchKey(S2);
+  return Rk;
+}
+
+GaloisKeys KeyGenerator::createGaloisKeys(const std::set<uint64_t> &Steps) {
+  GaloisKeys Gk;
+  for (uint64_t Step : Steps) {
+    if (Step == 0)
+      continue;
+    uint64_t G = galoisEltFromStep(Step, Ctx->polyDegree());
+    if (Gk.has(G))
+      continue;
+    RnsPoly SG = applyGaloisNttPoly(*Ctx, Secret.S, G,
+                                    /*SpansSpecialPrime=*/true);
+    Gk.Keys.emplace(G, createKSwitchKey(SG));
+  }
+  return Gk;
+}

@@ -1,0 +1,81 @@
+//===- Compiler.cpp - The EVA compiler (Algorithm 1) --------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Compiler.h"
+
+using namespace eva;
+
+Expected<CompiledProgram> eva::compile(const Program &Input,
+                                       const CompilerOptions &Options) {
+  using Result = Expected<CompiledProgram>;
+
+  // Reject inputs that already contain compiler-inserted instructions
+  // (Table 2's "Not in input" restriction).
+  for (const Node *N : Input.nodes())
+    if (isCompilerInsertedOp(N->op()))
+      return Result::error(std::string("input programs may not contain ") +
+                           opName(N->op()));
+  for (const Node *I : Input.inputs())
+    if (I->logScale() <= 0 ||
+        (I->isCipher() && I->logScale() > Options.SfBits))
+      return Result::error("input @" + I->name() +
+                           " has an out-of-range scale");
+
+  CompiledProgram Out;
+  Out.Options = Options;
+  Out.Prog = Input.clone();
+  Program &P = *Out.Prog;
+
+  // --- Transform (line 1 of Algorithm 1) ---
+  lowerFrontendOps(P);
+  if (Options.Optimize)
+    cseAndSimplifyPass(P);
+  switch (Options.Rescale) {
+  case RescalePolicy::Waterline:
+    waterlineRescalePass(P, Options.SfBits);
+    break;
+  case RescalePolicy::Always:
+    alwaysRescalePass(P, Options.SfBits, Options.MinPrimeBits);
+    break;
+  case RescalePolicy::ChetPerKernel:
+    chetRescalePass(P, Options.SfBits, Options.MinPrimeBits);
+    break;
+  }
+  if (Options.ModSwitch == ModSwitchPolicy::Eager)
+    eagerModSwitchPass(P);
+  else
+    lazyModSwitchPass(P);
+  if (Options.Rescale != RescalePolicy::Waterline)
+    unifyRescaleChainsPass(P);
+  matchScalePass(P);
+  relinearizePass(P);
+
+  // --- Validate (lines 2-3) ---
+  if (Status S = P.verifyStructure(); !S.ok())
+    return Result::error("internal: " + S.message());
+  Expected<RescaleChainInfo> Chains =
+      validateRescaleChains(P, Options.SfBits);
+  if (!Chains)
+    return Chains.takeStatus();
+  if (Status S = validateScales(P); !S.ok())
+    return S;
+  if (Status S = validateNumPolynomials(P); !S.ok())
+    return S;
+
+  // --- DetermineParameters (line 4) ---
+  Expected<ParameterSelection> Sel =
+      selectParameters(P, Chains.value(), Options.SfBits, Options.MinPrimeBits,
+                       Options.Security);
+  if (!Sel)
+    return Sel.takeStatus();
+  Out.BitSizes = Sel->BitSizes;
+  Out.PolyDegree = Sel->PolyDegree;
+  Out.TotalModulusBits = Sel->TotalBits;
+
+  // --- DetermineRotationSteps (line 5) ---
+  Out.RotationSteps = selectRotationSteps(P);
+  return Out;
+}

@@ -1,0 +1,41 @@
+//===- LowerPass.cpp - Frontend-op lowering -----------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Passes.h"
+
+#include "eva/support/BitOps.h"
+
+using namespace eva;
+
+void eva::lowerFrontendOps(Program &P) {
+  std::vector<Node *> Order = P.forwardOrder();
+  bool Changed = false;
+  for (Node *N : Order) {
+    if (N->op() == OpCode::Copy) {
+      P.replaceAllUses(N, N->parm(0));
+      Changed = true;
+      continue;
+    }
+    if (N->op() != OpCode::Sum)
+      continue;
+    // Rotate-and-add reduction: after log2(M) doubling steps every slot
+    // holds the sum of all M slots (replication comes for free because the
+    // executor replicates short vectors across all N/2 slots).
+    Node *Acc = N->parm(0);
+    for (uint64_t Step = 1; Step < P.vecSize(); Step <<= 1) {
+      Node *Rot = P.makeRotation(OpCode::RotateLeft, Acc,
+                                 static_cast<int32_t>(Step));
+      Rot->setKernelId(N->kernelId());
+      Node *Add = P.makeInstruction(OpCode::Add, {Acc, Rot});
+      Add->setKernelId(N->kernelId());
+      Acc = Add;
+    }
+    P.replaceAllUses(N, Acc);
+    Changed = true;
+  }
+  if (Changed)
+    P.eraseUnreachable();
+}

@@ -1,0 +1,90 @@
+//===- MatchScalePass.cpp - MATCH-SCALE and RELINEARIZE -----------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MATCH-SCALE (Figure 4): ADD/SUB operands must carry equal scales
+/// (Constraint 2). Rather than burning a chain prime on an extra
+/// RESCALE+MODSWITCH (Figure 3(b)), the smaller ciphertext operand is
+/// multiplied by the constant 1 at the scale quotient (Figure 3(c));
+/// plaintext operands are simply re-encoded at the target scale
+/// (NORMALIZESCALE). RELINEARIZE (Section 5.2) restores Constraint 3 after
+/// every ciphertext-ciphertext multiply.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Passes.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace eva;
+
+void eva::matchScalePass(Program &P) {
+  const double Eps = 1e-6;
+  for (Node *N : P.forwardOrder()) {
+    switch (N->op()) {
+    case OpCode::Input:
+    case OpCode::Constant:
+    case OpCode::NormalizeScale:
+    case OpCode::Output:
+      continue;
+    case OpCode::Multiply:
+      N->setLogScale(N->parm(0)->logScale() + N->parm(1)->logScale());
+      continue;
+    case OpCode::Rescale:
+      N->setLogScale(N->parm(0)->logScale() - N->rescaleBits());
+      continue;
+    case OpCode::Add:
+    case OpCode::Sub: {
+      double S0 = N->parm(0)->logScale();
+      double S1 = N->parm(1)->logScale();
+      if (std::abs(S0 - S1) > Eps) {
+        size_t SmallIdx = S0 < S1 ? 0 : 1;
+        Node *Small = N->parm(SmallIdx);
+        Node *Large = N->parm(1 - SmallIdx);
+        if (Small->isPlain() || Large->isPlain()) {
+          // Re-encode whichever operand is plaintext at the cipher's scale
+          // (works both up and down; costs nothing at run time).
+          size_t PlainIdx = Small->isPlain() ? SmallIdx : 1 - SmallIdx;
+          Node *Plain = N->parm(PlainIdx);
+          Node *Cipher = N->parm(1 - PlainIdx);
+          Node *Ns = P.makeInstruction(OpCode::NormalizeScale, {Plain},
+                                       Plain->type());
+          Ns->setLogScale(Cipher->logScale());
+          Ns->setKernelId(N->kernelId());
+          P.setParm(N, PlainIdx, Ns);
+        } else {
+          // Both ciphertext: multiply the smaller by 1 at the difference.
+          Node *One = P.makeScalarConstant(1.0, S0 > S1 ? S0 - S1 : S1 - S0);
+          One->setKernelId(N->kernelId());
+          Node *Nt = P.makeInstruction(OpCode::Multiply, {Small, One});
+          Nt->setLogScale(std::max(S0, S1));
+          Nt->setKernelId(N->kernelId());
+          P.setParm(N, SmallIdx, Nt);
+        }
+      }
+      N->setLogScale(std::max(S0, S1));
+      continue;
+    }
+    default:
+      N->setLogScale(N->parm(0)->logScale());
+      continue;
+    }
+  }
+}
+
+void eva::relinearizePass(Program &P) {
+  for (Node *N : P.forwardOrder()) {
+    if (N->op() != OpCode::Multiply)
+      continue;
+    if (!N->parm(0)->isCipher() || !N->parm(1)->isCipher())
+      continue;
+    Node *Nl = P.makeInstruction(OpCode::Relinearize, {N});
+    Nl->setLogScale(N->logScale());
+    Nl->setKernelId(N->kernelId());
+    P.insertBetween(N, Nl);
+  }
+}

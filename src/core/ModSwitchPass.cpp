@@ -1,0 +1,196 @@
+//===- ModSwitchPass.cpp - EAGER- and LAZY-MODSWITCH --------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MODSWITCH insertion (Figure 4). EAGER-MODSWITCH is a single backward pass
+/// that equalizes each node's reverse chain length (rlevel) across its
+/// out-edges and then aligns all Cipher roots — inserting level drops at the
+/// earliest feasible edge, so downstream additions run at the smaller
+/// coefficient modulus (the Figure 5 example). LAZY-MODSWITCH inserts drops
+/// immediately below mismatched binary operations instead. Plaintext
+/// operands never need MODSWITCH: the executor encodes them at the consuming
+/// instruction's level.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Passes.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace eva;
+
+namespace {
+
+/// A growable node-id-keyed side table (passes insert nodes mid-pass).
+template <typename T> class NodeMap {
+public:
+  explicit NodeMap(const Program &P) : Data(P.maxNodeId(), T()) {}
+  T &operator[](const Node *N) {
+    if (N->id() >= Data.size())
+      Data.resize(N->id() + 1, T());
+    return Data[N->id()];
+  }
+
+private:
+  std::vector<T> Data;
+};
+
+/// Builds a chain of \p Count MODSWITCH nodes hanging off \p N and returns
+/// the tail.
+Node *buildModSwitchChain(Program &P, Node *N, int Count) {
+  Node *Cur = N;
+  for (int I = 0; I < Count; ++I) {
+    Node *M = P.makeInstruction(OpCode::ModSwitch, {Cur});
+    M->setLogScale(Cur->logScale());
+    M->setKernelId(N->kernelId());
+    Cur = M;
+  }
+  return Cur;
+}
+
+/// The rlevel contribution of using-node \p C: its own rlevel plus one if C
+/// itself consumes a modulus prime.
+int edgeContribution(NodeMap<int> &RLevel, Node *C) {
+  return RLevel[C] + (consumesModulus(C->op()) ? 1 : 0);
+}
+
+} // namespace
+
+void eva::eagerModSwitchPass(Program &P) {
+  NodeMap<int> RLevel(P);
+  for (Node *N : P.backwardOrder()) {
+    if (N->op() == OpCode::Output) {
+      RLevel[N] = 0;
+      continue;
+    }
+    if (!N->isCipher())
+      continue;
+    if (!N->hasUses()) {
+      RLevel[N] = 0;
+      continue;
+    }
+    // Group this node's uses by their rlevel contribution (ordered map for
+    // deterministic insertion order).
+    std::map<int, std::vector<Node *>> Groups;
+    int Target = 0;
+    for (Node *C : N->uses()) {
+      int V = edgeContribution(RLevel, C);
+      Groups[V].push_back(C);
+      Target = std::max(Target, V);
+    }
+    for (auto &[V, Children] : Groups) {
+      if (V == Target)
+        continue;
+      // Earliest feasible edge: directly below N, shared by all children at
+      // this contribution (Figure 4's N_ck set).
+      Node *Tail = buildModSwitchChain(P, N, Target - V);
+      P.insertBetweenSome(N, Tail, Children);
+      // Fill rlevels along the chain for later queries.
+      Node *Cur = Tail;
+      int Level = V;
+      while (Cur != N) {
+        RLevel[Cur] = Level++;
+        Cur = Cur->parm(0);
+      }
+    }
+    RLevel[N] = Target;
+  }
+
+  // Root alignment: all Cipher inputs share the initial coefficient modulus,
+  // so their rlevels must match; pad shallow roots right below the root.
+  int RMax = 0;
+  for (Node *I : P.inputs())
+    if (I->isCipher())
+      RMax = std::max(RMax, RLevel[I]);
+  for (Node *I : P.inputs()) {
+    if (!I->isCipher() || RLevel[I] == RMax || !I->hasUses())
+      continue;
+    std::vector<Node *> Children = I->uses();
+    Node *Tail = buildModSwitchChain(P, I, RMax - RLevel[I]);
+    P.insertBetweenSome(I, Tail, Children);
+    RLevel[I] = RMax;
+  }
+}
+
+void eva::lazyModSwitchPass(Program &P) {
+  NodeMap<int> Level(P);
+  for (Node *N : P.forwardOrder()) {
+    if (!N->isCipher() && N->op() != OpCode::Output)
+      continue;
+    switch (N->op()) {
+    case OpCode::Input:
+      Level[N] = 0;
+      break;
+    case OpCode::Rescale:
+    case OpCode::ModSwitch:
+      Level[N] = Level[N->parm(0)] + 1;
+      break;
+    case OpCode::Add:
+    case OpCode::Sub:
+    case OpCode::Multiply: {
+      Node *A = N->parm(0);
+      Node *B = N->parm(1);
+      if (A->isCipher() && B->isCipher() && Level[A] != Level[B]) {
+        size_t LowIdx = Level[A] < Level[B] ? 0 : 1;
+        Node *Low = N->parm(LowIdx);
+        int Diff = std::abs(Level[A] - Level[B]);
+        Node *Tail = buildModSwitchChain(P, Low, Diff);
+        // Fill levels along the chain.
+        Node *Cur = Tail;
+        int L = Level[Low] + Diff;
+        while (Cur != Low) {
+          Level[Cur] = L--;
+          Cur = Cur->parm(0);
+        }
+        P.setParm(N, LowIdx, Tail);
+      }
+      Level[N] = std::max(A->isCipher() ? Level[A] : 0,
+                          B->isCipher() ? Level[B] : 0);
+      break;
+    }
+    default: {
+      int L = 0;
+      for (Node *Parm : N->parms())
+        if (Parm->isCipher())
+          L = std::max(L, Level[Parm]);
+      Level[N] = L;
+      break;
+    }
+    }
+  }
+}
+
+void eva::unifyRescaleChainsPass(Program &P) {
+  // Chain position of a modulus-consuming node = number of consumed primes
+  // on the path above it; conformance (validated later) makes this
+  // well-defined per node.
+  NodeMap<int> Level(P);
+  std::vector<int> MaxBits;
+  std::vector<Node *> Order = P.forwardOrder();
+  for (Node *N : Order) {
+    int L = 0;
+    for (Node *Parm : N->parms())
+      if (Parm->isCipher())
+        L = std::max(L, Level[Parm]);
+    if (consumesModulus(N->op())) {
+      if (MaxBits.size() <= static_cast<size_t>(L))
+        MaxBits.resize(L + 1, 0);
+      if (N->op() == OpCode::Rescale)
+        MaxBits[L] = std::max(MaxBits[L], N->rescaleBits());
+      ++L;
+    }
+    Level[N] = L;
+  }
+  for (Node *N : Order) {
+    if (N->op() != OpCode::Rescale)
+      continue;
+    int Pos = Level[N] - 1;
+    if (MaxBits[Pos] > 0)
+      N->setRescaleBits(MaxBits[Pos]);
+  }
+  // Scales changed; matchScalePass (which always follows) recomputes them.
+}

@@ -1,0 +1,109 @@
+//===- NoiseEstimate.cpp - Static CKKS noise estimation ------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A coarse compile-time noise analysis in log2 space. Each node carries an
+/// estimate of log2 of the absolute noise in its (integer) ciphertext
+/// representation; the decode-time precision of an output is then
+/// log2(scale) - noise. The model uses the standard heuristic bounds —
+/// fresh noise ~ sigma * sqrt(2N), additive growth on ADD, cross terms
+/// m1*e2 + m2*e1 on MULTIPLY (message magnitudes taken as ~1 at nominal
+/// scale), key-switch noise ~ sigma * N, exact scale-down plus rounding on
+/// RESCALE — matching the qualitative analysis of Section 2.2 ("errors grow
+/// linearly on additions and exponentially on multiplicative depth" without
+/// rescaling).
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Passes.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace eva;
+
+NoiseEstimate eva::estimateNoise(const Program &P, uint64_t PolyDegree) {
+  const double LogN = std::log2(static_cast<double>(PolyDegree));
+  const double Sigma = std::log2(3.2);
+  // Fresh public-key encryption: e0 + u*e_pk + e1*s ~ sigma * O(sqrt(2N)).
+  const double FreshNoise = Sigma + 0.5 * (LogN + 1) + 1.0;
+  // Key switching adds ~ sigma * N / sqrt(12)-ish after mod-down by P.
+  const double KeySwitchNoise = Sigma + 0.5 * LogN + 4.0;
+  // Rescale rounding: ||round-error * s|| ~ sqrt(N/12) * ||s|| terms.
+  const double RoundNoise = 0.5 * LogN + 1.0;
+
+  std::vector<double> Noise(P.maxNodeId(), -1e9);
+  auto MaxPlus = [](double A, double B) {
+    // log2(2^A + 2^B) without overflow drama.
+    double Hi = std::max(A, B), Lo = std::min(A, B);
+    return Hi + std::log2(1.0 + std::exp2(std::max(Lo - Hi, -50.0)));
+  };
+
+  for (const Node *N : P.forwardOrder()) {
+    if (N->isPlain() && N->op() != OpCode::Output)
+      continue;
+    double Out = -1e9;
+    switch (N->op()) {
+    case OpCode::Input:
+      Out = FreshNoise;
+      break;
+    case OpCode::Output:
+      Out = N->parm(0)->isCipher() ? Noise[N->parm(0)->id()] : -1e9;
+      break;
+    case OpCode::Add:
+    case OpCode::Sub: {
+      const Node *A = N->parm(0);
+      const Node *B = N->parm(1);
+      double NA = A->isCipher() ? Noise[A->id()] : RoundNoise;
+      double NB = B->isCipher() ? Noise[B->id()] : RoundNoise;
+      Out = MaxPlus(NA, NB);
+      break;
+    }
+    case OpCode::Multiply: {
+      const Node *A = N->parm(0);
+      const Node *B = N->parm(1);
+      if (A->isCipher() && B->isCipher()) {
+        // m1*e2 + m2*e1 with |m_i| ~ 1 at scale s_i.
+        Out = MaxPlus(A->logScale() + Noise[B->id()],
+                      B->logScale() + Noise[A->id()]);
+      } else {
+        const Node *Ct = A->isCipher() ? A : B;
+        const Node *Pt = A->isCipher() ? B : A;
+        // Two terms: the ciphertext noise scaled by the plaintext
+        // (|values| <= 1 at scale s_pt), and the plaintext's encoding
+        // rounding hitting the ciphertext's message (m * scale_ct * r).
+        Out = MaxPlus(Noise[Ct->id()] + Pt->logScale(),
+                      Ct->logScale() + RoundNoise);
+      }
+      break;
+    }
+    case OpCode::Rescale:
+      Out = MaxPlus(Noise[N->parm(0)->id()] - N->rescaleBits(), RoundNoise);
+      break;
+    case OpCode::ModSwitch:
+      Out = MaxPlus(Noise[N->parm(0)->id()], RoundNoise);
+      break;
+    case OpCode::Relinearize:
+    case OpCode::RotateLeft:
+    case OpCode::RotateRight:
+      Out = MaxPlus(Noise[N->parm(0)->id()], KeySwitchNoise);
+      break;
+    case OpCode::Negate:
+    default:
+      Out = Noise[N->parm(0)->id()];
+      break;
+    }
+    Noise[N->id()] = Out;
+  }
+
+  NoiseEstimate E;
+  for (const Node *O : P.outputs()) {
+    double NB = Noise[O->id()];
+    E.OutputNoiseBits.push_back(NB);
+    E.OutputPrecisionBits.push_back(O->parm(0)->logScale() - NB);
+  }
+  return E;
+}

@@ -1,0 +1,103 @@
+//===- OptimizePass.cpp - CSE and algebraic simplification --------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optimization passes the open-source EVA ships beyond the paper's core
+/// pipeline: common-subexpression elimination over the term graph (pure
+/// vector ops hash-cons safely) plus local simplifications — zero-step
+/// rotations and double negations vanish, and identical constants merge.
+/// They run on the frontend-op subset before any FHE-specific insertion,
+/// so every eliminated multiply or rotation saves a (very expensive)
+/// homomorphic operation downstream.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Passes.h"
+
+#include <map>
+#include <tuple>
+
+using namespace eva;
+
+namespace {
+
+/// Structural key for hash-consing instructions. Operand ids reflect prior
+/// merges because the pass rewires uses eagerly in forward order.
+using InstKey = std::tuple<OpCode, std::vector<uint64_t>, int64_t>;
+
+InstKey keyOf(const Node *N) {
+  std::vector<uint64_t> Parms;
+  Parms.reserve(N->parmCount());
+  for (const Node *P : N->parms())
+    Parms.push_back(P->id());
+  // Commutative ops: canonical operand order widens the match set.
+  if ((N->op() == OpCode::Add || N->op() == OpCode::Multiply) &&
+      Parms.size() == 2 && Parms[0] > Parms[1])
+    std::swap(Parms[0], Parms[1]);
+  int64_t Attr = 0;
+  if (isRotation(N->op()))
+    Attr = N->rotation();
+  return {N->op(), std::move(Parms), Attr};
+}
+
+} // namespace
+
+size_t eva::cseAndSimplifyPass(Program &P) {
+  size_t Eliminated = 0;
+
+  // Merge identical constants first (same scale and payload).
+  std::map<std::pair<double, std::vector<double>>, Node *> Consts;
+  for (Node *C : P.constants()) {
+    auto Key = std::make_pair(C->logScale(), C->constValue());
+    auto [It, Inserted] = Consts.emplace(std::move(Key), C);
+    if (!Inserted && It->second != C) {
+      P.replaceAllUses(C, It->second);
+      ++Eliminated;
+    }
+  }
+
+  std::map<InstKey, Node *> Seen;
+  int64_t M = static_cast<int64_t>(P.vecSize());
+  for (Node *N : P.forwardOrder()) {
+    switch (N->op()) {
+    case OpCode::Input:
+    case OpCode::Constant:
+    case OpCode::Output:
+      continue;
+    case OpCode::RotateLeft:
+    case OpCode::RotateRight: {
+      int64_t Steps = ((N->rotation() % M) + M) % M;
+      if (Steps == 0) {
+        P.replaceAllUses(N, N->parm(0));
+        ++Eliminated;
+        continue;
+      }
+      break;
+    }
+    case OpCode::Negate:
+      if (N->parm(0)->op() == OpCode::Negate) {
+        P.replaceAllUses(N, N->parm(0)->parm(0));
+        ++Eliminated;
+        continue;
+      }
+      break;
+    case OpCode::Copy:
+      P.replaceAllUses(N, N->parm(0));
+      ++Eliminated;
+      continue;
+    default:
+      break;
+    }
+    auto [It, Inserted] = Seen.emplace(keyOf(N), N);
+    if (!Inserted && It->second != N) {
+      P.replaceAllUses(N, It->second);
+      ++Eliminated;
+    }
+  }
+  if (Eliminated > 0)
+    P.eraseUnreachable();
+  return Eliminated;
+}

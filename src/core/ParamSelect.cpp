@@ -1,0 +1,126 @@
+//===- ParamSelect.cpp - Encryption-parameter & rotation selection ------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.2's analysis passes. Parameter selection factorizes each
+/// output's residual scale times its desired scale into <= s_f-bit chunks,
+/// takes the output with the longest chain-plus-factors, prepends the
+/// special prime, and picks the smallest secure polynomial degree — yielding
+/// the modulus length r = max_o (1 + |c_o| + ceil(log2(scale_o * s_o)/60))
+/// that Section 5.3 proves minimal for waterline rescaling. Rotation
+/// selection returns the distinct left-rotation step counts, for which the
+/// runtime generates exactly one Galois key each.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Passes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+using namespace eva;
+
+Expected<ParameterSelection>
+eva::selectParameters(const Program &P, const RescaleChainInfo &Chains,
+                      int SfBits, int MinPrimeBits, SecurityLevel Security) {
+  using Result = Expected<ParameterSelection>;
+  assert(Chains.OutputChains.size() == P.outputs().size() &&
+         "chain info out of sync");
+  if (P.outputs().empty())
+    return Result::error("program has no outputs");
+
+  // Per-output headroom factors for scale_o * desired_o.
+  size_t Best = 0;
+  size_t BestLen = 0;
+  std::vector<std::vector<int>> Factors(P.outputs().size());
+  for (size_t I = 0; I < P.outputs().size(); ++I) {
+    const Node *O = P.outputs()[I];
+    double SPrime = O->parm(0)->logScale() + O->logScale();
+    while (SPrime > SfBits) {
+      Factors[I].push_back(SfBits);
+      SPrime -= SfBits;
+    }
+    Factors[I].push_back(std::clamp(static_cast<int>(std::ceil(SPrime)),
+                                    MinPrimeBits, SfBits));
+    size_t Len = Chains.OutputChains[I].size() + Factors[I].size();
+    if (Len > BestLen) {
+      BestLen = Len;
+      Best = I;
+    }
+  }
+
+  // Resolve MODSWITCH wildcards in the winning chain against every other
+  // output's chain (one physical prime serves the whole program per
+  // position) and check cross-output consistency.
+  std::vector<int> Chain = Chains.OutputChains[Best];
+  for (size_t K = 0; K < Chain.size(); ++K) {
+    for (const std::vector<int> &Other : Chains.OutputChains) {
+      if (K >= Other.size() || Other[K] == -1)
+        continue;
+      if (Chain[K] == -1)
+        Chain[K] = Other[K];
+      else if (Chain[K] != Other[K])
+        return Result::error(
+            "outputs disagree on the rescale value at chain position " +
+            std::to_string(K) + " (2^" + std::to_string(Chain[K]) + " vs 2^" +
+            std::to_string(Other[K]) + ")");
+    }
+    if (Chain[K] == -1)
+      Chain[K] = SfBits; // position consumed only by MODSWITCH links
+    // Chain values come from RESCALE nodes; the insertion passes guarantee
+    // realizable divisors, and silently resizing the prime here would
+    // desynchronize it from the executor's nominal scale tracking.
+    if (Chain[K] < MinPrimeBits)
+      return Result::error("rescale value 2^" + std::to_string(Chain[K]) +
+                           " at chain position " + std::to_string(K) +
+                           " is below the smallest NTT-friendly prime (2^" +
+                           std::to_string(MinPrimeBits) + ")");
+  }
+
+  ParameterSelection Sel;
+  Sel.BitSizes.push_back(SfBits); // the special prime, consumed at encryption
+  Sel.BitSizes.insert(Sel.BitSizes.end(), Chain.begin(), Chain.end());
+  Sel.BitSizes.insert(Sel.BitSizes.end(), Factors[Best].begin(),
+                      Factors[Best].end());
+  Sel.TotalBits = 0;
+  for (int B : Sel.BitSizes)
+    Sel.TotalBits += B;
+
+  // Smallest secure power-of-two degree with enough slots for vec_size.
+  uint64_t N = std::max<uint64_t>(2 * P.vecSize(), 1024);
+  while (N <= 65536 && maxCoeffModulusBits(N, Security) < Sel.TotalBits)
+    N <<= 1;
+  if (N > 65536)
+    return Result::error(
+        "no polynomial degree satisfies the security bound: the program "
+        "needs a " +
+        std::to_string(Sel.TotalBits) +
+        "-bit coefficient modulus, above the 1792-bit limit of N = 65536 "
+        "(reduce the multiplicative depth or the scales)");
+  Sel.PolyDegree = N;
+  return Sel;
+}
+
+std::set<uint64_t> eva::selectRotationSteps(const Program &P) {
+  std::set<uint64_t> Steps;
+  uint64_t M = P.vecSize();
+  for (const Node *N : P.nodes()) {
+    if (!isRotation(N->op()))
+      continue;
+    int64_t Raw = N->rotation();
+    // Normalize to a left rotation in [0, M): the executor replicates
+    // vectors to all slots with period M, so any step congruent mod M is
+    // equivalent (Section 3's replication argument).
+    int64_t Left = Raw % static_cast<int64_t>(M);
+    if (N->op() == OpCode::RotateRight)
+      Left = -Left;
+    Left = ((Left % static_cast<int64_t>(M)) + M) % static_cast<int64_t>(M);
+    if (Left != 0)
+      Steps.insert(static_cast<uint64_t>(Left));
+  }
+  return Steps;
+}

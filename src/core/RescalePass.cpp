@@ -1,0 +1,161 @@
+//===- RescalePass.cpp - WATERLINE- and ALWAYS-RESCALE -----------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two rescale-insertion rules of Figure 4. WATERLINE-RESCALE embodies
+/// the paper's two key insights (Section 5.3): using one rescale value for
+/// every RESCALE keeps chains conforming, and using the maximum value s_f
+/// minimizes the number of RESCALE nodes on any path — hence the minimal
+/// modulus chain length r. ALWAYS-RESCALE is the naive rule (Figure 2(b))
+/// and doubles as the CHET baseline's per-multiply discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Passes.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace eva;
+
+namespace {
+
+/// Shared forward scale propagation for nodes that are not MULTIPLY.
+double propagateScale(const Node *N) {
+  switch (N->op()) {
+  case OpCode::Input:
+  case OpCode::Constant:
+  case OpCode::NormalizeScale:
+    return N->logScale();
+  case OpCode::Add:
+  case OpCode::Sub:
+    return std::max(N->parm(0)->logScale(), N->parm(1)->logScale());
+  case OpCode::Rescale:
+    return N->parm(0)->logScale() - N->rescaleBits();
+  case OpCode::Output:
+    // Output keeps its desired-scale attribute; callers skip it.
+    return N->logScale();
+  default:
+    return N->parm(0)->logScale();
+  }
+}
+
+double waterlineOf(const Program &P) {
+  double W = 0;
+  for (const Node *N : P.inputs())
+    W = std::max(W, N->logScale());
+  for (const Node *N : P.constants())
+    W = std::max(W, N->logScale());
+  return W;
+}
+
+void insertRescaleAfter(Program &P, Node *N, int Bits) {
+  Node *Ns = P.makeInstruction(OpCode::Rescale, {N});
+  Ns->setRescaleBits(Bits);
+  Ns->setLogScale(N->logScale() - Bits);
+  Ns->setKernelId(N->kernelId());
+  P.insertBetween(N, Ns);
+}
+
+} // namespace
+
+void eva::waterlineRescalePass(Program &P, int SfBits) {
+  const double Waterline = waterlineOf(P);
+  const double Eps = 1e-9;
+  for (Node *N : P.forwardOrder()) {
+    if (N->op() == OpCode::Output)
+      continue;
+    if (N->op() != OpCode::Multiply) {
+      N->setLogScale(propagateScale(N));
+      continue;
+    }
+    double S = N->parm(0)->logScale() + N->parm(1)->logScale();
+    N->setLogScale(S);
+    // (s1 * s2) / s_f >= s_w, in log2 space. The rule re-fires until
+    // quiescence (Section 5.1): one multiply may need several RESCALEs when
+    // its operands rode well above the waterline.
+    Node *Cur = N;
+    while (S - SfBits >= Waterline - Eps) {
+      insertRescaleAfter(P, Cur, SfBits);
+      // insertRescaleAfter rewired Cur's children to the new node; chain
+      // further rescales off it.
+      Cur = Cur->uses().back();
+      assert(Cur->op() == OpCode::Rescale && "expected the inserted rescale");
+      S -= SfBits;
+    }
+  }
+}
+
+void eva::chetRescalePass(Program &P, int SfBits, int MinPrimeBits) {
+  // CHET's per-kernel expert discipline: every kernel returns its result to
+  // the nominal per-value fixed-point scale by rescaling after every
+  // multiply, and its parameter selection sizes every chain prime at the
+  // full s_f = 60 bits (Table 6: log2 Q / r = 480/8 = 60 for CHET). When
+  // the accumulated scale is below waterline + s_f, the scale is first
+  // boosted by a multiply with the constant 1 (the CryptoNets-style scale
+  // adjustment) so the 60-bit rescale lands exactly back on the waterline.
+  // One chain prime per multiplicative level, each s_f bits — versus EVA's
+  // batching of ~s_f bits of scale into each prime.
+  (void)MinPrimeBits;
+  const double Waterline = waterlineOf(P);
+  const double Eps = 2.0; // skip sub-2-bit residues (nothing to remove)
+  for (Node *N : P.forwardOrder()) {
+    if (N->op() == OpCode::Output)
+      continue;
+    if (N->op() != OpCode::Multiply) {
+      N->setLogScale(propagateScale(N));
+      continue;
+    }
+    double S = N->parm(0)->logScale() + N->parm(1)->logScale();
+    N->setLogScale(S);
+    Node *Cur = N;
+    while (S - Waterline >= Eps) {
+      if (S - Waterline < SfBits) {
+        // Boost so that one full-size rescale returns to the waterline.
+        double Boost = SfBits - (S - Waterline);
+        Node *One = P.makeScalarConstant(1.0, Boost);
+        One->setKernelId(N->kernelId());
+        Node *Nt = P.makeInstruction(OpCode::Multiply, {Cur, One});
+        Nt->setLogScale(S + Boost);
+        Nt->setKernelId(N->kernelId());
+        P.insertBetween(Cur, Nt);
+        Cur = Nt;
+        S += Boost;
+      }
+      insertRescaleAfter(P, Cur, SfBits);
+      Cur = Cur->uses().back();
+      S -= SfBits;
+    }
+  }
+}
+
+void eva::alwaysRescalePass(Program &P, int SfBits, int MinPrimeBits) {
+  for (Node *N : P.forwardOrder()) {
+    if (N->op() == OpCode::Output)
+      continue;
+    if (N->op() != OpCode::Multiply) {
+      N->setLogScale(propagateScale(N));
+      continue;
+    }
+    double S0 = N->parm(0)->logScale();
+    double S1 = N->parm(1)->logScale();
+    N->setLogScale(S0 + S1);
+    // Divisor = min parent scale (Figure 4's ALWAYS-RESCALE), restoring the
+    // larger operand's scale. The divisor must be realizable as an
+    // NTT-friendly prime, so it is raised to MinPrimeBits when the nominal
+    // divisor is smaller (the node and the physical prime must agree, or
+    // the executor's footnote-1 scale tracking would drift). Degenerate
+    // rescales that would destroy the message are skipped.
+    int Divisor = static_cast<int>(std::lround(std::min(S0, S1)));
+    Divisor = std::min(Divisor, SfBits);
+    if (Divisor < 2)
+      continue;
+    Divisor = std::max(Divisor, MinPrimeBits);
+    if (S0 + S1 - Divisor < 8.0)
+      continue;
+    insertRescaleAfter(P, N, Divisor);
+  }
+}

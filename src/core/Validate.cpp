@@ -1,0 +1,201 @@
+//===- Validate.cpp - Compile-time constraint validation ----------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The validation passes of Section 6.2. Each pass re-derives its facts from
+/// the transformed graph alone (never trusting the transformation passes)
+/// and reports a compile-time error where SEAL would have thrown a runtime
+/// exception — the paper's "eliminates all common runtime exceptions" claim
+/// rests on these checks being complete.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Passes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+using namespace eva;
+
+namespace {
+
+std::string nodeDesc(const Node *N) {
+  return std::string("%") + std::to_string(N->id()) + " (" + opName(N->op()) +
+         ")";
+}
+
+} // namespace
+
+Expected<RescaleChainInfo> eva::validateRescaleChains(const Program &P,
+                                                      int SfBits) {
+  using Result = Expected<RescaleChainInfo>;
+  // Chain per node id; -1 encodes the paper's infinity (MODSWITCH).
+  std::vector<std::vector<int>> Chains(P.maxNodeId());
+  std::vector<bool> HasChain(P.maxNodeId(), false);
+
+  for (const Node *N : P.forwardOrder()) {
+    if (N->isPlain() && N->op() != OpCode::Output)
+      continue; // plaintext operands are encoded at the consumer's modulus
+    std::vector<const Node *> CipherParms;
+    for (const Node *Parm : N->parms())
+      if (Parm->isCipher())
+        CipherParms.push_back(Parm);
+
+    std::vector<int> Chain;
+    if (!CipherParms.empty()) {
+      assert(HasChain[CipherParms[0]->id()] && "forward order violated");
+      Chain = Chains[CipherParms[0]->id()];
+      for (size_t I = 1; I < CipherParms.size(); ++I) {
+        const std::vector<int> &Other = Chains[CipherParms[I]->id()];
+        if (Other.size() != Chain.size())
+          return Result::error(
+              "Constraint 1 violated at " + nodeDesc(N) +
+              ": operand moduli differ in length (" +
+              std::to_string(Chain.size()) + " vs " +
+              std::to_string(Other.size()) +
+              " consumed primes); MODSWITCH insertion is incomplete");
+        for (size_t K = 0; K < Chain.size(); ++K) {
+          if (Chain[K] == -1)
+            Chain[K] = Other[K];
+          else if (Other[K] != -1 && Other[K] != Chain[K])
+            return Result::error(
+                "non-conforming rescale chains at " + nodeDesc(N) +
+                ": position " + std::to_string(K) + " divides by 2^" +
+                std::to_string(Chain[K]) + " on one path and 2^" +
+                std::to_string(Other[K]) + " on another");
+        }
+      }
+    }
+    if (N->op() == OpCode::Rescale) {
+      if (N->rescaleBits() > SfBits)
+        return Result::error("Constraint 4 violated at " + nodeDesc(N) +
+                             ": rescale value 2^" +
+                             std::to_string(N->rescaleBits()) +
+                             " exceeds s_f = 2^" + std::to_string(SfBits));
+      if (N->rescaleBits() <= 0)
+        return Result::error("invalid rescale value at " + nodeDesc(N));
+      Chain.push_back(N->rescaleBits());
+    } else if (N->op() == OpCode::ModSwitch) {
+      Chain.push_back(-1);
+    }
+    Chains[N->id()] = std::move(Chain);
+    HasChain[N->id()] = true;
+  }
+
+  RescaleChainInfo Info;
+  for (const Node *O : P.outputs()) {
+    if (O->parm(0)->isCipher())
+      Info.OutputChains.push_back(Chains[O->parm(0)->id()]);
+    else
+      Info.OutputChains.push_back({});
+  }
+  return Info;
+}
+
+Status eva::validateScales(Program &P) {
+  const double Eps = 1e-6;
+  for (Node *N : P.forwardOrder()) {
+    switch (N->op()) {
+    case OpCode::Input:
+    case OpCode::Constant:
+    case OpCode::NormalizeScale:
+      // Attribute-defined scales; NormalizeScale re-encodes its plaintext
+      // operand at its own attribute scale.
+      if (N->logScale() <= 0)
+        return Status::error("non-positive scale on " + nodeDesc(N));
+      continue;
+    case OpCode::Output:
+      continue; // carries the desired output scale, not a computed one
+    case OpCode::Add:
+    case OpCode::Sub: {
+      double S0 = N->parm(0)->logScale();
+      double S1 = N->parm(1)->logScale();
+      if (std::abs(S0 - S1) > Eps)
+        return Status::error(
+            "Constraint 2 violated at " + nodeDesc(N) + ": operand scales 2^" +
+            std::to_string(S0) + " and 2^" + std::to_string(S1) +
+            " differ; MATCH-SCALE insertion is incomplete");
+      N->setLogScale(std::max(S0, S1));
+      continue;
+    }
+    case OpCode::Multiply:
+      N->setLogScale(N->parm(0)->logScale() + N->parm(1)->logScale());
+      continue;
+    case OpCode::Rescale: {
+      double S = N->parm(0)->logScale() - N->rescaleBits();
+      if (S <= 0)
+        return Status::error(
+            "rescale at " + nodeDesc(N) + " destroys the message: scale 2^" +
+            std::to_string(N->parm(0)->logScale()) + " divided by 2^" +
+            std::to_string(N->rescaleBits()));
+      N->setLogScale(S);
+      continue;
+    }
+    case OpCode::Sum:
+    case OpCode::Copy:
+      return Status::error("frontend op " + nodeDesc(N) +
+                           " survived lowering");
+    default:
+      N->setLogScale(N->parm(0)->logScale());
+      continue;
+    }
+  }
+  return Status::success();
+}
+
+Status eva::validateNumPolynomials(const Program &P) {
+  std::vector<int> NumPolys(P.maxNodeId(), 0);
+  for (const Node *N : P.forwardOrder()) {
+    if (N->isPlain() && N->op() != OpCode::Output)
+      continue;
+    switch (N->op()) {
+    case OpCode::Input:
+      NumPolys[N->id()] = 2;
+      continue;
+    case OpCode::Multiply: {
+      const Node *A = N->parm(0);
+      const Node *B = N->parm(1);
+      if (A->isCipher() && B->isCipher()) {
+        if (NumPolys[A->id()] != 2 || NumPolys[B->id()] != 2)
+          return Status::error(
+              "Constraint 3 violated at " + nodeDesc(N) +
+              ": multiply operand has " +
+              std::to_string(std::max(NumPolys[A->id()], NumPolys[B->id()])) +
+              " polynomials; RELINEARIZE insertion is incomplete");
+        NumPolys[N->id()] = 3;
+      } else {
+        NumPolys[N->id()] = NumPolys[A->isCipher() ? A->id() : B->id()];
+      }
+      continue;
+    }
+    case OpCode::Relinearize:
+      if (NumPolys[N->parm(0)->id()] != 3)
+        return Status::error("relinearize at " + nodeDesc(N) +
+                             " expects a 3-polynomial operand");
+      NumPolys[N->id()] = 2;
+      continue;
+    case OpCode::RotateLeft:
+    case OpCode::RotateRight:
+      // Rotation key-switches and therefore also needs 2 polynomials.
+      if (NumPolys[N->parm(0)->id()] != 2)
+        return Status::error("rotation at " + nodeDesc(N) +
+                             " requires a relinearized (2-polynomial) "
+                             "operand");
+      NumPolys[N->id()] = 2;
+      continue;
+    default: {
+      int Max = 0;
+      for (const Node *Parm : N->parms())
+        if (Parm->isCipher())
+          Max = std::max(Max, NumPolys[Parm->id()]);
+      NumPolys[N->id()] = Max;
+      continue;
+    }
+    }
+  }
+  return Status::success();
+}

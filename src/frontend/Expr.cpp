@@ -1,0 +1,80 @@
+//===- Expr.cpp - Expression-building frontend -------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/frontend/Expr.h"
+
+using namespace eva;
+
+/// Normalizes operand order: Table 2 signatures put the Cipher operand
+/// first, so commutative ops with a plaintext left operand are swapped and
+/// plain - cipher becomes (-cipher) + plain.
+static Expr makeBinary(ProgramBuilder *B, OpCode Op, const Expr &L,
+                       const Expr &R) {
+  assert(B && L.valid() && R.valid() && "binary op on invalid expressions");
+  Node *LN = L.node();
+  Node *RN = R.node();
+  Program &P = B->program();
+  if (LN->isPlain() && RN->isCipher()) {
+    if (Op == OpCode::Sub) {
+      Node *Neg = P.makeInstruction(OpCode::Negate, {RN});
+      return B->wrap(P.makeInstruction(OpCode::Add, {Neg, LN}));
+    }
+    std::swap(LN, RN);
+  }
+  if (LN->isPlain() && RN->isPlain())
+    fatalError("plaintext-plaintext arithmetic is not part of the EVA "
+               "language; fold constants in the frontend");
+  return B->wrap(P.makeInstruction(Op, {LN, RN}));
+}
+
+Expr Expr::operator+(const Expr &RHS) const {
+  return makeBinary(Builder, OpCode::Add, *this, RHS);
+}
+
+Expr Expr::operator-(const Expr &RHS) const {
+  return makeBinary(Builder, OpCode::Sub, *this, RHS);
+}
+
+Expr Expr::operator*(const Expr &RHS) const {
+  return makeBinary(Builder, OpCode::Multiply, *this, RHS);
+}
+
+Expr Expr::operator-() const {
+  assert(valid() && "negating an invalid expression");
+  return Builder->wrap(
+      Builder->program().makeInstruction(OpCode::Negate, {N}));
+}
+
+Expr Expr::operator<<(int32_t Steps) const {
+  assert(valid() && "rotating an invalid expression");
+  return Builder->wrap(
+      Builder->program().makeRotation(OpCode::RotateLeft, N, Steps));
+}
+
+Expr Expr::operator>>(int32_t Steps) const {
+  assert(valid() && "rotating an invalid expression");
+  return Builder->wrap(
+      Builder->program().makeRotation(OpCode::RotateRight, N, Steps));
+}
+
+Expr Expr::pow(unsigned K) const {
+  assert(K >= 1 && "x^0 is a plaintext constant; use constant()");
+  // Square-and-multiply keeps multiplicative depth logarithmic, which the
+  // compiler rewards with a shorter modulus chain.
+  Expr Base = *this;
+  Expr Result;
+  bool HaveResult = false;
+  while (K > 0) {
+    if (K & 1) {
+      Result = HaveResult ? Result * Base : Base;
+      HaveResult = true;
+    }
+    K >>= 1;
+    if (K > 0)
+      Base = Base * Base;
+  }
+  return Result;
+}

@@ -1,0 +1,59 @@
+//===- Ops.cpp - EVA instruction opcodes ------------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/ir/Ops.h"
+
+#include "eva/support/Common.h"
+
+using namespace eva;
+
+const char *eva::opName(OpCode Op) {
+  switch (Op) {
+  case OpCode::Input:
+    return "input";
+  case OpCode::Constant:
+    return "constant";
+  case OpCode::Output:
+    return "output";
+  case OpCode::Negate:
+    return "negate";
+  case OpCode::Add:
+    return "add";
+  case OpCode::Sub:
+    return "sub";
+  case OpCode::Multiply:
+    return "multiply";
+  case OpCode::RotateLeft:
+    return "rotate_left";
+  case OpCode::RotateRight:
+    return "rotate_right";
+  case OpCode::Sum:
+    return "sum";
+  case OpCode::Copy:
+    return "copy";
+  case OpCode::Relinearize:
+    return "relinearize";
+  case OpCode::ModSwitch:
+    return "mod_switch";
+  case OpCode::Rescale:
+    return "rescale";
+  case OpCode::NormalizeScale:
+    return "normalize_scale";
+  }
+  EVA_UNREACHABLE("unknown opcode");
+}
+
+const char *eva::typeName(ValueType Ty) {
+  switch (Ty) {
+  case ValueType::Cipher:
+    return "cipher";
+  case ValueType::Vector:
+    return "vector";
+  case ValueType::Scalar:
+    return "scalar";
+  }
+  EVA_UNREACHABLE("unknown value type");
+}

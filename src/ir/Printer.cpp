@@ -1,0 +1,95 @@
+//===- Printer.cpp - Textual program dumps ----------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/ir/Printer.h"
+
+#include <sstream>
+
+using namespace eva;
+
+static void printNodeLine(std::ostringstream &OS, const Node *N,
+                          bool ElideConstants) {
+  OS << "  %" << N->id() << " = " << opName(N->op());
+  switch (N->op()) {
+  case OpCode::Input:
+    OS << " " << typeName(N->type()) << " @" << N->name()
+       << " scale=" << N->logScale();
+    break;
+  case OpCode::Constant: {
+    OS << " " << typeName(N->type()) << " scale=" << N->logScale() << " [";
+    const std::vector<double> &V = N->constValue();
+    size_t Limit = ElideConstants ? std::min<size_t>(V.size(), 4) : V.size();
+    for (size_t I = 0; I < Limit; ++I) {
+      if (I)
+        OS << ", ";
+      OS << V[I];
+    }
+    if (Limit < V.size())
+      OS << ", ...x" << V.size();
+    OS << "]";
+    break;
+  }
+  case OpCode::Output:
+    OS << " @" << N->name() << " %" << N->parm(0)->id()
+       << " scale=" << N->logScale();
+    break;
+  default:
+    for (const Node *P : N->parms())
+      OS << " %" << P->id();
+    if (isRotation(N->op()))
+      OS << " steps=" << N->rotation();
+    if (N->op() == OpCode::Rescale)
+      OS << " bits=" << N->rescaleBits();
+    if (N->op() == OpCode::NormalizeScale)
+      OS << " scale=" << N->logScale();
+    break;
+  }
+  OS << "\n";
+}
+
+std::string eva::printProgram(const Program &P, bool ElideConstants) {
+  std::ostringstream OS;
+  OS.precision(17); // doubles round-trip losslessly
+  OS << "program " << P.name() << " vec_size=" << P.vecSize() << "\n";
+  for (const Node *N : P.forwardOrder())
+    printNodeLine(OS, N, ElideConstants);
+  return OS.str();
+}
+
+std::string eva::printDot(const Program &P) {
+  std::ostringstream OS;
+  OS << "digraph \"" << P.name() << "\" {\n";
+  for (const Node *N : P.nodes()) {
+    OS << "  n" << N->id() << " [label=\"" << opName(N->op());
+    if (N->op() == OpCode::Input || N->op() == OpCode::Output)
+      OS << "\\n@" << N->name();
+    if (isRotation(N->op()))
+      OS << "\\n" << N->rotation();
+    if (N->op() == OpCode::Rescale)
+      OS << "\\n2^" << N->rescaleBits();
+    OS << "\"";
+    if (N->op() == OpCode::Input)
+      OS << ", shape=box";
+    else if (N->op() == OpCode::Output)
+      OS << ", shape=doubleoctagon";
+    else if (isCompilerInsertedOp(N->op()))
+      OS << ", style=filled, fillcolor=lightblue";
+    OS << "];\n";
+  }
+  for (const Node *N : P.nodes())
+    for (const Node *Parm : N->parms())
+      OS << "  n" << Parm->id() << " -> n" << N->id() << ";\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+size_t eva::countOps(const Program &P, OpCode Op) {
+  size_t Count = 0;
+  for (const Node *N : P.nodes())
+    if (N->op() == Op)
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,59 @@
+//===- CRT.cpp - Garner CRT composition ------------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/math/CRT.h"
+
+using namespace eva;
+
+CrtComposer::CrtComposer(std::vector<Modulus> ModuliIn)
+    : Moduli(std::move(ModuliIn)) {
+  size_t L = Moduli.size();
+  InvPrefix.resize(L);
+  PrefixMod.resize(L);
+  for (size_t K = 0; K < L; ++K) {
+    const Modulus &Qk = Moduli[K];
+    PrefixMod[K].resize(K);
+    uint64_t Prod = 1;
+    for (size_t J = 0; J < K; ++J) {
+      PrefixMod[K][J] = Prod;
+      Prod = mulMod(Prod, Qk.reduce(Moduli[J].value()), Qk);
+    }
+    // Prod is now q_0*...*q_{K-1} mod q_K.
+    InvPrefix[K] = K == 0 ? ShoupMul(1, Qk) : ShoupMul(invMod(Prod, Qk), Qk);
+  }
+  Q = BigUInt(1);
+  for (const Modulus &M : Moduli)
+    Q.mulAddWord(M.value(), 0);
+  HalfQ = Q;
+  HalfQ.shiftRightOne();
+}
+
+long double CrtComposer::composeCentered(const uint64_t *const *Residues,
+                                         size_t Index) const {
+  size_t L = Moduli.size();
+  assert(L > 0 && "composer not initialized");
+  // Garner digits: V[k] = (x_k - sum_{j<k} V[j]*prefix_j) * invPrefix mod q_k.
+  static thread_local std::vector<uint64_t> Digits;
+  Digits.resize(L);
+  for (size_t K = 0; K < L; ++K) {
+    const Modulus &Qk = Moduli[K];
+    uint64_t Acc = 0;
+    for (size_t J = 0; J < K; ++J)
+      Acc = addMod(Acc, mulMod(Digits[J], PrefixMod[K][J], Qk), Qk);
+    uint64_t Xk = Qk.reduce(Residues[K][Index]);
+    Digits[K] = mulModShoup(subMod(Xk, Acc, Qk), InvPrefix[K], Qk);
+  }
+  // Horner: value = d_0 + q_0*(d_1 + q_1*(d_2 + ...)).
+  BigUInt Value(Digits[L - 1]);
+  for (size_t K = L - 1; K-- > 0;) {
+    Value.mulAddWord(Moduli[K].value(), Digits[K]);
+  }
+  bool Negative = Value.compare(HalfQ) > 0;
+  if (Negative)
+    Value.rsubFrom(Q);
+  long double V = Value.toLongDouble();
+  return Negative ? -V : V;
+}

@@ -1,0 +1,114 @@
+//===- Primes.cpp - NTT-friendly prime generation -------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/math/Primes.h"
+
+#include "eva/support/BitOps.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace eva;
+
+bool eva::isPrime(uint64_t N) {
+  if (N < 2)
+    return false;
+  for (uint64_t P : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    if (N == P)
+      return true;
+    if (N % P == 0)
+      return false;
+  }
+  // Miller-Rabin with a deterministic base set for 64-bit integers. Uses
+  // plain 128-bit modular arithmetic so it works for any 64-bit candidate
+  // (Modulus is restricted to 60 bits).
+  auto MulModN = [N](uint64_t A, uint64_t B) -> uint64_t {
+    return static_cast<uint64_t>(Uint128(A) * B % N);
+  };
+  auto PowModN = [&](uint64_t Base, uint64_t Exp) -> uint64_t {
+    uint64_t R = 1;
+    Base %= N;
+    while (Exp != 0) {
+      if (Exp & 1)
+        R = MulModN(R, Base);
+      Base = MulModN(Base, Base);
+      Exp >>= 1;
+    }
+    return R;
+  };
+  uint64_t D = N - 1;
+  unsigned R = 0;
+  while ((D & 1) == 0) {
+    D >>= 1;
+    ++R;
+  }
+  for (uint64_t A : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    uint64_t X = PowModN(A, D);
+    if (X == 1 || X == N - 1)
+      continue;
+    bool Composite = true;
+    for (unsigned I = 1; I < R; ++I) {
+      X = MulModN(X, X);
+      if (X == N - 1) {
+        Composite = false;
+        break;
+      }
+    }
+    if (Composite)
+      return false;
+  }
+  return true;
+}
+
+Expected<std::vector<uint64_t>>
+eva::generateNttPrimes(uint64_t PolyDegree, unsigned BitSize, unsigned Count,
+                       const std::vector<uint64_t> &Exclude) {
+  assert(isPowerOfTwo(PolyDegree) && "poly degree must be a power of two");
+  if (BitSize > MaxModulusBits || BitSize < log2Exact(PolyDegree) + 2)
+    return Expected<std::vector<uint64_t>>::error(
+        "prime bit size " + std::to_string(BitSize) +
+        " out of range for poly degree " + std::to_string(PolyDegree));
+
+  std::vector<uint64_t> Result;
+  uint64_t Factor = 2 * PolyDegree;
+  // Largest candidate of the requested bit size congruent to 1 mod 2N.
+  uint64_t Candidate = ((uint64_t(1) << BitSize) - 1) / Factor * Factor + 1;
+  while (Result.size() < Count && Candidate > (uint64_t(1) << (BitSize - 1))) {
+    if (isPrime(Candidate) &&
+        std::find(Exclude.begin(), Exclude.end(), Candidate) ==
+            Exclude.end() &&
+        std::find(Result.begin(), Result.end(), Candidate) == Result.end())
+      Result.push_back(Candidate);
+    Candidate -= Factor;
+  }
+  if (Result.size() < Count)
+    return Expected<std::vector<uint64_t>>::error(
+        "not enough NTT primes of bit size " + std::to_string(BitSize) +
+        " for poly degree " + std::to_string(PolyDegree));
+  return Result;
+}
+
+Expected<std::vector<uint64_t>>
+eva::createCoeffModulus(uint64_t PolyDegree, const std::vector<int> &BitSizes) {
+  std::vector<uint64_t> All;
+  // Count requests per bit size, then hand out primes largest-first within
+  // each size so repeated sizes get distinct primes.
+  for (size_t I = 0; I < BitSizes.size(); ++I) {
+    int Bits = BitSizes[I];
+    if (Bits <= 0 || Bits > static_cast<int>(MaxModulusBits))
+      return Expected<std::vector<uint64_t>>::error(
+          "coefficient modulus bit size " + std::to_string(Bits) +
+          " out of range (1.." + std::to_string(MaxModulusBits) + ")");
+    Expected<std::vector<uint64_t>> P =
+        generateNttPrimes(PolyDegree, static_cast<unsigned>(Bits), 1, All);
+    if (!P)
+      return P;
+    All.push_back(P.value()[0]);
+  }
+  return All;
+}

@@ -1,0 +1,353 @@
+//===- CkksExecutor.cpp - Encrypted execution ----------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/runtime/CkksExecutor.h"
+
+#include "eva/math/Primes.h"
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+
+using namespace eva;
+
+Expected<std::shared_ptr<CkksWorkspace>>
+CkksWorkspace::create(const CompiledProgram &CP, uint64_t Seed) {
+  using Result = Expected<std::shared_ptr<CkksWorkspace>>;
+  Expected<std::shared_ptr<CkksContext>> Ctx =
+      CkksContext::createFromBitSizes(CP.PolyDegree, CP.contextBitSizes(),
+                                      CP.Options.Security);
+  if (!Ctx)
+    return Ctx.takeStatus();
+  if (Ctx.value()->slotCount() < CP.Prog->vecSize())
+    return Result::error("vector size exceeds slot count");
+
+  std::shared_ptr<CkksWorkspace> WS = std::make_shared<CkksWorkspace>();
+  WS->Context = Ctx.value();
+  WS->Encoder = std::make_unique<CkksEncoder>(WS->Context);
+  WS->KeyGen = std::make_unique<KeyGenerator>(WS->Context, Seed);
+  WS->Pk = WS->KeyGen->createPublicKey();
+  WS->Rk = WS->KeyGen->createRelinKeys();
+  WS->Gk = WS->KeyGen->createGaloisKeys(
+      std::set<uint64_t>(CP.RotationSteps.begin(), CP.RotationSteps.end()));
+  WS->Enc = std::make_unique<Encryptor>(WS->Context, WS->Pk, Seed + 1);
+  WS->Dec = std::make_unique<Decryptor>(WS->Context, WS->KeyGen->secretKey());
+  WS->Eval = std::make_unique<Evaluator>(WS->Context);
+  return WS;
+}
+
+SealedInputs CkksExecutor::encryptInputs(
+    const std::map<std::string, std::vector<double>> &Inputs) {
+  SealedInputs Out;
+  for (const Node *N : P.inputs()) {
+    auto It = Inputs.find(N->name());
+    if (It == Inputs.end())
+      fatalError("missing input @" + N->name());
+    if (!N->isCipher()) {
+      Out.Plain.emplace(N->name(), It->second);
+      continue;
+    }
+    Plaintext Pt;
+    WS->Encoder->encode(It->second, std::exp2(N->logScale()),
+                        WS->Context->dataPrimeCount(), Pt);
+    Out.Cipher.emplace(N->name(), WS->Enc->encrypt(Pt));
+  }
+  return Out;
+}
+
+std::vector<double> CkksExecutor::decryptOutput(const Ciphertext &Ct) const {
+  std::vector<double> Slots = WS->Encoder->decode(WS->Dec->decrypt(Ct));
+  Slots.resize(P.vecSize());
+  return Slots;
+}
+
+const std::vector<double> &
+CkksExecutor::plainValueOf(const Node *N, const std::vector<Value> &Values,
+                           const SealedInputs &Inputs) const {
+  switch (N->op()) {
+  case OpCode::Constant:
+    return N->constValue();
+  case OpCode::Input: {
+    auto It = Inputs.Plain.find(N->name());
+    if (It == Inputs.Plain.end())
+      fatalError("missing plain input @" + N->name());
+    return It->second;
+  }
+  case OpCode::NormalizeScale:
+    return plainValueOf(N->parm(0), Values, Inputs);
+  default:
+    fatalError("unexpected plain node kind");
+  }
+}
+
+Plaintext CkksExecutor::encodeOperand(const Node *PlainNode,
+                                      const std::vector<double> &V,
+                                      size_t PrimeCount, double Scale) const {
+  Plaintext Pt;
+  if (PlainNode->type() == ValueType::Scalar && V.size() == 1)
+    WS->Encoder->encodeScalar(V[0], Scale, PrimeCount, Pt);
+  else
+    WS->Encoder->encode(V, Scale, PrimeCount, Pt);
+  return Pt;
+}
+
+uint64_t CkksExecutor::normalizedLeftSteps(const Node *N) const {
+  int64_t M = static_cast<int64_t>(P.vecSize());
+  int64_t Left = N->rotation() % M;
+  if (N->op() == OpCode::RotateRight)
+    Left = -Left;
+  return static_cast<uint64_t>(((Left % M) + M) % M);
+}
+
+void CkksExecutor::computeNode(const Node *N, std::vector<Value> &Values,
+                               const SealedInputs &Inputs,
+                               std::map<std::string, Ciphertext> &Outputs)
+    const {
+  Value &Slot = Values[N->id()];
+  Evaluator &E = *WS->Eval;
+
+  // Plain-typed nodes are views onto plain vectors; no work at run time.
+  if (N->isPlain() && N->op() != OpCode::Output) {
+    Slot.Plain = std::shared_ptr<const std::vector<double>>(
+        std::shared_ptr<void>(), &plainValueOf(N, Values, Inputs));
+    return;
+  }
+
+  auto CipherOf = [&](const Node *Parm) -> const Ciphertext & {
+    const Value &V = Values[Parm->id()];
+    assert(V.isCipher() && "expected a ciphertext operand");
+    return *V.Ct;
+  };
+
+  switch (N->op()) {
+  case OpCode::Input: {
+    auto It = Inputs.Cipher.find(N->name());
+    if (It == Inputs.Cipher.end())
+      fatalError("missing cipher input @" + N->name());
+    Slot.Ct = It->second;
+    break;
+  }
+  case OpCode::Output: {
+    const Value &V = Values[N->parm(0)->id()];
+    if (!V.isCipher())
+      fatalError("plaintext outputs are not part of the EVA language");
+    std::lock_guard<std::mutex> Lock(OutputMutex);
+    Outputs[N->name()] = *V.Ct;
+    return;
+  }
+  case OpCode::Negate:
+    Slot.Ct = E.negate(CipherOf(N->parm(0)));
+    break;
+  case OpCode::Add:
+  case OpCode::Sub: {
+    const Node *A = N->parm(0);
+    const Node *B = N->parm(1);
+    assert(A->isCipher() && "frontend normalizes the cipher operand first");
+    const Ciphertext &CA = CipherOf(A);
+    if (B->isCipher()) {
+      Slot.Ct = N->op() == OpCode::Add ? E.add(CA, CipherOf(B))
+                                       : E.sub(CA, CipherOf(B));
+    } else {
+      // Additive plain operands encode at the ciphertext's (nominal) scale
+      // so Constraint 2 holds exactly at run time.
+      Plaintext Pt = encodeOperand(B, *Values[B->id()].Plain, CA.primeCount(),
+                                   CA.Scale);
+      Slot.Ct = N->op() == OpCode::Add ? E.addPlain(CA, Pt)
+                                       : E.subPlain(CA, Pt);
+    }
+    break;
+  }
+  case OpCode::Multiply: {
+    const Node *A = N->parm(0);
+    const Node *B = N->parm(1);
+    assert(A->isCipher() && "frontend normalizes the cipher operand first");
+    const Ciphertext &CA = CipherOf(A);
+    if (B->isCipher()) {
+      Slot.Ct = E.multiply(CA, CipherOf(B));
+    } else {
+      Plaintext Pt = encodeOperand(B, *Values[B->id()].Plain, CA.primeCount(),
+                                   std::exp2(B->logScale()));
+      Slot.Ct = E.multiplyPlain(CA, Pt);
+    }
+    break;
+  }
+  case OpCode::RotateLeft:
+  case OpCode::RotateRight: {
+    uint64_t Steps = normalizedLeftSteps(N);
+    const Ciphertext &CA = CipherOf(N->parm(0));
+    if (Steps == 0)
+      Slot.Ct = CA;
+    else
+      Slot.Ct = E.rotateLeft(CA, Steps, WS->Gk);
+    break;
+  }
+  case OpCode::Relinearize:
+    Slot.Ct = E.relinearize(CipherOf(N->parm(0)), WS->Rk);
+    break;
+  case OpCode::ModSwitch:
+    Slot.Ct = E.modSwitch(CipherOf(N->parm(0)));
+    break;
+  case OpCode::Rescale:
+    Slot.Ct = E.rescale(CipherOf(N->parm(0)));
+    break;
+  default:
+    fatalError(std::string("cannot execute op ") + opName(N->op()));
+  }
+
+  // Scales are tracked exactly (RESCALE divides by the actual prime). The
+  // conforming-chain validation guarantees both operands of any ADD/SUB
+  // consumed the same primes, so their actual scales agree exactly — this
+  // strengthens the paper's footnote-1 adjustment (which treats RESCALE as
+  // division by 2^bits and accepts a small multiplicative bias per prime).
+}
+
+std::map<std::string, Ciphertext>
+CkksExecutor::run(const SealedInputs &Inputs) {
+  std::vector<Value> Values(P.maxNodeId());
+  std::vector<size_t> PendingUses(P.maxNodeId(), 0);
+  std::map<std::string, Ciphertext> Outputs;
+  Stats = ExecutionStats();
+  Stats.TotalNodeCount = P.nodeCount();
+
+  size_t LiveBytes = 0;
+  size_t LiveNodes = 0;
+  for (const Node *N : P.forwardOrder()) {
+    computeNode(N, Values, Inputs, Outputs);
+    PendingUses[N->id()] = N->uses().size();
+    if (Values[N->id()].isCipher()) {
+      LiveBytes += Values[N->id()].Ct->memoryBytes();
+      ++LiveNodes;
+      Stats.PeakLiveBytes = std::max(Stats.PeakLiveBytes, LiveBytes);
+      Stats.PeakLiveNodes = std::max(Stats.PeakLiveNodes, LiveNodes);
+    }
+    // Retire parents whose last child just consumed them (Section 6.1's
+    // memory reuse).
+    for (const Node *Parm : N->parms()) {
+      if (--PendingUses[Parm->id()] == 0 && Values[Parm->id()].isCipher()) {
+        LiveBytes -= Values[Parm->id()].Ct->memoryBytes();
+        --LiveNodes;
+        Values[Parm->id()].Ct.reset();
+      }
+    }
+  }
+  return Outputs;
+}
+
+std::map<std::string, std::vector<double>> CkksExecutor::runPlain(
+    const std::map<std::string, std::vector<double>> &Inputs) {
+  SealedInputs Sealed = encryptInputs(Inputs);
+  std::map<std::string, Ciphertext> Encrypted = run(Sealed);
+  std::map<std::string, std::vector<double>> Out;
+  for (const auto &[Name, Ct] : Encrypted)
+    Out.emplace(Name, decryptOutput(Ct));
+  return Out;
+}
+
+std::map<std::string, Ciphertext>
+ParallelCkksExecutor::run(const SealedInputs &Inputs) {
+  std::vector<Value> Values(P.maxNodeId());
+  std::map<std::string, Ciphertext> Outputs;
+  Stats = ExecutionStats();
+  Stats.TotalNodeCount = P.nodeCount();
+
+  std::vector<Node *> Order = P.forwardOrder();
+  std::vector<std::atomic<int>> Deps(P.maxNodeId());
+  std::vector<std::atomic<int>> Pending(P.maxNodeId());
+  for (Node *N : Order) {
+    Deps[N->id()].store(static_cast<int>(N->parmCount()));
+    Pending[N->id()].store(static_cast<int>(N->uses().size()));
+  }
+
+  std::atomic<size_t> Remaining(Order.size());
+  std::atomic<size_t> LiveBytes(0);
+  std::atomic<size_t> PeakBytes(0);
+  std::mutex DoneMutex;
+  std::condition_variable DoneCV;
+
+  // The scheduler: a node is ready (active) when all parents are computed;
+  // finishing a node may ready its children, which are submitted
+  // immediately — the asynchronous schedule of Section 6.1.
+  std::function<void(Node *)> Execute = [&](Node *N) {
+    computeNode(N, Values, Inputs, Outputs);
+    if (Values[N->id()].isCipher()) {
+      size_t B = LiveBytes.fetch_add(Values[N->id()].Ct->memoryBytes()) +
+                 Values[N->id()].Ct->memoryBytes();
+      size_t Prev = PeakBytes.load();
+      while (B > Prev && !PeakBytes.compare_exchange_weak(Prev, B))
+        ;
+    }
+    for (const Node *Parm : N->parms()) {
+      if (Pending[Parm->id()].fetch_sub(1) == 1 &&
+          Values[Parm->id()].isCipher()) {
+        LiveBytes.fetch_sub(Values[Parm->id()].Ct->memoryBytes());
+        Values[Parm->id()].Ct.reset();
+      }
+    }
+    for (Node *C : N->uses()) {
+      if (Deps[C->id()].fetch_sub(1) == 1)
+        Pool.submit([&, C] { Execute(C); });
+    }
+    if (Remaining.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> Lock(DoneMutex);
+      DoneCV.notify_all();
+    }
+  };
+
+  for (Node *N : Order)
+    if (N->parmCount() == 0)
+      Pool.submit([&, N] { Execute(N); });
+
+  {
+    std::unique_lock<std::mutex> Lock(DoneMutex);
+    DoneCV.wait(Lock, [&] { return Remaining.load() == 0; });
+  }
+  // Drain workers so no task still references this frame's state.
+  Pool.waitIdle();
+  Stats.PeakLiveBytes = PeakBytes.load();
+  return Outputs;
+}
+
+std::map<std::string, Ciphertext>
+KernelBulkCkksExecutor::run(const SealedInputs &Inputs) {
+  std::vector<Value> Values(P.maxNodeId());
+  std::map<std::string, Ciphertext> Outputs;
+  Stats = ExecutionStats();
+  Stats.TotalNodeCount = P.nodeCount();
+
+  // Chunk the topological order at kernel boundaries; each chunk executes
+  // bulk-synchronously (wavefronts with barriers), chunks run in sequence.
+  std::vector<Node *> Order = P.forwardOrder();
+  std::vector<int> Done(P.maxNodeId(), 0);
+  size_t I = 0;
+  while (I < Order.size()) {
+    size_t J = I;
+    int32_t Kernel = Order[I]->kernelId();
+    while (J < Order.size() && Order[J]->kernelId() == Kernel)
+      ++J;
+    // Wavefronts inside [I, J).
+    std::vector<Node *> Chunk(Order.begin() + I, Order.begin() + J);
+    while (!Chunk.empty()) {
+      std::vector<Node *> Wave;
+      std::vector<Node *> Rest;
+      for (Node *N : Chunk) {
+        bool Ready = true;
+        for (const Node *Parm : N->parms())
+          if (!Done[Parm->id()])
+            Ready = false;
+        (Ready ? Wave : Rest).push_back(N);
+      }
+      assert(!Wave.empty() && "no progress inside kernel chunk");
+      Pool.parallelFor(Wave.size(), [&](size_t K) {
+        computeNode(Wave[K], Values, Inputs, Outputs);
+      });
+      for (Node *N : Wave)
+        Done[N->id()] = 1;
+      Chunk = std::move(Rest);
+    }
+    I = J;
+  }
+  return Outputs;
+}

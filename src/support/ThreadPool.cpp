@@ -1,0 +1,92 @@
+//===- ThreadPool.cpp - Worker pool for the executor ----------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace eva;
+
+ThreadPool::ThreadPool(size_t NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  Workers.reserve(NumThreads);
+  for (size_t I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  TaskAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Tasks.push(std::move(Task));
+  }
+  TaskAvailable.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Tasks.empty() && ActiveTasks == 0; });
+}
+
+void ThreadPool::parallelFor(size_t Count,
+                             const std::function<void(size_t)> &Body) {
+  if (Count == 0)
+    return;
+  size_t NumWorkers = std::min(Count, Workers.size());
+  if (NumWorkers <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Body(I);
+    return;
+  }
+  std::atomic<size_t> Next(0);
+  std::atomic<size_t> Done(0);
+  std::mutex DoneMutex;
+  std::condition_variable DoneCV;
+  for (size_t W = 0; W < NumWorkers; ++W) {
+    submit([&, Count] {
+      for (size_t I = Next.fetch_add(1); I < Count; I = Next.fetch_add(1))
+        Body(I);
+      if (Done.fetch_add(1) + 1 == NumWorkers) {
+        std::lock_guard<std::mutex> Lock(DoneMutex);
+        DoneCV.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> Lock(DoneMutex);
+  DoneCV.wait(Lock, [&] { return Done.load() == NumWorkers; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskAvailable.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
+      if (Stopping && Tasks.empty())
+        return;
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+      ++ActiveTasks;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --ActiveTasks;
+      if (Tasks.empty() && ActiveTasks == 0)
+        Idle.notify_all();
+    }
+  }
+}

@@ -1,0 +1,472 @@
+//===- Network.cpp - DNN definitions and model zoo ------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/tensor/Network.h"
+
+#include "eva/support/BitOps.h"
+
+#include <cmath>
+
+using namespace eva;
+
+void NetworkDefinition::addConv(Tensor W, Tensor Bias, size_t Stride,
+                                bool SamePad) {
+  Layer L;
+  L.K = Layer::Kind::Conv;
+  L.W = std::move(W);
+  L.Bias = std::move(Bias);
+  L.Stride = Stride;
+  L.SamePad = SamePad;
+  Layers.push_back(std::move(L));
+}
+
+void NetworkDefinition::addSquare() {
+  Layer L;
+  L.K = Layer::Kind::Square;
+  Layers.push_back(std::move(L));
+}
+
+void NetworkDefinition::addAvgPool(size_t K, size_t Stride) {
+  Layer L;
+  L.K = Layer::Kind::AvgPool;
+  L.PoolK = K;
+  L.Stride = Stride;
+  Layers.push_back(std::move(L));
+}
+
+void NetworkDefinition::addFc(Tensor W, Tensor Bias) {
+  Layer L;
+  L.K = Layer::Kind::Fc;
+  L.W = std::move(W);
+  L.Bias = std::move(Bias);
+  Layers.push_back(std::move(L));
+}
+
+void NetworkDefinition::addFire(Tensor Squeeze, Tensor SB, Tensor E1,
+                                Tensor E1B, Tensor E3, Tensor E3B) {
+  Layer L;
+  L.K = Layer::Kind::Fire;
+  L.W = std::move(Squeeze);
+  L.Bias = std::move(SB);
+  L.Expand1W = std::move(E1);
+  L.Expand1B = std::move(E1B);
+  L.Expand3W = std::move(E3);
+  L.Expand3B = std::move(E3B);
+  Layers.push_back(std::move(L));
+}
+
+size_t NetworkDefinition::convLayerCount() const {
+  size_t N = 0;
+  for (const Layer &L : Layers) {
+    if (L.K == Layer::Kind::Conv)
+      ++N;
+    if (L.K == Layer::Kind::Fire)
+      N += 3;
+  }
+  return N;
+}
+
+size_t NetworkDefinition::fcLayerCount() const {
+  size_t N = 0;
+  for (const Layer &L : Layers)
+    if (L.K == Layer::Kind::Fc)
+      ++N;
+  return N;
+}
+
+size_t NetworkDefinition::activationCount() const {
+  size_t N = 0;
+  for (const Layer &L : Layers) {
+    if (L.K == Layer::Kind::Square)
+      ++N;
+    if (L.K == Layer::Kind::Fire)
+      N += 2; // square after squeeze and after the expand concat
+  }
+  return N;
+}
+
+size_t NetworkDefinition::numClasses() const {
+  for (size_t I = Layers.size(); I-- > 0;)
+    if (Layers[I].K == Layer::Kind::Fc)
+      return Layers[I].W.dims()[0];
+  return 0;
+}
+
+namespace {
+
+/// Shapes through the plain reference; also used for op counting.
+struct Shape {
+  size_t C, H, W;
+  size_t size() const { return C * H * W; }
+};
+
+Shape convOut(const Shape &In, const Tensor &W, size_t Stride, bool SamePad) {
+  size_t Kh = W.dims()[2], Kw = W.dims()[3];
+  size_t H = SamePad ? (In.H + Stride - 1) / Stride : (In.H - Kh) / Stride + 1;
+  size_t Wd =
+      SamePad ? (In.W + Stride - 1) / Stride : (In.W - Kw) / Stride + 1;
+  return {W.dims()[0], H, Wd};
+}
+
+} // namespace
+
+size_t NetworkDefinition::fpOperationCount() const {
+  Shape S{InC, InH, InW};
+  size_t Ops = 0;
+  for (const Layer &L : Layers) {
+    switch (L.K) {
+    case Layer::Kind::Conv: {
+      Shape O = convOut(S, L.W, L.Stride, L.SamePad);
+      Ops += 2 * O.size() * L.W.dims()[1] * L.W.dims()[2] * L.W.dims()[3];
+      S = O;
+      break;
+    }
+    case Layer::Kind::Square:
+      Ops += S.size();
+      break;
+    case Layer::Kind::AvgPool: {
+      Shape O{S.C, (S.H - L.PoolK) / L.Stride + 1,
+              (S.W - L.PoolK) / L.Stride + 1};
+      Ops += O.size() * L.PoolK * L.PoolK;
+      S = O;
+      break;
+    }
+    case Layer::Kind::Fc:
+      Ops += 2 * L.W.dims()[0] * L.W.dims()[1];
+      S = {L.W.dims()[0], 1, 1};
+      break;
+    case Layer::Kind::Fire: {
+      Shape Sq = convOut(S, L.W, 1, true);
+      Ops += 2 * Sq.size() * L.W.dims()[1] + Sq.size();
+      Shape E1 = convOut(Sq, L.Expand1W, 1, true);
+      Ops += 2 * E1.size() * L.Expand1W.dims()[1];
+      Shape E3 = convOut(Sq, L.Expand3W, 1, true);
+      Ops += 2 * E3.size() * L.Expand3W.dims()[1] * 9;
+      S = {E1.C + E3.C, E1.H, E1.W};
+      Ops += S.size();
+      break;
+    }
+    }
+  }
+  return Ops;
+}
+
+Tensor NetworkDefinition::runPlain(const Tensor &Image) const {
+  Tensor V = Image;
+  for (const Layer &L : Layers) {
+    switch (L.K) {
+    case Layer::Kind::Conv:
+      V = plain::conv2d(V, L.W, L.Bias, L.Stride, L.SamePad);
+      break;
+    case Layer::Kind::Square:
+      V = plain::square(V);
+      break;
+    case Layer::Kind::AvgPool:
+      V = plain::avgPool2d(V, L.PoolK, L.Stride);
+      break;
+    case Layer::Kind::Fc: {
+      Tensor Flat({V.size()});
+      Flat.data() = V.data();
+      V = plain::fullyConnected(Flat, L.W, L.Bias);
+      break;
+    }
+    case Layer::Kind::Fire: {
+      Tensor Sq = plain::square(plain::conv2d(V, L.W, L.Bias, 1, true));
+      Tensor E1 = plain::conv2d(Sq, L.Expand1W, L.Expand1B, 1, true);
+      Tensor E3 = plain::conv2d(Sq, L.Expand3W, L.Expand3B, 1, true);
+      Tensor Cat({E1.dims()[0] + E3.dims()[0], E1.dims()[1], E1.dims()[2]});
+      std::copy(E1.data().begin(), E1.data().end(), Cat.data().begin());
+      std::copy(E3.data().begin(), E3.data().end(),
+                Cat.data().begin() + static_cast<long>(E1.size()));
+      V = plain::square(Cat);
+      break;
+    }
+    }
+  }
+  return V;
+}
+
+namespace {
+
+double maxAbsOf(const Tensor &T) {
+  double M = 0;
+  for (double V : T.data())
+    M = std::max(M, std::abs(V));
+  return M;
+}
+
+void scaleTensor(Tensor &T, double F) {
+  for (double &V : T.data())
+    V *= F;
+}
+
+} // namespace
+
+void NetworkDefinition::calibrate(const Tensor &Probe, double Target) {
+  Tensor V = Probe;
+  for (Layer &L : Layers) {
+    switch (L.K) {
+    case Layer::Kind::Conv: {
+      Tensor Out = plain::conv2d(V, L.W, L.Bias, L.Stride, L.SamePad);
+      double F = Target / std::max(maxAbsOf(Out), 1e-9);
+      scaleTensor(L.W, F);
+      scaleTensor(L.Bias, F);
+      scaleTensor(Out, F);
+      V = std::move(Out);
+      break;
+    }
+    case Layer::Kind::Square:
+      V = plain::square(V);
+      break;
+    case Layer::Kind::AvgPool:
+      V = plain::avgPool2d(V, L.PoolK, L.Stride);
+      break;
+    case Layer::Kind::Fc: {
+      Tensor Flat({V.size()});
+      Flat.data() = V.data();
+      Tensor Out = plain::fullyConnected(Flat, L.W, L.Bias);
+      double F = Target / std::max(maxAbsOf(Out), 1e-9);
+      scaleTensor(L.W, F);
+      scaleTensor(L.Bias, F);
+      scaleTensor(Out, F);
+      V = std::move(Out);
+      break;
+    }
+    case Layer::Kind::Fire: {
+      Tensor Sq = plain::conv2d(V, L.W, L.Bias, 1, true);
+      double FS = Target / std::max(maxAbsOf(Sq), 1e-9);
+      scaleTensor(L.W, FS);
+      scaleTensor(L.Bias, FS);
+      scaleTensor(Sq, FS);
+      Sq = plain::square(Sq);
+      Tensor E1 = plain::conv2d(Sq, L.Expand1W, L.Expand1B, 1, true);
+      double F1 = Target / std::max(maxAbsOf(E1), 1e-9);
+      scaleTensor(L.Expand1W, F1);
+      scaleTensor(L.Expand1B, F1);
+      scaleTensor(E1, F1);
+      Tensor E3 = plain::conv2d(Sq, L.Expand3W, L.Expand3B, 1, true);
+      double F3 = Target / std::max(maxAbsOf(E3), 1e-9);
+      scaleTensor(L.Expand3W, F3);
+      scaleTensor(L.Expand3B, F3);
+      scaleTensor(E3, F3);
+      Tensor Cat({E1.dims()[0] + E3.dims()[0], E1.dims()[1], E1.dims()[2]});
+      std::copy(E1.data().begin(), E1.data().end(), Cat.data().begin());
+      std::copy(E3.data().begin(), E3.data().end(),
+                Cat.data().begin() + static_cast<long>(E1.size()));
+      V = plain::square(Cat);
+      break;
+    }
+    }
+  }
+}
+
+size_t NetworkDefinition::requiredVecSize() const {
+  // Track layouts like buildProgram does; the grid never shrinks, so the
+  // extent is channels x input grid for conv stacks and NOut for FCs.
+  size_t Grid = InH * InW;
+  Shape S{InC, InH, InW};
+  size_t MaxExtent = S.C * Grid;
+  bool Dense = false;
+  for (const Layer &L : Layers) {
+    switch (L.K) {
+    case Layer::Kind::Conv: {
+      S = convOut(S, L.W, L.Stride, L.SamePad);
+      MaxExtent = std::max(MaxExtent, Dense ? S.size() : S.C * Grid);
+      break;
+    }
+    case Layer::Kind::Square:
+      break;
+    case Layer::Kind::AvgPool:
+      S = {S.C, (S.H - L.PoolK) / L.Stride + 1,
+           (S.W - L.PoolK) / L.Stride + 1};
+      break;
+    case Layer::Kind::Fc:
+      S = {L.W.dims()[0], 1, 1};
+      Dense = true;
+      MaxExtent = std::max(MaxExtent, S.C);
+      break;
+    case Layer::Kind::Fire: {
+      Shape Sq = convOut(S, L.W, 1, true);
+      MaxExtent = std::max(MaxExtent, Sq.C * Grid);
+      Shape E1 = convOut(Sq, L.Expand1W, 1, true);
+      Shape E3 = convOut(Sq, L.Expand3W, 1, true);
+      S = {E1.C + E3.C, E1.H, E1.W};
+      MaxExtent = std::max(MaxExtent, S.C * Grid);
+      break;
+    }
+    }
+  }
+  size_t M = 1;
+  while (M < MaxExtent)
+    M <<= 1;
+  return M;
+}
+
+std::unique_ptr<Program>
+NetworkDefinition::buildProgram(const TensorScales &Scales) const {
+  ProgramBuilder B(Name, requiredVecSize());
+  CipherTensor V;
+  V.Value = B.inputCipher("image", Scales.Cipher);
+  V.Layout = CipherLayout::forImage(InC, InH, InW);
+  for (const Layer &L : Layers) {
+    switch (L.K) {
+    case Layer::Kind::Conv:
+      V = conv2d(B, V, L.W, L.Bias, L.Stride, L.SamePad, Scales);
+      break;
+    case Layer::Kind::Square:
+      V = squareActivation(B, V);
+      break;
+    case Layer::Kind::AvgPool:
+      V = avgPool2d(B, V, L.PoolK, L.Stride, Scales);
+      break;
+    case Layer::Kind::Fc:
+      V = fullyConnected(B, V, L.W, L.Bias, Scales);
+      break;
+    case Layer::Kind::Fire: {
+      CipherTensor Sq =
+          squareActivation(B, conv2d(B, V, L.W, L.Bias, 1, true, Scales));
+      CipherTensor E1 =
+          conv2d(B, Sq, L.Expand1W, L.Expand1B, 1, true, Scales);
+      CipherTensor E3 =
+          conv2d(B, Sq, L.Expand3W, L.Expand3B, 1, true, Scales);
+      V = squareActivation(B, concatChannels(B, E1, E3, Scales));
+      break;
+    }
+    }
+  }
+  B.output("scores", V.Value, Scales.Output);
+  return B.take();
+}
+
+//===----------------------------------------------------------------------===
+// Model zoo
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Fan-in-scaled random weights keep activations O(1) across layers so the
+/// fixed-point scales of Table 4 hold.
+Tensor randomWeights(std::vector<size_t> Dims, RandomSource &Rng) {
+  size_t FanIn = 1;
+  for (size_t I = 1; I < Dims.size(); ++I)
+    FanIn *= Dims[I];
+  // 0.7/sqrt-fan-in keeps activations of order one through the square
+  // activations: large enough that class-score gaps dominate the CKKS
+  // noise, small enough that the squares do not blow up on the deeper
+  // networks (squaring is double-exponential in the layer count).
+  double Limit = 0.7 * std::sqrt(3.0 / static_cast<double>(FanIn));
+  return Tensor::random(std::move(Dims), Rng, Limit);
+}
+
+Tensor randomBias(size_t N, RandomSource &Rng) {
+  return Tensor::random({N}, Rng, 0.05);
+}
+
+} // namespace
+
+NetworkDefinition eva::makeLeNet5Small(uint64_t Seed) {
+  RandomSource Rng(Seed ^ 0x5e51u);
+  NetworkDefinition N("LeNet-5-small", 1, 28, 28);
+  N.addConv(randomWeights({2, 1, 5, 5}, Rng), randomBias(2, Rng), 2, true);
+  N.addSquare();
+  N.addConv(randomWeights({4, 2, 5, 5}, Rng), randomBias(4, Rng), 2, true);
+  N.addSquare();
+  N.addFc(randomWeights({32, 4 * 7 * 7}, Rng), randomBias(32, Rng));
+  N.addSquare();
+  N.addFc(randomWeights({10, 32}, Rng), randomBias(10, Rng));
+  RandomSource ProbeRng(Seed ^ 0xCA11Bu);
+  Tensor Probe = Tensor::random({1, 28, 28}, ProbeRng);
+  N.calibrate(Probe);
+  return N;
+}
+
+NetworkDefinition eva::makeLeNet5Medium(uint64_t Seed) {
+  RandomSource Rng(Seed ^ 0x3ed1u);
+  NetworkDefinition N("LeNet-5-medium", 1, 28, 28);
+  N.addConv(randomWeights({5, 1, 5, 5}, Rng), randomBias(5, Rng), 2, true);
+  N.addSquare();
+  N.addConv(randomWeights({10, 5, 5, 5}, Rng), randomBias(10, Rng), 2, true);
+  N.addSquare();
+  N.addFc(randomWeights({120, 10 * 7 * 7}, Rng), randomBias(120, Rng));
+  N.addSquare();
+  N.addFc(randomWeights({10, 120}, Rng), randomBias(10, Rng));
+  RandomSource ProbeRng(Seed ^ 0xCA11Bu);
+  Tensor Probe = Tensor::random({1, 28, 28}, ProbeRng);
+  N.calibrate(Probe);
+  return N;
+}
+
+NetworkDefinition eva::makeLeNet5Large(uint64_t Seed) {
+  RandomSource Rng(Seed ^ 0x1a46eu);
+  NetworkDefinition N("LeNet-5-large", 1, 28, 28);
+  N.addConv(randomWeights({10, 1, 5, 5}, Rng), randomBias(10, Rng), 2, true);
+  N.addSquare();
+  N.addConv(randomWeights({20, 10, 5, 5}, Rng), randomBias(20, Rng), 2,
+            true);
+  N.addSquare();
+  N.addFc(randomWeights({256, 20 * 7 * 7}, Rng), randomBias(256, Rng));
+  N.addSquare();
+  N.addFc(randomWeights({10, 256}, Rng), randomBias(10, Rng));
+  RandomSource ProbeRng(Seed ^ 0xCA11Bu);
+  Tensor Probe = Tensor::random({1, 28, 28}, ProbeRng);
+  N.calibrate(Probe);
+  return N;
+}
+
+NetworkDefinition eva::makeIndustrial(uint64_t Seed) {
+  RandomSource Rng(Seed ^ 0x1d5u);
+  NetworkDefinition N("Industrial", 1, 16, 16);
+  N.addConv(randomWeights({8, 1, 3, 3}, Rng), randomBias(8, Rng), 1, true);
+  N.addSquare();
+  N.addConv(randomWeights({8, 8, 3, 3}, Rng), randomBias(8, Rng), 2, true);
+  N.addSquare();
+  N.addConv(randomWeights({16, 8, 3, 3}, Rng), randomBias(16, Rng), 1, true);
+  N.addSquare();
+  N.addConv(randomWeights({16, 16, 3, 3}, Rng), randomBias(16, Rng), 2,
+            true);
+  N.addSquare();
+  N.addConv(randomWeights({32, 16, 3, 3}, Rng), randomBias(32, Rng), 1,
+            true);
+  N.addSquare();
+  N.addFc(randomWeights({64, 32 * 4 * 4}, Rng), randomBias(64, Rng));
+  N.addSquare();
+  N.addFc(randomWeights({2, 64}, Rng), randomBias(2, Rng));
+  RandomSource ProbeRng(Seed ^ 0xCA11Bu);
+  Tensor Probe = Tensor::random({1, 16, 16}, ProbeRng);
+  N.calibrate(Probe);
+  return N;
+}
+
+NetworkDefinition eva::makeSqueezeNetCifar(uint64_t Seed) {
+  RandomSource Rng(Seed ^ 0x59ee2eu);
+  NetworkDefinition N("SqueezeNet-CIFAR", 3, 32, 32);
+  N.addConv(randomWeights({8, 3, 3, 3}, Rng), randomBias(8, Rng), 2, true);
+  N.addSquare();
+  // Three fire modules (squeeze s, expand e+e), 9 convolutions.
+  auto Fire = [&](size_t CIn, size_t S, size_t E) {
+    N.addFire(randomWeights({S, CIn, 1, 1}, Rng), randomBias(S, Rng),
+              randomWeights({E, S, 1, 1}, Rng), randomBias(E, Rng),
+              randomWeights({E, S, 3, 3}, Rng), randomBias(E, Rng));
+  };
+  Fire(8, 4, 4);   // -> 8 channels
+  Fire(8, 4, 6);   // -> 12 channels
+  Fire(12, 4, 8);  // -> 16 channels
+  N.addFc(randomWeights({10, 16 * 16 * 16}, Rng), randomBias(10, Rng));
+  RandomSource ProbeRng(Seed ^ 0xCA11Bu);
+  Tensor Probe = Tensor::random({3, 32, 32}, ProbeRng);
+  N.calibrate(Probe);
+  return N;
+}
+
+std::vector<NetworkDefinition> eva::makeAllNetworks(uint64_t Seed) {
+  std::vector<NetworkDefinition> Out;
+  Out.push_back(makeLeNet5Small(Seed));
+  Out.push_back(makeLeNet5Medium(Seed));
+  Out.push_back(makeLeNet5Large(Seed));
+  Out.push_back(makeIndustrial(Seed));
+  Out.push_back(makeSqueezeNetCifar(Seed));
+  return Out;
+}

@@ -1,0 +1,85 @@
+//===- Tensor.cpp - Plain dense tensors and reference kernels ------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/tensor/Tensor.h"
+
+using namespace eva;
+
+Tensor eva::plain::conv2d(const Tensor &In, const Tensor &Weights,
+                          const Tensor &Bias, size_t Stride, bool SamePad) {
+  size_t Ci = In.dims()[0], H = In.dims()[1], W = In.dims()[2];
+  size_t Co = Weights.dims()[0], Kh = Weights.dims()[2],
+         Kw = Weights.dims()[3];
+  assert(Weights.dims()[1] == Ci && "channel mismatch");
+  size_t PadY = SamePad ? Kh / 2 : 0;
+  size_t PadX = SamePad ? Kw / 2 : 0;
+  size_t OutH = SamePad ? (H + Stride - 1) / Stride
+                        : (H - Kh) / Stride + 1;
+  size_t OutW = SamePad ? (W + Stride - 1) / Stride
+                        : (W - Kw) / Stride + 1;
+  Tensor Out({Co, OutH, OutW});
+  for (size_t O = 0; O < Co; ++O) {
+    for (size_t Y = 0; Y < OutH; ++Y) {
+      for (size_t X = 0; X < OutW; ++X) {
+        double Acc = Bias.size() > O ? Bias.at(O) : 0.0;
+        for (size_t I = 0; I < Ci; ++I) {
+          for (size_t Ky = 0; Ky < Kh; ++Ky) {
+            for (size_t Kx = 0; Kx < Kw; ++Kx) {
+              int64_t SrcY = static_cast<int64_t>(Y * Stride + Ky) -
+                             static_cast<int64_t>(PadY);
+              int64_t SrcX = static_cast<int64_t>(X * Stride + Kx) -
+                             static_cast<int64_t>(PadX);
+              if (SrcY < 0 || SrcX < 0 || SrcY >= static_cast<int64_t>(H) ||
+                  SrcX >= static_cast<int64_t>(W))
+                continue;
+              Acc += In.at3(I, SrcY, SrcX) * Weights.at4(O, I, Ky, Kx);
+            }
+          }
+        }
+        Out.at3(O, Y, X) = Acc;
+      }
+    }
+  }
+  return Out;
+}
+
+Tensor eva::plain::avgPool2d(const Tensor &In, size_t K, size_t Stride) {
+  size_t C = In.dims()[0], H = In.dims()[1], W = In.dims()[2];
+  size_t OutH = (H - K) / Stride + 1;
+  size_t OutW = (W - K) / Stride + 1;
+  Tensor Out({C, OutH, OutW});
+  for (size_t Ch = 0; Ch < C; ++Ch)
+    for (size_t Y = 0; Y < OutH; ++Y)
+      for (size_t X = 0; X < OutW; ++X) {
+        double Acc = 0;
+        for (size_t Ky = 0; Ky < K; ++Ky)
+          for (size_t Kx = 0; Kx < K; ++Kx)
+            Acc += In.at3(Ch, Y * Stride + Ky, X * Stride + Kx);
+        Out.at3(Ch, Y, X) = Acc / static_cast<double>(K * K);
+      }
+  return Out;
+}
+
+Tensor eva::plain::fullyConnected(const Tensor &In, const Tensor &Weights,
+                                  const Tensor &Bias) {
+  size_t NOut = Weights.dims()[0], NIn = Weights.dims()[1];
+  assert(In.size() == NIn && "input size mismatch");
+  Tensor Out({NOut});
+  for (size_t O = 0; O < NOut; ++O) {
+    double Acc = Bias.size() > O ? Bias.at(O) : 0.0;
+    for (size_t I = 0; I < NIn; ++I)
+      Acc += Weights.at2(O, I) * In.at(I);
+    Out.at(O) = Acc;
+  }
+  return Out;
+}
+
+Tensor eva::plain::square(const Tensor &In) {
+  Tensor Out = In;
+  for (double &V : Out.data())
+    V *= V;
+  return Out;
+}

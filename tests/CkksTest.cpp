@@ -1,0 +1,369 @@
+//===- CkksTest.cpp - Unit tests for the RNS-CKKS substrate ----------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/ckks/Context.h"
+#include "eva/ckks/Decryptor.h"
+#include "eva/ckks/Encoder.h"
+#include "eva/ckks/Encryptor.h"
+#include "eva/ckks/Evaluator.h"
+#include "eva/ckks/Galois.h"
+#include "eva/ckks/KeyGenerator.h"
+#include "eva/math/Primes.h"
+#include "eva/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace eva;
+
+namespace {
+
+std::shared_ptr<CkksContext> makeContext(uint64_t N,
+                                         std::vector<int> BitSizes) {
+  Expected<std::shared_ptr<CkksContext>> Ctx =
+      CkksContext::createFromBitSizes(N, BitSizes, SecurityLevel::None);
+  EXPECT_TRUE(Ctx.ok()) << (Ctx.ok() ? "" : Ctx.message());
+  return Ctx.value();
+}
+
+std::vector<double> randomVector(size_t N, double Lo, double Hi,
+                                 uint64_t Seed) {
+  RandomSource Rng(Seed);
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = Rng.uniformReal(Lo, Hi);
+  return V;
+}
+
+double maxAbsDiff(const std::vector<double> &A, const std::vector<double> &B) {
+  EXPECT_EQ(A.size(), B.size());
+  double M = 0;
+  for (size_t I = 0; I < A.size(); ++I)
+    M = std::max(M, std::abs(A[I] - B[I]));
+  return M;
+}
+
+TEST(Context, ValidatesParameters) {
+  // Good parameters.
+  EXPECT_TRUE(
+      CkksContext::createFromBitSizes(2048, {40, 40}, SecurityLevel::None)
+          .ok());
+  // Non-power-of-two degree.
+  EncryptionParameters P;
+  P.PolyDegree = 3000;
+  P.CoeffModulus = {65537, 786433};
+  EXPECT_FALSE(CkksContext::create(P, SecurityLevel::None).ok());
+  // Not enough primes.
+  EXPECT_FALSE(
+      CkksContext::createFromBitSizes(2048, {40}, SecurityLevel::None).ok());
+  // Security bound: 2048 allows only 54 bits total at TC128.
+  EXPECT_FALSE(
+      CkksContext::createFromBitSizes(2048, {40, 40}, SecurityLevel::TC128)
+          .ok());
+  EXPECT_TRUE(
+      CkksContext::createFromBitSizes(2048, {27, 27}, SecurityLevel::TC128)
+          .ok());
+}
+
+TEST(Context, RejectsNonNttPrime) {
+  EncryptionParameters P;
+  P.PolyDegree = 2048;
+  // 1000003 is prime but not 1 mod 4096.
+  P.CoeffModulus = {1000003, 1032193};
+  EXPECT_FALSE(CkksContext::create(P, SecurityLevel::None).ok());
+}
+
+TEST(Context, RejectsDuplicatePrimes) {
+  Expected<std::vector<uint64_t>> Ps = generateNttPrimes(2048, 40, 1);
+  ASSERT_TRUE(Ps.ok());
+  EncryptionParameters P;
+  P.PolyDegree = 2048;
+  P.CoeffModulus = {(*Ps)[0], (*Ps)[0]};
+  EXPECT_FALSE(CkksContext::create(P, SecurityLevel::None).ok());
+}
+
+class EncoderRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EncoderRoundTrip, EncodeDecodeIsNearIdentity) {
+  uint64_t N = GetParam();
+  auto Ctx = makeContext(N, {50, 50});
+  CkksEncoder Enc(Ctx);
+  std::vector<double> In = randomVector(N / 2, -2.0, 2.0, N);
+  Plaintext Pt;
+  Enc.encode(In, std::ldexp(1.0, 40), 1, Pt);
+  std::vector<double> Out = Enc.decode(Pt);
+  EXPECT_LT(maxAbsDiff(In, Out), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, EncoderRoundTrip,
+                         ::testing::Values(32, 256, 2048, 8192));
+
+TEST(Encoder, ReplicatesShortVectors) {
+  auto Ctx = makeContext(2048, {50, 50});
+  CkksEncoder Enc(Ctx);
+  std::vector<double> In = {1.5, -2.25, 3.0, 0.125};
+  Plaintext Pt;
+  Enc.encode(In, std::ldexp(1.0, 40), 1, Pt);
+  std::vector<double> Out = Enc.decode(Pt);
+  ASSERT_EQ(Out.size(), 1024u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_NEAR(Out[I], In[I % 4], 1e-8);
+}
+
+TEST(Encoder, ScalarEncodingFillsAllSlots) {
+  auto Ctx = makeContext(2048, {50, 50});
+  CkksEncoder Enc(Ctx);
+  Plaintext Pt;
+  Enc.encodeScalar(0.7125, std::ldexp(1.0, 40), 1, Pt);
+  std::vector<double> Out = Enc.decode(Pt);
+  for (double V : Out)
+    EXPECT_NEAR(V, 0.7125, 1e-9);
+}
+
+TEST(Encoder, MultiPrimeEncodeDecode) {
+  auto Ctx = makeContext(2048, {50, 40, 40, 50});
+  CkksEncoder Enc(Ctx);
+  std::vector<double> In = randomVector(1024, -1.0, 1.0, 3);
+  Plaintext Pt;
+  Enc.encode(In, std::ldexp(1.0, 80), 3, Pt); // scale above one prime
+  std::vector<double> Out = Enc.decode(Pt);
+  EXPECT_LT(maxAbsDiff(In, Out), 1e-8);
+}
+
+struct CkksFixture : public ::testing::Test {
+  void SetUp() override {
+    Ctx = makeContext(4096, {50, 40, 40, 50});
+    Enc = std::make_unique<CkksEncoder>(Ctx);
+    Gen = std::make_unique<KeyGenerator>(Ctx, 1234);
+    Pk = Gen->createPublicKey();
+    Encryptor_ = std::make_unique<Encryptor>(Ctx, Pk, 777);
+    Dec = std::make_unique<Decryptor>(Ctx, Gen->secretKey());
+    Eval = std::make_unique<Evaluator>(Ctx);
+  }
+
+  Ciphertext encryptVec(const std::vector<double> &V, double Scale,
+                        size_t Primes) {
+    Plaintext Pt;
+    Enc->encode(V, Scale, Primes, Pt);
+    return Encryptor_->encrypt(Pt);
+  }
+
+  std::vector<double> decryptVec(const Ciphertext &Ct) {
+    return Enc->decode(Dec->decrypt(Ct));
+  }
+
+  std::shared_ptr<CkksContext> Ctx;
+  std::unique_ptr<CkksEncoder> Enc;
+  std::unique_ptr<KeyGenerator> Gen;
+  PublicKey Pk;
+  std::unique_ptr<Encryptor> Encryptor_;
+  std::unique_ptr<Decryptor> Dec;
+  std::unique_ptr<Evaluator> Eval;
+};
+
+TEST_F(CkksFixture, EncryptDecryptRoundTrip) {
+  std::vector<double> In = randomVector(2048, -1.0, 1.0, 11);
+  Ciphertext Ct = encryptVec(In, std::ldexp(1.0, 40), 3);
+  std::vector<double> Out = decryptVec(Ct);
+  EXPECT_LT(maxAbsDiff(In, Out), 1e-6);
+}
+
+TEST_F(CkksFixture, AddSubNegate) {
+  std::vector<double> A = randomVector(2048, -1.0, 1.0, 21);
+  std::vector<double> B = randomVector(2048, -1.0, 1.0, 22);
+  double Scale = std::ldexp(1.0, 40);
+  Ciphertext CA = encryptVec(A, Scale, 3);
+  Ciphertext CB = encryptVec(B, Scale, 3);
+
+  std::vector<double> Sum = decryptVec(Eval->add(CA, CB));
+  std::vector<double> Diff = decryptVec(Eval->sub(CA, CB));
+  std::vector<double> Neg = decryptVec(Eval->negate(CA));
+  for (size_t I = 0; I < 2048; ++I) {
+    EXPECT_NEAR(Sum[I], A[I] + B[I], 1e-6);
+    EXPECT_NEAR(Diff[I], A[I] - B[I], 1e-6);
+    EXPECT_NEAR(Neg[I], -A[I], 1e-6);
+  }
+}
+
+TEST_F(CkksFixture, AddPlainAndSubPlain) {
+  std::vector<double> A = randomVector(2048, -1.0, 1.0, 31);
+  std::vector<double> B = randomVector(2048, -1.0, 1.0, 32);
+  double Scale = std::ldexp(1.0, 40);
+  Ciphertext CA = encryptVec(A, Scale, 3);
+  Plaintext PB;
+  Enc->encode(B, Scale, 3, PB);
+
+  std::vector<double> Sum = decryptVec(Eval->addPlain(CA, PB));
+  std::vector<double> Diff = decryptVec(Eval->subPlain(CA, PB));
+  std::vector<double> RDiff = decryptVec(Eval->subFromPlain(PB, CA));
+  for (size_t I = 0; I < 2048; ++I) {
+    EXPECT_NEAR(Sum[I], A[I] + B[I], 1e-6);
+    EXPECT_NEAR(Diff[I], A[I] - B[I], 1e-6);
+    EXPECT_NEAR(RDiff[I], B[I] - A[I], 1e-6);
+  }
+}
+
+TEST_F(CkksFixture, MultiplyPlain) {
+  std::vector<double> A = randomVector(2048, -1.0, 1.0, 41);
+  std::vector<double> B = randomVector(2048, -1.0, 1.0, 42);
+  double Scale = std::ldexp(1.0, 40);
+  Ciphertext CA = encryptVec(A, Scale, 3);
+  Plaintext PB;
+  Enc->encode(B, Scale, 3, PB);
+  Ciphertext Prod = Eval->multiplyPlain(CA, PB);
+  EXPECT_NEAR(Prod.Scale, Scale * Scale, 1.0);
+  std::vector<double> Out = decryptVec(Prod);
+  for (size_t I = 0; I < 2048; ++I)
+    EXPECT_NEAR(Out[I], A[I] * B[I], 1e-5);
+}
+
+TEST_F(CkksFixture, MultiplyGrowsSizeAndRelinearizeShrinks) {
+  std::vector<double> A = randomVector(2048, -1.0, 1.0, 51);
+  std::vector<double> B = randomVector(2048, -1.0, 1.0, 52);
+  double Scale = std::ldexp(1.0, 40);
+  Ciphertext CA = encryptVec(A, Scale, 3);
+  Ciphertext CB = encryptVec(B, Scale, 3);
+  Ciphertext Prod = Eval->multiply(CA, CB);
+  EXPECT_EQ(Prod.size(), 3u);
+  std::vector<double> Out3 = decryptVec(Prod);
+  for (size_t I = 0; I < 2048; ++I)
+    EXPECT_NEAR(Out3[I], A[I] * B[I], 1e-5);
+
+  RelinKeys Rk = Gen->createRelinKeys();
+  Ciphertext Relin = Eval->relinearize(Prod, Rk);
+  EXPECT_EQ(Relin.size(), 2u);
+  std::vector<double> Out2 = decryptVec(Relin);
+  for (size_t I = 0; I < 2048; ++I)
+    EXPECT_NEAR(Out2[I], A[I] * B[I], 1e-5);
+}
+
+TEST_F(CkksFixture, RescaleDividesScaleByDroppedPrime) {
+  std::vector<double> A = randomVector(2048, -1.0, 1.0, 61);
+  std::vector<double> B = randomVector(2048, -1.0, 1.0, 62);
+  double Scale = std::ldexp(1.0, 40);
+  Ciphertext CA = encryptVec(A, Scale, 3);
+  Plaintext PB;
+  Enc->encode(B, Scale, 3, PB);
+  Ciphertext Prod = Eval->multiplyPlain(CA, PB);
+  size_t CountBefore = Prod.primeCount();
+  uint64_t Dropped = Ctx->prime(CountBefore - 1).value();
+  Ciphertext Scaled = Eval->rescale(Prod);
+  EXPECT_EQ(Scaled.primeCount(), CountBefore - 1);
+  EXPECT_NEAR(Scaled.Scale, Scale * Scale / double(Dropped), 1e-3);
+  std::vector<double> Out = decryptVec(Scaled);
+  for (size_t I = 0; I < 2048; ++I)
+    EXPECT_NEAR(Out[I], A[I] * B[I], 1e-5);
+}
+
+TEST_F(CkksFixture, ModSwitchPreservesValueAndScale) {
+  std::vector<double> A = randomVector(2048, -1.0, 1.0, 71);
+  double Scale = std::ldexp(1.0, 40);
+  Ciphertext CA = encryptVec(A, Scale, 3);
+  Ciphertext Down = Eval->modSwitch(CA);
+  EXPECT_EQ(Down.primeCount(), CA.primeCount() - 1);
+  EXPECT_EQ(Down.Scale, CA.Scale);
+  std::vector<double> Out = decryptVec(Down);
+  EXPECT_LT(maxAbsDiff(A, Out), 1e-6);
+}
+
+TEST_F(CkksFixture, DepthTwoMultiplyChainWithRescale) {
+  // x^2 * y with rescaling between: exercises the full pipeline the
+  // compiler emits for Figure 2-style programs.
+  std::vector<double> X = randomVector(2048, -1.0, 1.0, 81);
+  std::vector<double> Y = randomVector(2048, -1.0, 1.0, 82);
+  double Scale = std::ldexp(1.0, 40);
+  Ciphertext CX = encryptVec(X, Scale, 3);
+  Ciphertext CY = encryptVec(Y, Scale, 3);
+  RelinKeys Rk = Gen->createRelinKeys();
+
+  Ciphertext X2 = Eval->rescale(Eval->relinearize(Eval->multiply(CX, CX), Rk));
+  // Bring y to x^2's level and scale: multiply by a constant 1 at the scale
+  // quotient (the compiler's MATCH-SCALE trick), then rescale+modswitch.
+  Ciphertext Y2 = Eval->modSwitch(CY);
+  Plaintext One;
+  std::vector<double> OneV = {1.0};
+  Enc->encode(OneV, X2.Scale / Y2.Scale, 2, One);
+  Ciphertext YM = Eval->multiplyPlain(Y2, One);
+  Ciphertext Prod = Eval->relinearize(Eval->multiply(X2, YM), Rk);
+  std::vector<double> Out = decryptVec(Prod);
+  for (size_t I = 0; I < 2048; ++I)
+    EXPECT_NEAR(Out[I], X[I] * X[I] * Y[I], 1e-4);
+}
+
+class RotationSteps : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RotationSteps, RotateLeftMatchesCyclicShift) {
+  auto Ctx = makeContext(2048, {50, 40, 50});
+  CkksEncoder Enc(Ctx);
+  KeyGenerator Gen(Ctx, 55);
+  PublicKey Pk = Gen.createPublicKey();
+  Encryptor Encryptor_(Ctx, Pk, 56);
+  Decryptor Dec(Ctx, Gen.secretKey());
+  Evaluator Eval(Ctx);
+
+  uint64_t Steps = GetParam();
+  GaloisKeys Gk = Gen.createGaloisKeys({Steps});
+
+  size_t Slots = Ctx->slotCount();
+  std::vector<double> In = randomVector(Slots, -1.0, 1.0, Steps);
+  Plaintext Pt;
+  Enc.encode(In, std::ldexp(1.0, 40), 2, Pt);
+  Ciphertext Ct = Encryptor_.encrypt(Pt);
+  Ciphertext Rot = Eval.rotateLeft(Ct, Steps, Gk);
+  std::vector<double> Out = Enc.decode(Dec.decrypt(Rot));
+  for (size_t I = 0; I < Slots; ++I)
+    EXPECT_NEAR(Out[I], In[(I + Steps) % Slots], 1e-5)
+        << "slot " << I << " steps " << Steps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, RotationSteps,
+                         ::testing::Values(1, 2, 3, 64, 512, 1023));
+
+TEST(Galois, EltFromStepMatchesPowersOfFive) {
+  EXPECT_EQ(galoisEltFromStep(1, 2048), 5u);
+  EXPECT_EQ(galoisEltFromStep(2, 2048), 25u);
+  EXPECT_EQ(galoisEltFromStep(3, 2048), 125u);
+}
+
+TEST(Galois, ApplyGaloisCompPermutesWithSign) {
+  Modulus Q(97);
+  uint64_t N = 8;
+  std::vector<uint64_t> In = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<uint64_t> Out(N);
+  applyGaloisComp(In, Out, /*GaloisElt=*/3, N, Q);
+  // X^i -> X^{3i mod 16}; indices >= 8 negate: i=0->0, 1->3, 2->6, 3->9=>1
+  // (neg), 4->12=>4 (neg), 5->15=>7 (neg), 6->18mod16=2, 7->21mod16=5.
+  EXPECT_EQ(Out[0], 1u);
+  EXPECT_EQ(Out[3], 2u);
+  EXPECT_EQ(Out[6], 3u);
+  EXPECT_EQ(Out[1], 97u - 4u);
+  EXPECT_EQ(Out[4], 97u - 5u);
+  EXPECT_EQ(Out[7], 97u - 6u);
+  EXPECT_EQ(Out[2], 7u);
+  EXPECT_EQ(Out[5], 8u);
+}
+
+TEST_F(CkksFixture, NoiseStaysBoundedThroughDeepChain) {
+  // Repeated plaintext multiplies and rescales: scale returns near the
+  // waterline each level and error stays small.
+  std::vector<double> X = randomVector(2048, 0.5, 1.0, 91);
+  double Scale = std::ldexp(1.0, 40);
+  Ciphertext Ct = encryptVec(X, Scale, 3);
+  std::vector<double> Want = X;
+  for (int Level = 0; Level < 2; ++Level) {
+    Plaintext P;
+    std::vector<double> HalfV = {0.5};
+    Enc->encode(HalfV, Scale, Ct.primeCount(), P);
+    Ct = Eval->rescale(Eval->multiplyPlain(Ct, P));
+    for (double &W : Want)
+      W *= 0.5;
+  }
+  std::vector<double> Out = decryptVec(Ct);
+  EXPECT_LT(maxAbsDiff(Want, Out), 1e-4);
+}
+
+} // namespace

@@ -1,0 +1,306 @@
+//===- MathTest.cpp - Unit tests for the math substrate --------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/math/BigUInt.h"
+#include "eva/math/CRT.h"
+#include "eva/math/Modulus.h"
+#include "eva/math/NTT.h"
+#include "eva/math/Primes.h"
+#include "eva/support/BitOps.h"
+#include "eva/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace eva;
+
+namespace {
+
+TEST(BitOps, PowerOfTwo) {
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(2));
+  EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_FALSE(isPowerOfTwo(3));
+  EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+TEST(BitOps, Log2Exact) {
+  EXPECT_EQ(log2Exact(1), 0u);
+  EXPECT_EQ(log2Exact(1024), 10u);
+  EXPECT_EQ(log2Exact(1ull << 60), 60u);
+}
+
+TEST(BitOps, ReverseBits) {
+  EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverseBits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverseBits(1, 10), 512u);
+  for (uint64_t X = 0; X < 64; ++X)
+    EXPECT_EQ(reverseBits(reverseBits(X, 6), 6), X);
+}
+
+TEST(BitOps, BitLength) {
+  EXPECT_EQ(bitLength(0), 0u);
+  EXPECT_EQ(bitLength(1), 1u);
+  EXPECT_EQ(bitLength(255), 8u);
+  EXPECT_EQ(bitLength(256), 9u);
+}
+
+TEST(Modulus, BarrettMatchesInt128) {
+  RandomSource Rng(42);
+  for (unsigned Bits : {20u, 30u, 40u, 50u, 59u, 60u}) {
+    uint64_t Q = (uint64_t(1) << Bits) - 1;
+    while (!isPrime(Q))
+      --Q;
+    Modulus M(Q);
+    for (int I = 0; I < 2000; ++I) {
+      uint64_t A = Rng.uniform64() % Q;
+      uint64_t B = Rng.uniform64() % Q;
+      uint64_t Expected = static_cast<uint64_t>(Uint128(A) * B % Q);
+      EXPECT_EQ(mulMod(A, B, M), Expected);
+    }
+    // Full 128-bit reduction stress.
+    for (int I = 0; I < 2000; ++I) {
+      Uint128 X = (Uint128(Rng.uniform64()) << 64) | Rng.uniform64();
+      EXPECT_EQ(M.reduce128(X), static_cast<uint64_t>(X % Q));
+    }
+  }
+}
+
+TEST(Modulus, ShoupMatchesBarrett) {
+  RandomSource Rng(7);
+  uint64_t Q = (uint64_t(1) << 50) - 27;
+  ASSERT_TRUE(isPrime(Q));
+  Modulus M(Q);
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t W = Rng.uniform64() % Q;
+    uint64_t X = Rng.uniform64() % Q;
+    ShoupMul S(W, M);
+    EXPECT_EQ(mulModShoup(X, S, M), mulMod(X, W, M));
+  }
+}
+
+TEST(Modulus, AddSubNegate) {
+  Modulus M(97);
+  EXPECT_EQ(addMod(90, 10, M), 3u);
+  EXPECT_EQ(subMod(3, 10, M), 90u);
+  EXPECT_EQ(negateMod(0, M), 0u);
+  EXPECT_EQ(negateMod(1, M), 96u);
+}
+
+TEST(Modulus, PowAndInverse) {
+  Modulus M(1000000007ull);
+  EXPECT_EQ(powMod(2, 10, M), 1024u);
+  for (uint64_t A : {2ull, 3ull, 123456789ull}) {
+    uint64_t Inv = invMod(A, M);
+    EXPECT_EQ(mulMod(A, Inv, M), 1u);
+  }
+}
+
+TEST(Primes, MillerRabinKnownValues) {
+  EXPECT_TRUE(isPrime(2));
+  EXPECT_TRUE(isPrime(3));
+  EXPECT_TRUE(isPrime(97));
+  EXPECT_TRUE(isPrime((uint64_t(1) << 61) - 1)); // Mersenne prime
+  EXPECT_FALSE(isPrime(1));
+  EXPECT_FALSE(isPrime(561));     // Carmichael number
+  EXPECT_FALSE(isPrime(6601));    // Carmichael number
+  EXPECT_FALSE(isPrime(1ull << 40));
+}
+
+TEST(Primes, GenerateNttPrimes) {
+  Expected<std::vector<uint64_t>> Ps = generateNttPrimes(4096, 40, 5);
+  ASSERT_TRUE(Ps.ok());
+  ASSERT_EQ(Ps->size(), 5u);
+  for (uint64_t P : *Ps) {
+    EXPECT_TRUE(isPrime(P));
+    EXPECT_EQ((P - 1) % 8192, 0u);
+    EXPECT_EQ(bitLength(P), 40u);
+  }
+  // Distinctness.
+  for (size_t I = 0; I < Ps->size(); ++I)
+    for (size_t J = I + 1; J < Ps->size(); ++J)
+      EXPECT_NE((*Ps)[I], (*Ps)[J]);
+}
+
+TEST(Primes, CreateCoeffModulusRespectsSizesAndExclusion) {
+  Expected<std::vector<uint64_t>> Ps = createCoeffModulus(8192, {60, 40, 40, 60});
+  ASSERT_TRUE(Ps.ok());
+  ASSERT_EQ(Ps->size(), 4u);
+  EXPECT_EQ(bitLength((*Ps)[0]), 60u);
+  EXPECT_EQ(bitLength((*Ps)[1]), 40u);
+  EXPECT_EQ(bitLength((*Ps)[2]), 40u);
+  EXPECT_EQ(bitLength((*Ps)[3]), 60u);
+  EXPECT_NE((*Ps)[1], (*Ps)[2]);
+  EXPECT_NE((*Ps)[0], (*Ps)[3]);
+}
+
+TEST(Primes, RejectsOutOfRangeBitSizes) {
+  EXPECT_FALSE(createCoeffModulus(8192, {61}).ok());
+  EXPECT_FALSE(createCoeffModulus(8192, {0}).ok());
+  EXPECT_FALSE(generateNttPrimes(8192, 10, 1).ok()); // smaller than 2N
+}
+
+class NttRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NttRoundTrip, ForwardInverseIsIdentity) {
+  uint64_t N = GetParam();
+  Expected<std::vector<uint64_t>> Ps = generateNttPrimes(N, 50, 1);
+  ASSERT_TRUE(Ps.ok());
+  Modulus Q((*Ps)[0]);
+  NttTables T(N, Q);
+  RandomSource Rng(N);
+  std::vector<uint64_t> X(N), Orig(N);
+  for (uint64_t I = 0; I < N; ++I)
+    Orig[I] = X[I] = Rng.uniformBelow(Q.value());
+  T.forward(X);
+  T.inverse(X);
+  EXPECT_EQ(X, Orig);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NttRoundTrip,
+                         ::testing::Values(8, 16, 64, 256, 1024, 4096));
+
+/// Naive negacyclic convolution for cross-checking the NTT.
+static std::vector<uint64_t> naiveNegacyclic(const std::vector<uint64_t> &A,
+                                             const std::vector<uint64_t> &B,
+                                             const Modulus &Q) {
+  size_t N = A.size();
+  std::vector<uint64_t> C(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J < N; ++J) {
+      uint64_t P = mulMod(A[I], B[J], Q);
+      size_t K = I + J;
+      if (K < N)
+        C[K] = addMod(C[K], P, Q);
+      else
+        C[K - N] = subMod(C[K - N], P, Q);
+    }
+  }
+  return C;
+}
+
+TEST(Ntt, PointwiseProductIsNegacyclicConvolution) {
+  uint64_t N = 128;
+  Expected<std::vector<uint64_t>> Ps = generateNttPrimes(N, 40, 1);
+  ASSERT_TRUE(Ps.ok());
+  Modulus Q((*Ps)[0]);
+  NttTables T(N, Q);
+  RandomSource Rng(5);
+  std::vector<uint64_t> A(N), B(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    A[I] = Rng.uniformBelow(Q.value());
+    B[I] = Rng.uniformBelow(Q.value());
+  }
+  std::vector<uint64_t> Want = naiveNegacyclic(A, B, Q);
+  std::vector<uint64_t> FA = A, FB = B;
+  T.forward(FA);
+  T.forward(FB);
+  std::vector<uint64_t> C(N);
+  for (uint64_t I = 0; I < N; ++I)
+    C[I] = mulMod(FA[I], FB[I], Q);
+  T.inverse(C);
+  EXPECT_EQ(C, Want);
+}
+
+TEST(Ntt, ConstantPolynomialIsConstantInEvaluationForm) {
+  uint64_t N = 64;
+  Expected<std::vector<uint64_t>> Ps = generateNttPrimes(N, 30, 1);
+  ASSERT_TRUE(Ps.ok());
+  Modulus Q((*Ps)[0]);
+  NttTables T(N, Q);
+  std::vector<uint64_t> X(N, 0);
+  X[0] = 12345 % Q.value();
+  T.forward(X);
+  for (uint64_t I = 0; I < N; ++I)
+    EXPECT_EQ(X[I], 12345 % Q.value());
+}
+
+TEST(BigUInt, MulAddWordAndCompare) {
+  BigUInt A(7);
+  A.mulAddWord(10, 3); // 73
+  EXPECT_EQ(A.words().size(), 1u);
+  EXPECT_EQ(A.words()[0], 73u);
+  BigUInt B(0);
+  B.mulAddWord(100, 73);
+  EXPECT_EQ(A.compare(B), 0);
+  A.mulAddWord(~uint64_t(0), 0); // grows beyond one word
+  EXPECT_EQ(A.words().size(), 2u);
+  EXPECT_GT(A.compare(B), 0);
+}
+
+TEST(BigUInt, RsubAndShift) {
+  BigUInt Q(1);
+  for (int I = 0; I < 3; ++I)
+    Q.mulAddWord(uint64_t(1) << 60, 0); // 2^180
+  BigUInt Half = Q;
+  Half.shiftRightOne();
+  BigUInt X = Half;
+  X.rsubFrom(Q); // Q - Q/2 == Q/2 (Q even)
+  EXPECT_EQ(X.compare(Half), 0);
+}
+
+TEST(BigUInt, ToLongDouble) {
+  BigUInt A(1);
+  A.mulAddWord(uint64_t(1) << 32, 0);
+  A.mulAddWord(uint64_t(1) << 32, 0); // 2^64
+  long double V = A.toLongDouble();
+  EXPECT_NEAR(static_cast<double>(V / 18446744073709551616.0L), 1.0, 1e-15);
+}
+
+TEST(Crt, ComposeSmallKnownValues) {
+  std::vector<Modulus> Ms = {Modulus(97), Modulus(101)};
+  CrtComposer C(Ms);
+  // Value 4000 (below Q/2 = 4898): residues mod 97 and 101.
+  std::vector<uint64_t> R0 = {4000 % 97};
+  std::vector<uint64_t> R1 = {4000 % 101};
+  const uint64_t *Ptrs[2] = {R0.data(), R1.data()};
+  EXPECT_NEAR(static_cast<double>(C.composeCentered(Ptrs, 0)), 4000.0, 1e-9);
+  // A value above Q/2 is interpreted as negative: 5000 - 9797 = -4797.
+  std::vector<uint64_t> H0 = {5000 % 97};
+  std::vector<uint64_t> H1 = {5000 % 101};
+  const uint64_t *HPtrs[2] = {H0.data(), H1.data()};
+  EXPECT_NEAR(static_cast<double>(C.composeCentered(HPtrs, 0)), -4797.0,
+              1e-9);
+  // Negative value -123 mod 97*101 = 9797.
+  std::vector<uint64_t> N0 = {static_cast<uint64_t>(((-123 % 97) + 97) % 97)};
+  std::vector<uint64_t> N1 = {
+      static_cast<uint64_t>(((-123 % 101) + 101) % 101)};
+  const uint64_t *NPtrs[2] = {N0.data(), N1.data()};
+  EXPECT_NEAR(static_cast<double>(C.composeCentered(NPtrs, 0)), -123.0, 1e-9);
+}
+
+TEST(Crt, ComposeRandomRoundTrip60BitPrimes) {
+  Expected<std::vector<uint64_t>> Ps = generateNttPrimes(1024, 55, 4);
+  ASSERT_TRUE(Ps.ok());
+  std::vector<Modulus> Ms;
+  for (uint64_t P : *Ps)
+    Ms.emplace_back(P);
+  CrtComposer C(Ms);
+  RandomSource Rng(99);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    // Pick a signed double-magnitude value well inside Q.
+    double Value = (Rng.uniformReal(-1.0, 1.0)) * std::ldexp(1.0, 90);
+    long double LV = static_cast<long double>(Value);
+    bool Neg = LV < 0;
+    long double Mag = Neg ? -LV : LV;
+    std::vector<std::vector<uint64_t>> Res(Ms.size());
+    std::vector<const uint64_t *> Ptrs(Ms.size());
+    for (size_t I = 0; I < Ms.size(); ++I) {
+      long double Q = static_cast<long double>(Ms[I].value());
+      uint64_t R = static_cast<uint64_t>(std::fmod(Mag, Q));
+      if (Neg && R != 0)
+        R = Ms[I].value() - R;
+      Res[I] = {R};
+      Ptrs[I] = Res[I].data();
+    }
+    long double Out = C.composeCentered(Ptrs.data(), 0);
+    EXPECT_NEAR(static_cast<double>(Out / LV), 1.0, 1e-9);
+  }
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- OptimizeTest.cpp - CSE and simplification pass tests ------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Compiler.h"
+#include "eva/frontend/Expr.h"
+#include "eva/ir/Printer.h"
+#include "eva/runtime/ReferenceExecutor.h"
+#include "eva/support/Random.h"
+#include "eva/tensor/Network.h"
+
+#include <gtest/gtest.h>
+
+using namespace eva;
+
+namespace {
+
+TEST(Cse, MergesIdenticalSubexpressions) {
+  ProgramBuilder B("cse", 16);
+  Expr X = B.inputCipher("x", 30);
+  Expr A = (X << 3) * X;
+  Expr C = (X << 3) * X; // identical subtree
+  B.output("out", A + C, 30);
+  Program &P = B.program();
+  EXPECT_EQ(countOps(P, OpCode::RotateLeft), 2u);
+  EXPECT_EQ(countOps(P, OpCode::Multiply), 2u);
+  size_t N = cseAndSimplifyPass(P);
+  EXPECT_GE(N, 2u);
+  EXPECT_EQ(countOps(P, OpCode::RotateLeft), 1u);
+  EXPECT_EQ(countOps(P, OpCode::Multiply), 1u);
+  EXPECT_TRUE(P.verifyStructure().ok());
+}
+
+TEST(Cse, CommutativeOperandsMerge) {
+  ProgramBuilder B("comm", 16);
+  Expr X = B.inputCipher("x", 30);
+  Expr Y = B.inputCipher("y", 30);
+  Expr A = X * Y;
+  Expr C = Y * X; // same multiply, swapped operands
+  B.output("out", A + C, 30);
+  cseAndSimplifyPass(B.program());
+  EXPECT_EQ(countOps(B.program(), OpCode::Multiply), 1u);
+}
+
+TEST(Cse, DistinctRotationsDoNotMerge) {
+  ProgramBuilder B("norm", 16);
+  Expr X = B.inputCipher("x", 30);
+  B.output("out", (X << 3) + (X << 5), 30);
+  cseAndSimplifyPass(B.program());
+  EXPECT_EQ(countOps(B.program(), OpCode::RotateLeft), 2u);
+}
+
+TEST(Cse, ZeroRotationIsEliminated) {
+  ProgramBuilder B("zero", 16);
+  Expr X = B.inputCipher("x", 30);
+  B.output("out", (X << 16) + (X << 0) + (X >> 32), 30);
+  size_t N = cseAndSimplifyPass(B.program());
+  EXPECT_GE(N, 3u); // all three rotations are identities mod 16
+  EXPECT_EQ(countOps(B.program(), OpCode::RotateLeft), 0u);
+  EXPECT_EQ(countOps(B.program(), OpCode::RotateRight), 0u);
+}
+
+TEST(Cse, DoubleNegationFolds) {
+  ProgramBuilder B("negneg", 16);
+  Expr X = B.inputCipher("x", 30);
+  B.output("out", -(-X) + X, 30);
+  cseAndSimplifyPass(B.program());
+  EXPECT_EQ(countOps(B.program(), OpCode::Negate), 0u);
+}
+
+TEST(Cse, DuplicateConstantsMerge) {
+  ProgramBuilder B("const", 16);
+  Expr X = B.inputCipher("x", 30);
+  Expr A = X * B.constant(0.5, 20);
+  Expr C = X * B.constant(0.5, 20);
+  B.output("out", A + C, 30);
+  EXPECT_EQ(B.program().constants().size(), 2u);
+  cseAndSimplifyPass(B.program());
+  EXPECT_EQ(B.program().constants().size(), 1u);
+  EXPECT_EQ(countOps(B.program(), OpCode::Multiply), 1u);
+}
+
+TEST(Cse, DifferentScaleConstantsStayDistinct) {
+  ProgramBuilder B("const2", 16);
+  Expr X = B.inputCipher("x", 30);
+  B.output("out", X * B.constant(0.5, 20) + X * B.constant(0.5, 25), 30);
+  cseAndSimplifyPass(B.program());
+  EXPECT_EQ(B.program().constants().size(), 2u);
+}
+
+TEST(Cse, PreservesSemanticsOnRandomPrograms) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    RandomSource Rng(Seed);
+    ProgramBuilder B("sem", 32);
+    Expr X = B.inputCipher("x", 30);
+    Expr Y = B.inputCipher("y", 30);
+    std::vector<Expr> Pool = {X, Y, X * Y, X + Y, (X << 2) * Y};
+    for (int I = 0; I < 20; ++I) {
+      Expr A = Pool[Rng.uniformBelow(Pool.size())];
+      Expr C = Pool[Rng.uniformBelow(Pool.size())];
+      switch (Rng.uniformBelow(3)) {
+      case 0:
+        Pool.push_back(A + C);
+        break;
+      case 1:
+        Pool.push_back(A - C);
+        break;
+      default:
+        Pool.push_back(A << static_cast<int32_t>(Rng.uniformBelow(32)));
+        break;
+      }
+    }
+    B.output("out", Pool.back(), 30);
+    Program &P = B.program();
+    std::map<std::string, std::vector<double>> Inputs;
+    for (const Node *I : P.inputs()) {
+      std::vector<double> V(32);
+      for (double &W : V)
+        W = Rng.uniformReal(-1, 1);
+      Inputs.emplace(I->name(), V);
+    }
+    std::map<std::string, std::vector<double>> Before =
+        ReferenceExecutor(P).run(Inputs);
+    cseAndSimplifyPass(P);
+    EXPECT_TRUE(P.verifyStructure().ok()) << "seed " << Seed;
+    std::map<std::string, std::vector<double>> After =
+        ReferenceExecutor(P).run(Inputs);
+    for (size_t I = 0; I < 32; ++I)
+      EXPECT_DOUBLE_EQ(Before.at("out")[I], After.at("out")[I])
+          << "seed " << Seed;
+  }
+}
+
+TEST(Cse, ShrinksTensorPrograms) {
+  // The FC kernel's selection masks repeat structure; CSE must only ever
+  // shrink a program, never grow it, and the result must still compile.
+  NetworkDefinition N = makeLeNet5Small(5);
+  TensorScales S;
+  std::unique_ptr<Program> P = N.buildProgram(S);
+  size_t Before = P->nodeCount();
+  CompilerOptions WithOpt = CompilerOptions::eva();
+  CompilerOptions NoOpt = CompilerOptions::eva();
+  NoOpt.Optimize = false;
+  Expected<CompiledProgram> A = compile(*P, WithOpt);
+  Expected<CompiledProgram> B = compile(*P, NoOpt);
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_LE(A->Prog->nodeCount(), B->Prog->nodeCount());
+  EXPECT_EQ(A->modulusLength(), B->modulusLength());
+  EXPECT_EQ(Before, P->nodeCount()) << "input program must be untouched";
+}
+
+} // namespace

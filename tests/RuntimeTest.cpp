@@ -1,0 +1,268 @@
+//===- RuntimeTest.cpp - End-to-end compile-and-execute tests ----------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integration tests across compiler + CKKS backend + executors: every
+/// compiled program must produce (approximately) the same outputs as the
+/// reference id-scheme executor, under all executors and both compiler
+/// modes — the paper's correctness guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/frontend/Expr.h"
+#include "eva/ir/Printer.h"
+#include "eva/runtime/CkksExecutor.h"
+#include "eva/runtime/ReferenceExecutor.h"
+#include "eva/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace eva;
+
+namespace {
+
+std::map<std::string, std::vector<double>>
+randomInputs(const Program &P, uint64_t Seed, double Lo = -1.0,
+             double Hi = 1.0) {
+  RandomSource Rng(Seed);
+  std::map<std::string, std::vector<double>> Inputs;
+  for (const Node *I : P.inputs()) {
+    std::vector<double> V(P.vecSize());
+    for (double &X : V)
+      X = Rng.uniformReal(Lo, Hi);
+    Inputs.emplace(I->name(), std::move(V));
+  }
+  return Inputs;
+}
+
+double maxOutputError(const std::map<std::string, std::vector<double>> &A,
+                      const std::map<std::string, std::vector<double>> &B) {
+  EXPECT_EQ(A.size(), B.size());
+  double Err = 0;
+  for (const auto &[Name, VA] : A) {
+    auto It = B.find(Name);
+    EXPECT_NE(It, B.end()) << "missing output " << Name;
+    if (It == B.end())
+      continue;
+    EXPECT_EQ(VA.size(), It->second.size());
+    for (size_t I = 0; I < VA.size(); ++I)
+      Err = std::max(Err, std::abs(VA[I] - It->second[I]));
+  }
+  return Err;
+}
+
+/// Compiles and runs under both the reference and the CKKS executor;
+/// returns the max elementwise deviation.
+double compileAndCompare(const Program &P, const CompilerOptions &Options,
+                         uint64_t Seed, double InputLo = -1.0,
+                         double InputHi = 1.0) {
+  Expected<CompiledProgram> CP = compile(P, Options);
+  EXPECT_TRUE(CP.ok()) << (CP.ok() ? "" : CP.message());
+  if (!CP.ok())
+    return 1e9;
+  std::map<std::string, std::vector<double>> Inputs =
+      randomInputs(P, Seed, InputLo, InputHi);
+  ReferenceExecutor Ref(P);
+  std::map<std::string, std::vector<double>> Want = Ref.run(Inputs);
+
+  Expected<std::shared_ptr<CkksWorkspace>> WS =
+      CkksWorkspace::create(*CP, Seed + 7);
+  EXPECT_TRUE(WS.ok()) << (WS.ok() ? "" : WS.message());
+  if (!WS.ok())
+    return 1e9;
+  CkksExecutor Exec(*CP, WS.value());
+  std::map<std::string, std::vector<double>> Got = Exec.runPlain(Inputs);
+  return maxOutputError(Want, Got);
+}
+
+TEST(EndToEnd, PolynomialEvaluation) {
+  // 1 + 2x + 3x^2 - x^3 over encrypted x.
+  ProgramBuilder B("poly", 512);
+  Expr X = B.inputCipher("x", 30);
+  Expr X2 = X * X;
+  Expr X3 = X2 * X;
+  Expr R = X * B.constant(2.0, 30) + X2 * B.constant(3.0, 30) -
+           X3 + B.constant(1.0, 30);
+  B.output("out", R, 30);
+  EXPECT_LT(compileAndCompare(B.program(), CompilerOptions::eva(), 17), 1e-3);
+}
+
+TEST(EndToEnd, RotationsAndSums) {
+  ProgramBuilder B("rots", 256);
+  Expr X = B.inputCipher("x", 30);
+  Expr R = (X << 5) + (X >> 3) + B.sumSlots(X * X);
+  B.output("out", R, 30);
+  EXPECT_LT(compileAndCompare(B.program(), CompilerOptions::eva(), 23),
+            1e-2);
+}
+
+TEST(EndToEnd, DeepMultiplyChain) {
+  // Depth-4 chain exercises rescale + modswitch + relinearize together.
+  ProgramBuilder B("deep", 128);
+  Expr X = B.inputCipher("x", 40);
+  Expr V = X.pow(16);
+  B.output("out", V, 30);
+  EXPECT_LT(compileAndCompare(B.program(), CompilerOptions::eva(), 31, 0.5,
+                              1.1),
+            1e-2);
+}
+
+TEST(EndToEnd, MixedScalesTriggerMatchScale) {
+  ProgramBuilder B("mixed", 64);
+  Expr X = B.inputCipher("x", 30);
+  Expr Y = B.inputCipher("y", 25);
+  Expr R = X * X + Y + B.constant(0.25, 10);
+  B.output("out", R, 25);
+  EXPECT_LT(compileAndCompare(B.program(), CompilerOptions::eva(), 37),
+            1e-2);
+}
+
+TEST(EndToEnd, ChetModeIsAlsoCorrect) {
+  ProgramBuilder B("chetok", 64);
+  Expr X = B.inputCipher("x", 25);
+  Expr C = B.constant(0.5, 15);
+  Expr V = X;
+  for (int I = 0; I < 2; ++I)
+    V = (V * C) * V;
+  B.output("out", V, 25);
+  EXPECT_LT(compileAndCompare(B.program(), CompilerOptions::chet(), 41),
+            2e-2);
+}
+
+TEST(EndToEnd, MultipleOutputsAtDifferentDepths) {
+  ProgramBuilder B("multi", 64);
+  Expr X = B.inputCipher("x", 30);
+  B.output("shallow", X + X, 30);
+  B.output("mid", X * X, 30);
+  B.output("deep", X.pow(4), 30);
+  EXPECT_LT(compileAndCompare(B.program(), CompilerOptions::eva(), 43),
+            1e-2);
+}
+
+struct ExecutorKind {
+  const char *Name;
+  int Kind; // 0 serial, 1 parallel, 2 kernel-bulk
+  size_t Threads;
+};
+
+class AllExecutors : public ::testing::TestWithParam<ExecutorKind> {};
+
+TEST_P(AllExecutors, AgreeOnSobelLikeProgram) {
+  const ExecutorKind &K = GetParam();
+  // A miniature Sobel-style stencil: rotations, plaintext multiplies,
+  // squares, and a polynomial.
+  ProgramBuilder B("stencil", 64);
+  Expr Img = B.inputCipher("img", 30);
+  Expr Ix, Iy;
+  const double F[3] = {-1, 0, 1};
+  for (int I = 0; I < 3; ++I) {
+    Expr Rot = Img << (I * 8);
+    Expr H = Rot * B.constant(F[I], 20);
+    Expr V = Rot * B.constant(F[2 - I], 20);
+    Ix = I == 0 ? H : Ix + H;
+    Iy = I == 0 ? V : Iy + V;
+  }
+  Expr G = Ix * Ix + Iy * Iy;
+  B.output("out", G, 30);
+  Program &P = B.program();
+
+  Expected<CompiledProgram> CP = compile(P);
+  ASSERT_TRUE(CP.ok()) << (CP.ok() ? "" : CP.message());
+  std::map<std::string, std::vector<double>> Inputs = randomInputs(P, 71);
+  ReferenceExecutor Ref(P);
+  std::map<std::string, std::vector<double>> Want = Ref.run(Inputs);
+
+  Expected<std::shared_ptr<CkksWorkspace>> WS =
+      CkksWorkspace::create(*CP, 1000);
+  ASSERT_TRUE(WS.ok()) << (WS.ok() ? "" : WS.message());
+  std::unique_ptr<CkksExecutor> Exec;
+  if (K.Kind == 0)
+    Exec = std::make_unique<CkksExecutor>(*CP, WS.value());
+  else if (K.Kind == 1)
+    Exec =
+        std::make_unique<ParallelCkksExecutor>(*CP, WS.value(), K.Threads);
+  else
+    Exec =
+        std::make_unique<KernelBulkCkksExecutor>(*CP, WS.value(), K.Threads);
+  std::map<std::string, std::vector<double>> Got = Exec->runPlain(Inputs);
+  EXPECT_LT(maxOutputError(Want, Got), 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllExecutors,
+    ::testing::Values(ExecutorKind{"serial", 0, 1},
+                      ExecutorKind{"parallel1", 1, 1},
+                      ExecutorKind{"parallel2", 1, 2},
+                      ExecutorKind{"parallel4", 1, 4},
+                      ExecutorKind{"bulk2", 2, 2}),
+    [](const ::testing::TestParamInfo<ExecutorKind> &I) {
+      return std::string(I.param.Name);
+    });
+
+TEST(EndToEnd, MemoryReuseBoundsLiveCiphertexts) {
+  // A long chain should retire intermediates: peak live nodes must stay far
+  // below the node count (Section 6.1's retire rule).
+  ProgramBuilder B("chain", 64);
+  Expr X = B.inputCipher("x", 40);
+  Expr V = X;
+  for (int I = 0; I < 6; ++I)
+    V = V * V;
+  B.output("out", V, 30);
+  Expected<CompiledProgram> CP = compile(B.program());
+  ASSERT_TRUE(CP.ok()) << (CP.ok() ? "" : CP.message());
+  Expected<std::shared_ptr<CkksWorkspace>> WS =
+      CkksWorkspace::create(*CP, 5);
+  ASSERT_TRUE(WS.ok()) << (WS.ok() ? "" : WS.message());
+  CkksExecutor Exec(*CP, WS.value());
+  std::map<std::string, std::vector<double>> Inputs = randomInputs(
+      B.program(), 3, 0.9, 1.1);
+  Exec.runPlain(Inputs);
+  EXPECT_GT(Exec.stats().TotalNodeCount, 10u);
+  EXPECT_LE(Exec.stats().PeakLiveNodes, 4u);
+}
+
+TEST(Reference, MatchesHandComputedValues) {
+  ProgramBuilder B("ref", 4);
+  Expr X = B.inputCipher("x", 30);
+  Expr Y = (X << 1) * X + B.constant(1.0, 30);
+  B.output("out", Y, 30);
+  ReferenceExecutor Ref(B.program());
+  std::map<std::string, std::vector<double>> Out =
+      Ref.run({{"x", {1, 2, 3, 4}}});
+  // (rot left by 1 of [1,2,3,4]) * [1,2,3,4] + 1 = [2*1+1, 3*2+1, 4*3+1,
+  // 1*4+1].
+  std::vector<double> Want = {3, 7, 13, 5};
+  EXPECT_EQ(Out["out"], Want);
+}
+
+TEST(Reference, TransformationPreservesSemantics) {
+  // Pid(inputs) == P'id(inputs): compiled graphs are value-equivalent under
+  // the id scheme (the MATCH-SCALE constant multiplies by 1.0, RESCALE and
+  // MODSWITCH are identities).
+  for (uint64_t Seed : {1u, 2u, 3u}) {
+    ProgramBuilder B("sem", 128);
+    Expr X = B.inputCipher("x", 30);
+    Expr Y = B.inputCipher("y", 20);
+    Expr V = (X * X + Y) * (X << 7) + B.sumSlots(Y) - X.pow(3);
+    B.output("out", V, 30);
+    Program &P = B.program();
+    for (const CompilerOptions &O :
+         {CompilerOptions::eva(), CompilerOptions::chet()}) {
+      Expected<CompiledProgram> CP = compile(P, O);
+      ASSERT_TRUE(CP.ok()) << (CP.ok() ? "" : CP.message());
+      std::map<std::string, std::vector<double>> Inputs =
+          randomInputs(P, Seed);
+      ReferenceExecutor Ref(P), RefCompiled(*CP->Prog);
+      double Err =
+          maxOutputError(Ref.run(Inputs), RefCompiled.run(Inputs));
+      EXPECT_LT(Err, 1e-9);
+    }
+  }
+}
+
+} // namespace

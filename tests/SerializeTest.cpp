@@ -1,0 +1,258 @@
+//===- SerializeTest.cpp - Wire format and program round-trips ---------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Compiler.h"
+#include "eva/frontend/Expr.h"
+#include "eva/ir/Printer.h"
+#include "eva/runtime/ReferenceExecutor.h"
+#include "eva/serialize/ProtoIO.h"
+#include "eva/serialize/Wire.h"
+#include "eva/support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace eva;
+
+namespace {
+
+TEST(Wire, VarintRoundTrip) {
+  for (uint64_t V : {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                     ~0ull, 1ull << 63}) {
+    WireWriter W;
+    W.varint(V);
+    WireReader R(W.str());
+    uint64_t Out = 0;
+    ASSERT_TRUE(R.readVarint(Out));
+    EXPECT_EQ(Out, V);
+  }
+}
+
+TEST(Wire, VarintKnownEncodings) {
+  WireWriter W;
+  W.varint(300); // protobuf doc example: 0xAC 0x02
+  ASSERT_EQ(W.str().size(), 2u);
+  EXPECT_EQ(static_cast<uint8_t>(W.str()[0]), 0xAC);
+  EXPECT_EQ(static_cast<uint8_t>(W.str()[1]), 0x02);
+}
+
+TEST(Wire, DoubleRoundTrip) {
+  for (double V : {0.0, 1.5, -2.25, 1e300, -1e-300}) {
+    WireWriter W;
+    W.doubleField(3, V);
+    WireReader R(W.str());
+    uint32_t Field;
+    WireType Type;
+    ASSERT_TRUE(R.nextField(Field, Type));
+    EXPECT_EQ(Field, 3u);
+    EXPECT_EQ(Type, WireType::Fixed64);
+    double Out;
+    ASSERT_TRUE(R.readDouble(Out));
+    EXPECT_EQ(Out, V);
+  }
+}
+
+TEST(Wire, RejectsTruncatedInput) {
+  WireWriter W;
+  W.bytesField(2, "hello");
+  std::string Data = W.str();
+  Data.pop_back(); // truncate the payload
+  WireReader R(Data);
+  uint32_t Field;
+  WireType Type;
+  ASSERT_TRUE(R.nextField(Field, Type));
+  std::string_view B;
+  EXPECT_FALSE(R.readBytes(B));
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(Wire, SkipsUnknownFields) {
+  WireWriter W;
+  W.varintField(9, 42);
+  W.doubleField(10, 1.5);
+  W.bytesField(11, "xyz");
+  W.varintField(1, 7);
+  WireReader R(W.str());
+  uint32_t Field;
+  WireType Type;
+  uint64_t Found = 0;
+  while (R.nextField(Field, Type)) {
+    if (Field == 1 && Type == WireType::Varint)
+      ASSERT_TRUE(R.readVarint(Found));
+    else
+      ASSERT_TRUE(R.skip(Type));
+  }
+  EXPECT_EQ(Found, 7u);
+  EXPECT_FALSE(R.failed());
+}
+
+std::unique_ptr<Program> buildRichProgram() {
+  ProgramBuilder B("rich", 64);
+  Expr X = B.inputCipher("x", 30);
+  Expr W = B.inputPlain("w", 20);
+  Expr C = B.constantVector({1, 2, 3, 4}, 15);
+  Expr S = B.constant(0.5, 10);
+  Expr V = ((X * W) + C) * S;
+  Expr R = (V << 3) + (V >> 5) + B.sumSlots(X);
+  B.output("main", R, 30);
+  B.output("aux", V, 25);
+  return B.take();
+}
+
+TEST(ProtoIO, RoundTripPreservesStructure) {
+  std::unique_ptr<Program> P = buildRichProgram();
+  std::string Data = serializeProgram(*P);
+  EXPECT_FALSE(Data.empty());
+  Expected<std::unique_ptr<Program>> Q = deserializeProgram(Data);
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  EXPECT_EQ((*Q)->vecSize(), P->vecSize());
+  EXPECT_EQ((*Q)->name(), P->name());
+  EXPECT_EQ((*Q)->nodeCount(), P->nodeCount());
+  EXPECT_EQ((*Q)->inputs().size(), P->inputs().size());
+  EXPECT_EQ((*Q)->outputs().size(), P->outputs().size());
+  for (OpCode Op : {OpCode::Add, OpCode::Sub, OpCode::Multiply,
+                    OpCode::RotateLeft, OpCode::RotateRight, OpCode::Sum})
+    EXPECT_EQ(countOps(**Q, Op), countOps(*P, Op)) << opName(Op);
+}
+
+TEST(ProtoIO, RoundTripPreservesSemantics) {
+  std::unique_ptr<Program> P = buildRichProgram();
+  Expected<std::unique_ptr<Program>> Q =
+      deserializeProgram(serializeProgram(*P));
+  ASSERT_TRUE(Q.ok());
+  RandomSource Rng(5);
+  std::map<std::string, std::vector<double>> Inputs;
+  for (const Node *I : P->inputs()) {
+    std::vector<double> V(P->vecSize());
+    for (double &X : V)
+      X = Rng.uniformReal(-1, 1);
+    Inputs.emplace(I->name(), V);
+  }
+  ReferenceExecutor RP(*P), RQ(**Q);
+  auto A = RP.run(Inputs);
+  auto B = RQ.run(Inputs);
+  ASSERT_EQ(A.size(), B.size());
+  for (const auto &[Name, VA] : A) {
+    const std::vector<double> &VB = B.at(Name);
+    for (size_t I = 0; I < VA.size(); ++I)
+      EXPECT_DOUBLE_EQ(VA[I], VB[I]);
+  }
+}
+
+TEST(ProtoIO, RoundTripOfCompiledProgram) {
+  std::unique_ptr<Program> P = buildRichProgram();
+  Expected<CompiledProgram> CP = compile(*P);
+  ASSERT_TRUE(CP.ok()) << (CP.ok() ? "" : CP.message());
+  std::string Data = serializeProgram(*CP->Prog);
+  Expected<std::unique_ptr<Program>> Q = deserializeProgram(Data);
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  // Compiler-inserted ops and their attributes survive.
+  EXPECT_EQ(countOps(**Q, OpCode::Rescale), countOps(*CP->Prog, OpCode::Rescale));
+  EXPECT_EQ(countOps(**Q, OpCode::ModSwitch),
+            countOps(*CP->Prog, OpCode::ModSwitch));
+  EXPECT_EQ(countOps(**Q, OpCode::Relinearize),
+            countOps(*CP->Prog, OpCode::Relinearize));
+  EXPECT_TRUE(validateRescaleChains(**Q, 60).ok());
+  Status S = validateScales(**Q);
+  EXPECT_TRUE(S.ok()) << (S.ok() ? "" : S.message());
+}
+
+TEST(ProtoIO, RejectsGarbage) {
+  EXPECT_FALSE(deserializeProgram("not a protobuf").ok());
+  std::string Junk(64, '\xff');
+  EXPECT_FALSE(deserializeProgram(Junk).ok());
+}
+
+TEST(ProtoIO, RejectsDanglingReference) {
+  // Program with an instruction referencing a nonexistent object id.
+  WireWriter W;
+  W.varintField(1, 8); // vec_size
+  WireWriter I;
+  {
+    WireWriter Obj;
+    Obj.varintField(1, 5);
+    I.bytesField(1, Obj.str());
+  }
+  I.varintField(2, 1); // NEGATE
+  {
+    WireWriter Obj;
+    Obj.varintField(1, 999);
+    I.bytesField(3, Obj.str());
+  }
+  W.bytesField(5, I.str());
+  Expected<std::unique_ptr<Program>> Q = deserializeProgram(W.str());
+  EXPECT_FALSE(Q.ok());
+  EXPECT_NE(Q.message().find("unknown id"), std::string::npos);
+}
+
+TEST(ProtoIO, RejectsNonPowerOfTwoVecSize) {
+  WireWriter W;
+  W.varintField(1, 12);
+  EXPECT_FALSE(deserializeProgram(W.str()).ok());
+}
+
+TEST(ProtoIO, FileSaveAndLoad) {
+  std::unique_ptr<Program> P = buildRichProgram();
+  std::string Path = ::testing::TempDir() + "eva_prog.evabin";
+  ASSERT_TRUE(saveProgram(*P, Path).ok());
+  Expected<std::unique_ptr<Program>> Q = loadProgram(Path);
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  EXPECT_EQ((*Q)->nodeCount(), P->nodeCount());
+}
+
+TEST(ProtoIO, PropertyRandomProgramsRoundTrip) {
+  // Generate random DAGs and check structural round-trips.
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    RandomSource Rng(Seed * 31);
+    ProgramBuilder B("rand" + std::to_string(Seed), 32);
+    std::vector<Expr> Pool;
+    Pool.push_back(B.inputCipher("x", 30));
+    Pool.push_back(B.inputCipher("y", 25));
+    Pool.push_back(B.constant(0.5, 10));
+    for (int I = 0; I < 30; ++I) {
+      Expr A = Pool[Rng.uniformBelow(Pool.size())];
+      Expr Bx = Pool[Rng.uniformBelow(Pool.size())];
+      Expr R;
+      switch (Rng.uniformBelow(5)) {
+      case 0:
+        R = A.node()->isPlain() && Bx.node()->isPlain() ? A : A + Bx;
+        break;
+      case 1:
+        R = A.node()->isPlain() && Bx.node()->isPlain() ? A : A * Bx;
+        break;
+      case 2:
+        R = A.node()->isPlain() ? A : -A;
+        break;
+      case 3:
+        R = A.node()->isPlain()
+                ? A
+                : A << static_cast<int32_t>(Rng.uniformBelow(64));
+        break;
+      default:
+        R = A.node()->isPlain() && Bx.node()->isPlain() ? A : A - Bx;
+        break;
+      }
+      Pool.push_back(R);
+    }
+    // Output the last few cipher values.
+    int Outputs = 0;
+    for (size_t I = Pool.size(); I-- > 0 && Outputs < 3;) {
+      if (Pool[I].node()->isCipher()) {
+        B.output("o" + std::to_string(Outputs), Pool[I], 30);
+        ++Outputs;
+      }
+    }
+    if (Outputs == 0)
+      continue;
+    Program &P = B.program();
+    Expected<std::unique_ptr<Program>> Q =
+        deserializeProgram(serializeProgram(P));
+    ASSERT_TRUE(Q.ok()) << "seed " << Seed;
+    EXPECT_EQ((*Q)->nodeCount(), P.nodeCount()) << "seed " << Seed;
+    EXPECT_TRUE((*Q)->verifyStructure().ok()) << "seed " << Seed;
+  }
+}
+
+} // namespace

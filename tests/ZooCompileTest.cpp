@@ -1,0 +1,102 @@
+//===- ZooCompileTest.cpp - Table 6 invariants across the model zoo ----------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-only sweep over all five Table 3 networks in both compiler
+/// modes, asserting the Table 6 relationships the paper reports: EVA's
+/// modulus length is strictly smaller than the CHET baseline's, its total
+/// modulus is smaller, its polynomial degree never larger, and both modes
+/// validate and preserve reference semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Compiler.h"
+#include "eva/ir/Printer.h"
+#include "eva/runtime/ReferenceExecutor.h"
+#include "eva/support/Random.h"
+#include "eva/tensor/Network.h"
+
+#include <gtest/gtest.h>
+
+using namespace eva;
+
+namespace {
+
+class ZooCompile : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ZooCompile, Table6InvariantsHold) {
+  NetworkDefinition Net = makeAllNetworks(2024)[GetParam()];
+  SCOPED_TRACE(Net.name());
+  TensorScales Scales;
+  std::unique_ptr<Program> P = Net.buildProgram(Scales);
+
+  Expected<CompiledProgram> Eva = compile(*P, CompilerOptions::eva());
+  Expected<CompiledProgram> Chet = compile(*P, CompilerOptions::chet());
+  ASSERT_TRUE(Eva.ok()) << Eva.message();
+  ASSERT_TRUE(Chet.ok()) << Chet.message();
+
+  // Table 6's three shapes.
+  EXPECT_LT(Eva->modulusLength(), Chet->modulusLength());
+  EXPECT_LT(Eva->TotalModulusBits, Chet->TotalModulusBits);
+  EXPECT_LE(Eva->PolyDegree, Chet->PolyDegree);
+
+  // Both outputs are validator-clean.
+  for (const CompiledProgram *CP : {&Eva.value(), &Chet.value()}) {
+    EXPECT_TRUE(validateRescaleChains(*CP->Prog, 60).ok());
+    Status S = validateScales(*CP->Prog);
+    EXPECT_TRUE(S.ok()) << (S.ok() ? "" : S.message());
+    EXPECT_TRUE(validateNumPolynomials(*CP->Prog).ok());
+  }
+
+  // Rotation-key sets agree (the same logical rotations, both modes).
+  EXPECT_EQ(Eva->RotationSteps, Chet->RotationSteps);
+  EXPECT_FALSE(Eva->RotationSteps.empty());
+
+  // Slots fit the vector and the degree respects the security table.
+  EXPECT_GE(Eva->PolyDegree / 2, P->vecSize());
+  EXPECT_LE(Eva->TotalModulusBits,
+            maxCoeffModulusBits(Eva->PolyDegree, SecurityLevel::TC128));
+  EXPECT_LE(Chet->TotalModulusBits,
+            maxCoeffModulusBits(Chet->PolyDegree, SecurityLevel::TC128));
+}
+
+TEST_P(ZooCompile, CompiledProgramMatchesPlainInferenceUnderIdScheme) {
+  NetworkDefinition Net = makeAllNetworks(7)[GetParam()];
+  SCOPED_TRACE(Net.name());
+  TensorScales Scales;
+  std::unique_ptr<Program> P = Net.buildProgram(Scales);
+  Expected<CompiledProgram> CP = compile(*P, CompilerOptions::eva());
+  ASSERT_TRUE(CP.ok()) << CP.message();
+
+  RandomSource Rng(13);
+  Tensor Image = Tensor::random(
+      {Net.inputChannels(), Net.inputHeight(), Net.inputWidth()}, Rng);
+  CipherLayout L = CipherLayout::forImage(
+      Net.inputChannels(), Net.inputHeight(), Net.inputWidth());
+  std::vector<double> Slots(P->vecSize(), 0.0);
+  for (size_t C = 0; C < L.C; ++C)
+    for (size_t Y = 0; Y < L.H; ++Y)
+      for (size_t X = 0; X < L.W; ++X)
+        Slots[L.slotOf(C, Y, X)] = Image.at3(C, Y, X);
+  std::map<std::string, std::vector<double>> Out =
+      ReferenceExecutor(*CP->Prog).run({{"image", Slots}});
+  Tensor Want = Net.runPlain(Image);
+  for (size_t C = 0; C < Net.numClasses(); ++C)
+    EXPECT_NEAR(Out.at("scores")[C], Want.at(C),
+                1e-9 * std::max(1.0, std::abs(Want.at(C))))
+        << "class " << C;
+}
+
+INSTANTIATE_TEST_SUITE_P(Networks, ZooCompile,
+                         ::testing::Range<size_t>(0, 5),
+                         [](const ::testing::TestParamInfo<size_t> &I) {
+                           const char *Names[] = {
+                               "LeNet5Small", "LeNet5Medium", "LeNet5Large",
+                               "Industrial", "SqueezeNetCIFAR"};
+                           return std::string(Names[I.param]);
+                         });
+
+} // namespace

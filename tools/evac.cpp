@@ -1,0 +1,124 @@
+//===- evac.cpp - The EVA compiler command-line driver --------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// Compiles a serialized EVA program (the proto3 wire format of Figure 1)
+// exactly as Algorithm 1 describes: reads the input program, runs the
+// transformation and validation passes, and reports the selected encryption
+// parameters and rotation steps. Optionally writes the transformed program.
+//
+// Usage:
+//   evac <input.evabin> [-o <output.evabin>] [--chet] [--lazy] [--dump]
+//        [--dot]
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Compiler.h"
+#include "eva/ir/Printer.h"
+#include "eva/ir/TextFormat.h"
+#include "eva/serialize/ProtoIO.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+using namespace eva;
+
+static int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s <input.evabin> [-o <output.evabin>] [--chet] "
+               "[--lazy] [--dump] [--dot]\n"
+               "  --chet   use the CHET-baseline insertion policies\n"
+               "  --lazy   use LAZY-MODSWITCH instead of EAGER\n"
+               "  --dump   print the transformed program\n"
+               "  --dot    print the transformed term graph as Graphviz\n",
+               Prog);
+  return 1;
+}
+
+int main(int Argc, char **Argv) {
+  const char *InputPath = nullptr;
+  const char *OutputPath = nullptr;
+  bool Dump = false, Dot = false;
+  CompilerOptions Options = CompilerOptions::eva();
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc) {
+      OutputPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--chet") == 0) {
+      Options = CompilerOptions::chet();
+    } else if (std::strcmp(Argv[I], "--lazy") == 0) {
+      Options.ModSwitch = ModSwitchPolicy::Lazy;
+    } else if (std::strcmp(Argv[I], "--dump") == 0) {
+      Dump = true;
+    } else if (std::strcmp(Argv[I], "--dot") == 0) {
+      Dot = true;
+    } else if (Argv[I][0] != '-' && !InputPath) {
+      InputPath = Argv[I];
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (!InputPath)
+    return usage(Argv[0]);
+
+  // Accept both formats: textual listings start with the program header,
+  // everything else is treated as proto3 wire format.
+  std::ifstream In(InputPath, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "evac: error: cannot open %s\n", InputPath);
+    return 1;
+  }
+  std::string Data((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  Expected<std::unique_ptr<Program>> P =
+      Data.rfind("program ", 0) == 0 ? parseProgramText(Data)
+                                     : deserializeProgram(Data);
+  if (!P) {
+    std::fprintf(stderr, "evac: error: %s\n", P.message().c_str());
+    return 1;
+  }
+  Expected<CompiledProgram> CP = compile(**P, Options);
+  if (!CP) {
+    std::fprintf(stderr, "evac: compile error: %s\n", CP.message().c_str());
+    return 1;
+  }
+
+  std::printf("program      : %s (vec_size %llu, %zu instructions, "
+              "mult depth %zu)\n",
+              (*P)->name().c_str(),
+              static_cast<unsigned long long>((*P)->vecSize()),
+              (*P)->instructionCount(), (*P)->multiplicativeDepth());
+  std::printf("poly degree  : N = %llu\n",
+              static_cast<unsigned long long>(CP->PolyDegree));
+  std::printf("modulus      : r = %zu primes, log2 Q = %d bits\n",
+              CP->modulusLength(), CP->TotalModulusBits);
+  std::printf("bit sizes    : ");
+  for (int B : CP->BitSizes)
+    std::printf("%d ", B);
+  std::printf("(special, chain..., headroom...)\n");
+  std::printf("rotation keys: %zu step%s { ", CP->RotationSteps.size(),
+              CP->RotationSteps.size() == 1 ? "" : "s");
+  for (uint64_t S : CP->RotationSteps)
+    std::printf("%llu ", static_cast<unsigned long long>(S));
+  std::printf("}\n");
+
+  NoiseEstimate E = estimateNoise(*CP->Prog, CP->PolyDegree);
+  for (size_t I = 0; I < CP->Prog->outputs().size(); ++I)
+    std::printf("output @%-12s estimated precision %.1f bits (desired "
+                "scale 2^%.0f)\n",
+                CP->Prog->outputs()[I]->name().c_str(),
+                E.OutputPrecisionBits[I], CP->Prog->outputs()[I]->logScale());
+
+  if (Dump)
+    std::printf("%s", printProgram(*CP->Prog).c_str());
+  if (Dot)
+    std::printf("%s", printDot(*CP->Prog).c_str());
+  if (OutputPath) {
+    if (Status S = saveProgram(*CP->Prog, OutputPath); !S.ok()) {
+      std::fprintf(stderr, "evac: error: %s\n", S.message().c_str());
+      return 1;
+    }
+    std::printf("wrote        : %s\n", OutputPath);
+  }
+  return 0;
+}
