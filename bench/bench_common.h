@@ -20,9 +20,12 @@
 #include "eva/support/Timer.h"
 #include "eva/tensor/Network.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 namespace evabench {
 
@@ -92,6 +95,120 @@ inline bool prepare(eva::NetworkDefinition Net,
   Out.Workspace = WS.value();
   return true;
 }
+
+//===----------------------------------------------------------------------===//
+// JSON benchmark reporting (the BENCH_*.json perf trajectory)
+//===----------------------------------------------------------------------===//
+
+/// One measured operation. Times are wall-clock seconds per iteration.
+struct BenchResult {
+  std::string Op;
+  size_t Threads = 1;
+  size_t Iterations = 0;
+  double MeanSeconds = 0;
+  double MinSeconds = 0;
+};
+
+/// Calls \p Fn repeatedly — at least \p MinIters times and until
+/// \p MinTotalSeconds of wall clock have been spent — and reports the
+/// per-iteration mean and min.
+template <typename FnT>
+inline BenchResult measure(const std::string &Op, FnT &&Fn,
+                           size_t MinIters = 3, double MinTotalSeconds = 0.2) {
+  BenchResult R;
+  R.Op = Op;
+  double Total = 0;
+  double Min = 0;
+  size_t Iters = 0;
+  while (Iters < MinIters || Total < MinTotalSeconds) {
+    eva::Timer T;
+    Fn();
+    double S = T.seconds();
+    Total += S;
+    Min = Iters == 0 ? S : std::min(Min, S);
+    ++Iters;
+    if (Iters >= 1000000)
+      break; // paranoia against a mis-reported clock
+  }
+  R.Iterations = Iters;
+  R.MeanSeconds = Total / static_cast<double>(Iters);
+  R.MinSeconds = Min;
+  return R;
+}
+
+/// Accumulates BenchResults and serializes them as a schema-stable JSON
+/// document:
+///
+/// \code
+///   {
+///     "schema": "eva-bench-v1",
+///     "suite": "micro",
+///     "git_sha": "abc123",
+///     "unit": "seconds",
+///     "results": [
+///       {"op": "ntt_forward_n8192", "threads": 1, "iterations": 12,
+///        "mean_seconds": 1.5e-3, "min_seconds": 1.4e-3}
+///     ]
+///   }
+/// \endcode
+class JsonReport {
+public:
+  JsonReport(std::string Suite, std::string GitSha)
+      : Suite(std::move(Suite)), GitSha(std::move(GitSha)) {}
+
+  void add(BenchResult R) { Results.push_back(std::move(R)); }
+
+  bool empty() const { return Results.empty(); }
+
+  std::string str() const {
+    std::string Out;
+    Out += "{\n";
+    Out += "  \"schema\": \"eva-bench-v1\",\n";
+    Out += "  \"suite\": \"" + escape(Suite) + "\",\n";
+    Out += "  \"git_sha\": \"" + escape(GitSha) + "\",\n";
+    Out += "  \"unit\": \"seconds\",\n";
+    Out += "  \"results\": [\n";
+    for (size_t I = 0; I < Results.size(); ++I) {
+      const BenchResult &R = Results[I];
+      char Buf[256];
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"op\": \"%s\", \"threads\": %zu, "
+                    "\"iterations\": %zu, \"mean_seconds\": %.9g, "
+                    "\"min_seconds\": %.9g}%s\n",
+                    escape(R.Op).c_str(), R.Threads, R.Iterations,
+                    R.MeanSeconds, R.MinSeconds,
+                    I + 1 == Results.size() ? "" : ",");
+      Out += Buf;
+    }
+    Out += "  ]\n";
+    Out += "}\n";
+    return Out;
+  }
+
+  /// Writes the document to \p Path. Returns false on I/O failure.
+  bool write(const std::string &Path) const {
+    std::ofstream Out(Path, std::ios::binary);
+    if (!Out)
+      return false;
+    Out << str();
+    return static_cast<bool>(Out);
+  }
+
+private:
+  static std::string escape(const std::string &S) {
+    std::string E;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        E += '\\';
+      E += C;
+    }
+    return E;
+  }
+
+  std::string Suite;
+  std::string GitSha;
+  std::vector<BenchResult> Results;
+};
 
 } // namespace evabench
 

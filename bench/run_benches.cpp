@@ -1,0 +1,189 @@
+//===- run_benches.cpp - JSON perf-baseline driver ------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// Times the core primitives (NTT / encode / multiply / relinearize / rotate)
+// and the Figure 7 thread-scaling point (ParallelCkksExecutor at 1 and 2
+// threads on LeNet-5-small) and writes machine-readable baselines:
+//
+//   BENCH_micro.json     per-op wall-clock timings of the CKKS substrate
+//   BENCH_scaling.json   fig7 latency vs thread count
+//
+// Usage: run_benches [output-dir]        (default: current directory)
+//
+// Each document carries the git sha the binary was configured from, so every
+// point in the perf trajectory is attributable to a commit. CI uploads the
+// two files as artifacts; intentional perf-relevant changes re-run this
+// driver and commit the refreshed baselines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "eva/ckks/Decryptor.h"
+#include "eva/ckks/Encoder.h"
+#include "eva/ckks/Encryptor.h"
+#include "eva/ckks/Evaluator.h"
+#include "eva/ckks/KeyGenerator.h"
+#include "eva/math/NTT.h"
+#include "eva/math/Primes.h"
+#include "eva/support/Random.h"
+
+#ifndef EVA_GIT_SHA
+#define EVA_GIT_SHA "unknown"
+#endif
+
+using namespace eva;
+using namespace evabench;
+
+namespace {
+
+void report(const BenchResult &R) {
+  std::printf("  %-28s threads=%zu iters=%-4zu mean=%10.6fs min=%10.6fs\n",
+              R.Op.c_str(), R.Threads, R.Iterations, R.MeanSeconds,
+              R.MinSeconds);
+}
+
+/// Per-op microbenchmarks at N = 8192 (the paper's most common degree).
+JsonReport microBaseline() {
+  JsonReport Report("micro", EVA_GIT_SHA);
+  constexpr uint64_t N = 8192;
+
+  // Raw NTT over one 50-bit prime.
+  {
+    uint64_t Prime = generateNttPrimes(N, 50, 1).value()[0];
+    Modulus Q(Prime);
+    NttTables T(N, Q);
+    RandomSource Rng(1);
+    std::vector<uint64_t> X(N);
+    for (uint64_t &V : X)
+      V = Rng.uniformBelow(Prime);
+    BenchResult R = measure("ntt_forward_n8192", [&] { T.forward(X); });
+    report(R);
+    Report.add(std::move(R));
+  }
+
+  // The CKKS substrate at {60,40,40,40,60}.
+  std::shared_ptr<CkksContext> Ctx =
+      CkksContext::createFromBitSizes(N, {60, 40, 40, 40, 60},
+                                      SecurityLevel::None)
+          .value();
+  CkksEncoder Enc(Ctx);
+  KeyGenerator Gen(Ctx, 42);
+  Encryptor Encryptor_(Ctx, Gen.createPublicKey(), 43);
+  Evaluator Eval(Ctx);
+  RelinKeys Rk = Gen.createRelinKeys();
+  GaloisKeys Gk = Gen.createGaloisKeys({1});
+
+  RandomSource Rng(7);
+  std::vector<double> V(Ctx->slotCount());
+  for (double &X : V)
+    X = Rng.uniformReal(-1, 1);
+  Plaintext P;
+  Enc.encode(V, std::ldexp(1.0, 40), 4, P);
+  Ciphertext A = Encryptor_.encrypt(P);
+  Ciphertext B = Encryptor_.encrypt(P);
+
+  {
+    Plaintext Tmp;
+    BenchResult R = measure("encode_n8192", [&] {
+      Enc.encode(V, std::ldexp(1.0, 40), 4, Tmp);
+    });
+    report(R);
+    Report.add(std::move(R));
+  }
+  {
+    BenchResult R = measure("encrypt_n8192", [&] {
+      Ciphertext C = Encryptor_.encrypt(P);
+      (void)C;
+    });
+    report(R);
+    Report.add(std::move(R));
+  }
+  {
+    BenchResult R = measure("multiply_n8192", [&] {
+      Ciphertext C = Eval.multiply(A, B);
+      (void)C;
+    });
+    report(R);
+    Report.add(std::move(R));
+  }
+  {
+    BenchResult R = measure("multiply_relinearize_n8192", [&] {
+      Ciphertext C = Eval.relinearize(Eval.multiply(A, B), Rk);
+      (void)C;
+    });
+    report(R);
+    Report.add(std::move(R));
+  }
+  {
+    BenchResult R = measure("rotate_n8192", [&] {
+      Ciphertext C = Eval.rotateLeft(A, 1, Gk);
+      (void)C;
+    });
+    report(R);
+    Report.add(std::move(R));
+  }
+  return Report;
+}
+
+/// The fig7 scaling point: ParallelCkksExecutor latency on LeNet-5-small at
+/// 1 and 2 threads (the container's core count; EVA_BENCH_THREADS raises the
+/// sweep ceiling like the full fig7_scaling bench).
+JsonReport scalingBaseline() {
+  JsonReport Report("fig7_scaling", EVA_GIT_SHA);
+  std::vector<size_t> Threads = {1, 2};
+  for (size_t T = 4; T <= maxThreads(); T *= 2)
+    Threads.push_back(T);
+
+  PreparedNetwork PN;
+  if (!prepare(makeLeNet5Small(2024), CompilerOptions::eva(), PN)) {
+    std::fprintf(stderr, "run_benches: failed to prepare LeNet-5-small\n");
+    return Report;
+  }
+  RandomSource Rng(99);
+  Tensor Image = Tensor::random(
+      {PN.Net.inputChannels(), PN.Net.inputHeight(), PN.Net.inputWidth()},
+      Rng);
+  std::vector<double> Slots = imageSlots(PN.Net, Image, PN.Prog->vecSize());
+
+  for (size_t T : Threads) {
+    ParallelCkksExecutor Exec(PN.Compiled, PN.Workspace, T);
+    SealedInputs Sealed = Exec.encryptInputs({{"image", Slots}});
+    BenchResult R = measure(
+        "lenet5_small_eva", [&] { Exec.run(Sealed); }, /*MinIters=*/2,
+        /*MinTotalSeconds=*/0.0);
+    R.Threads = T;
+    report(R);
+    Report.add(std::move(R));
+  }
+  return Report;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutDir = Argc > 1 ? Argv[1] : ".";
+
+  std::printf("micro baseline (N=8192):\n");
+  JsonReport Micro = microBaseline();
+  std::printf("\nfig7 scaling baseline (LeNet-5-small, EVA executor):\n");
+  JsonReport Scaling = scalingBaseline();
+
+  // An empty suite means a prepare/keygen failure upstream: fail loudly
+  // rather than committing a hollow baseline.
+  if (Micro.empty() || Scaling.empty()) {
+    std::fprintf(stderr, "run_benches: a suite produced no results\n");
+    return 1;
+  }
+  std::string MicroPath = OutDir + "/BENCH_micro.json";
+  std::string ScalingPath = OutDir + "/BENCH_scaling.json";
+  if (!Micro.write(MicroPath) || !Scaling.write(ScalingPath)) {
+    std::fprintf(stderr, "run_benches: cannot write %s or %s\n",
+                 MicroPath.c_str(), ScalingPath.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\nwrote %s\n", MicroPath.c_str(),
+              ScalingPath.c_str());
+  return 0;
+}

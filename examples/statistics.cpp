@@ -76,32 +76,34 @@ int main() {
       Exec.runPlain({{"x", Xs}, {"y", Ys}});
   double Elapsed = T.seconds();
 
-  double MeanX = 0, MeanY = 0;
+  // Plaintext reference values (P-prefixed: the Expr handles above still
+  // name the encrypted versions in this scope).
+  double PMeanX = 0, PMeanY = 0;
   for (uint64_t I = 0; I < N; ++I) {
-    MeanX += Xs[I];
-    MeanY += Ys[I];
+    PMeanX += Xs[I];
+    PMeanY += Ys[I];
   }
-  MeanX /= N;
-  MeanY /= N;
-  double VarX = 0, Cov = 0;
+  PMeanX /= N;
+  PMeanY /= N;
+  double PVarX = 0, PCov = 0;
   for (uint64_t I = 0; I < N; ++I) {
-    VarX += (Xs[I] - MeanX) * (Xs[I] - MeanX);
-    Cov += (Xs[I] - MeanX) * (Ys[I] - MeanY);
+    PVarX += (Xs[I] - PMeanX) * (Xs[I] - PMeanX);
+    PCov += (Xs[I] - PMeanX) * (Ys[I] - PMeanY);
   }
-  VarX /= N;
-  Cov /= N;
+  PVarX /= N;
+  PCov /= N;
 
   std::printf("  %-10s %12s %12s\n", "statistic", "encrypted", "plaintext");
-  std::printf("  %-10s %12.6f %12.6f\n", "mean", Out["mean"][0], MeanX);
-  std::printf("  %-10s %12.6f %12.6f\n", "variance", Out["var"][0], VarX);
+  std::printf("  %-10s %12.6f %12.6f\n", "mean", Out["mean"][0], PMeanX);
+  std::printf("  %-10s %12.6f %12.6f\n", "variance", Out["var"][0], PVarX);
   std::printf("  %-10s %12.6f %12.6f (sqrt approx: %.6f)\n", "std dev",
-              Out["std"][0], std::sqrt(VarX),
-              2.214 * VarX - 1.098 * VarX * VarX +
-                  0.173 * VarX * VarX * VarX);
-  std::printf("  %-10s %12.6f %12.6f\n", "covariance", Out["cov"][0], Cov);
+              Out["std"][0], std::sqrt(PVarX),
+              2.214 * PVarX - 1.098 * PVarX * PVarX +
+                  0.173 * PVarX * PVarX * PVarX);
+  std::printf("  %-10s %12.6f %12.6f\n", "covariance", Out["cov"][0], PCov);
   std::printf("  time: %.3f s\n", Elapsed);
-  bool Ok = std::abs(Out["mean"][0] - MeanX) < 1e-3 &&
-            std::abs(Out["var"][0] - VarX) < 1e-3 &&
-            std::abs(Out["cov"][0] - Cov) < 1e-3;
+  bool Ok = std::abs(Out["mean"][0] - PMeanX) < 1e-3 &&
+            std::abs(Out["var"][0] - PVarX) < 1e-3 &&
+            std::abs(Out["cov"][0] - PCov) < 1e-3;
   return Ok ? 0 : 2;
 }

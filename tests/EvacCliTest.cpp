@@ -1,0 +1,151 @@
+//===- EvacCliTest.cpp - Golden-file tests for the evac driver ----------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// Runs the actual evac binary (path injected by CMake as EVA_EVAC_BINARY) on
+// the checked-in fixtures under tests/fixtures/ and diffs stdout against the
+// *.golden files. This pins the user-visible contract: reported encryption
+// parameters, --dump listings, and --dot graphs for the EAGER / LAZY / CHET
+// policies must not drift silently.
+//
+// Regenerate goldens after an intentional change with:
+//   EVA_UPDATE_GOLDENS=1 ./tests/EvacCliTest
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/serialize/ProtoIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef EVA_EVAC_BINARY
+#error "EVA_EVAC_BINARY must be defined by the build"
+#endif
+#ifndef EVA_FIXTURES_DIR
+#error "EVA_FIXTURES_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Stdout;
+};
+
+/// Double-quotes \p Path for the shell (paths with spaces must survive
+/// popen's word splitting).
+std::string shellQuote(const std::string &Path) { return "\"" + Path + "\""; }
+
+/// Runs \p Args against evac, capturing stdout (stderr is left on the test's
+/// own stream so failures stay diagnosable).
+RunResult runEvac(const std::string &Args) {
+  std::string Cmd = shellQuote(EVA_EVAC_BINARY) + " " + Args;
+  RunResult R;
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Stdout.append(Buf, N);
+  int Status = pclose(P);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string fixture(const std::string &Name) {
+  return std::string(EVA_FIXTURES_DIR) + "/" + Name;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+bool updateGoldens() {
+  const char *V = std::getenv("EVA_UPDATE_GOLDENS");
+  return V != nullptr && V[0] == '1';
+}
+
+/// Runs evac with \p Args and compares stdout against fixtures/<Golden>.
+void expectGolden(const std::string &Args, const std::string &Golden) {
+  RunResult R = runEvac(Args);
+  ASSERT_EQ(R.ExitCode, 0) << "evac " << Args << " failed";
+  std::string Path = fixture(Golden);
+  if (updateGoldens()) {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << R.Stdout;
+    SUCCEED() << "updated " << Path;
+    return;
+  }
+  std::string Expected = readFile(Path);
+  ASSERT_FALSE(Expected.empty()) << "missing golden " << Path;
+  EXPECT_EQ(R.Stdout, Expected) << "output drifted from " << Golden;
+}
+
+// poly3: textual fixture — a rotation-rich depth-3 polynomial.
+TEST(EvacCli, Poly3EagerGolden) {
+  expectGolden(shellQuote(fixture("poly3.evabin")), "poly3.eager.golden");
+}
+
+TEST(EvacCli, Poly3LazyGolden) {
+  expectGolden(shellQuote(fixture("poly3.evabin")) + " --lazy", "poly3.lazy.golden");
+}
+
+TEST(EvacCli, Poly3ChetGolden) {
+  expectGolden(shellQuote(fixture("poly3.evabin")) + " --chet", "poly3.chet.golden");
+}
+
+TEST(EvacCli, Poly3DumpGolden) {
+  expectGolden(shellQuote(fixture("poly3.evabin")) + " --dump", "poly3.dump.golden");
+}
+
+// rotsum: binary proto3 wire-format fixture.
+TEST(EvacCli, RotsumEagerGolden) {
+  expectGolden(shellQuote(fixture("rotsum.evabin")), "rotsum.eager.golden");
+}
+
+TEST(EvacCli, RotsumDotGolden) {
+  expectGolden(shellQuote(fixture("rotsum.evabin")) + " --dot", "rotsum.dot.golden");
+}
+
+TEST(EvacCli, WritesLoadableOutput) {
+  std::string Out = ::testing::TempDir() + "evac_cli_out.evabin";
+  RunResult R = runEvac(shellQuote(fixture("poly3.evabin")) + " -o " + shellQuote(Out));
+  ASSERT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("wrote"), std::string::npos);
+  eva::Expected<std::unique_ptr<eva::Program>> P = eva::loadProgram(Out);
+  ASSERT_TRUE(P.ok()) << (P.ok() ? "" : P.message());
+  EXPECT_TRUE((*P)->verifyStructure().ok());
+  std::remove(Out.c_str());
+}
+
+TEST(EvacCli, MissingFileFails) {
+  RunResult R = runEvac(shellQuote(fixture("does_not_exist.evabin")) + " 2>/dev/null");
+  EXPECT_EQ(R.ExitCode, 1);
+}
+
+TEST(EvacCli, GarbageInputFails) {
+  std::string Bad = ::testing::TempDir() + "evac_cli_garbage.evabin";
+  {
+    std::ofstream O(Bad, std::ios::binary);
+    O << "\xff\xfe this is not a program";
+  }
+  RunResult R = runEvac(shellQuote(Bad) + " 2>/dev/null");
+  EXPECT_EQ(R.ExitCode, 1);
+  std::remove(Bad.c_str());
+}
+
+TEST(EvacCli, NoArgumentsPrintsUsage) {
+  RunResult R = runEvac("2>/dev/null");
+  EXPECT_EQ(R.ExitCode, 1);
+}
+
+} // namespace

@@ -90,13 +90,16 @@ TEST_P(ZooCompile, CompiledProgramMatchesPlainInferenceUnderIdScheme) {
         << "class " << C;
 }
 
+// Kept out of the macro: a lambda body's commas would be split into separate
+// macro arguments (braces, unlike parentheses, do not group for the
+// preprocessor).
+std::string zooParamName(const ::testing::TestParamInfo<size_t> &I) {
+  const char *Names[] = {"LeNet5Small", "LeNet5Medium", "LeNet5Large",
+                         "Industrial", "SqueezeNetCIFAR"};
+  return std::string(Names[I.param]);
+}
+
 INSTANTIATE_TEST_SUITE_P(Networks, ZooCompile,
-                         ::testing::Range<size_t>(0, 5),
-                         [](const ::testing::TestParamInfo<size_t> &I) {
-                           const char *Names[] = {
-                               "LeNet5Small", "LeNet5Medium", "LeNet5Large",
-                               "Industrial", "SqueezeNetCIFAR"};
-                           return std::string(Names[I.param]);
-                         });
+                         ::testing::Range<size_t>(0, 5), zooParamName);
 
 } // namespace
