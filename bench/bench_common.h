@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace evabench {
@@ -34,10 +35,34 @@ inline bool fullMode() {
   return V != nullptr && V[0] == '1';
 }
 
+/// Ceiling for the scaling sweeps (points past the core count are
+/// deliberately oversubscribed to show the schedule gap). Clamped to
+/// [1, 256]: a hostile or mistyped EVA_BENCH_THREADS (e.g. -1, which casts
+/// to 2^64-1) would otherwise both overflow the sweep loop and ask for
+/// absurd pool sizes.
 inline size_t maxThreads() {
-  if (const char *V = std::getenv("EVA_BENCH_THREADS"))
-    return static_cast<size_t>(std::atoi(V));
-  return 2; // the container used for this reproduction has 2 cores
+  if (const char *V = std::getenv("EVA_BENCH_THREADS")) {
+    int Parsed = std::atoi(V);
+    return static_cast<size_t>(std::clamp(Parsed, 1, 256));
+  }
+  return 8; // the Fig 7 sweep: {1, 2, 4, 8} threads by default
+}
+
+/// The Fig 7 thread sweep: {1, 2, 4, 8, ...} up to maxThreads().
+inline std::vector<size_t> threadSweep() {
+  std::vector<size_t> Threads = {1};
+  for (size_t T = 2; T <= maxThreads(); T *= 2)
+    Threads.push_back(T);
+  return Threads;
+}
+
+/// Thread count for benches that run ONE executor (not a sweep): the sweep
+/// ceiling clamped to the hardware, so single-point benches never measure
+/// oversubscription by default.
+inline size_t execThreads() {
+  return std::min<size_t>(
+      maxThreads(),
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
 }
 
 /// Encodes an image tensor into the program's slot layout.
@@ -101,17 +126,27 @@ inline bool prepare(eva::NetworkDefinition Net,
 //===----------------------------------------------------------------------===//
 
 /// One measured operation. Times are wall-clock seconds per iteration.
+/// SpeedupVs1 is mean(1 thread) / mean(this), recorded for thread-sweep
+/// results (0 means "not part of a sweep" and is omitted from the JSON).
+/// SamplesInMean < Iterations records that the mean excluded outlier
+/// iterations (see measure()).
 struct BenchResult {
   std::string Op;
   size_t Threads = 1;
   size_t Iterations = 0;
+  size_t SamplesInMean = 0;
   double MeanSeconds = 0;
   double MinSeconds = 0;
+  double SpeedupVs1 = 0;
 };
 
 /// Calls \p Fn repeatedly — at least \p MinIters times and until
 /// \p MinTotalSeconds of wall clock have been spent — and reports the
-/// per-iteration mean and min.
+/// per-iteration mean and min. With >= 3 iterations the single slowest one
+/// is excluded from the mean (not the min): on shared/virtualized hosts a
+/// co-tenant burst can inflate one iteration by 50%, which would otherwise
+/// dominate a small-sample mean and fake a regression at whichever sweep
+/// point it lands on.
 template <typename FnT>
 inline BenchResult measure(const std::string &Op, FnT &&Fn,
                            size_t MinIters = 3, double MinTotalSeconds = 0.2) {
@@ -119,6 +154,7 @@ inline BenchResult measure(const std::string &Op, FnT &&Fn,
   R.Op = Op;
   double Total = 0;
   double Min = 0;
+  double Max = 0;
   size_t Iters = 0;
   while (Iters < MinIters || Total < MinTotalSeconds) {
     eva::Timer T;
@@ -126,12 +162,15 @@ inline BenchResult measure(const std::string &Op, FnT &&Fn,
     double S = T.seconds();
     Total += S;
     Min = Iters == 0 ? S : std::min(Min, S);
+    Max = Iters == 0 ? S : std::max(Max, S);
     ++Iters;
     if (Iters >= 1000000)
       break; // paranoia against a mis-reported clock
   }
   R.Iterations = Iters;
-  R.MeanSeconds = Total / static_cast<double>(Iters);
+  R.SamplesInMean = Iters >= 3 ? Iters - 1 : Iters;
+  R.MeanSeconds = Iters >= 3 ? (Total - Max) / static_cast<double>(Iters - 1)
+                             : Total / static_cast<double>(Iters);
   R.MinSeconds = Min;
   return R;
 }
@@ -147,10 +186,15 @@ inline BenchResult measure(const std::string &Op, FnT &&Fn,
 ///     "unit": "seconds",
 ///     "results": [
 ///       {"op": "ntt_forward_n8192", "threads": 1, "iterations": 12,
-///        "mean_seconds": 1.5e-3, "min_seconds": 1.4e-3}
+///        "samples_in_mean": 11, "mean_seconds": 1.5e-3,
+///        "min_seconds": 1.4e-3}
 ///     ]
 ///   }
 /// \endcode
+///
+/// samples_in_mean < iterations means the slowest iteration was excluded
+/// from the mean (measure()'s outlier trim); thread-sweep results also
+/// carry "speedup_vs_1thread".
 class JsonReport {
 public:
   JsonReport(std::string Suite, std::string GitSha)
@@ -170,15 +214,20 @@ public:
     Out += "  \"results\": [\n";
     for (size_t I = 0; I < Results.size(); ++I) {
       const BenchResult &R = Results[I];
-      char Buf[256];
+      char Buf[320];
       std::snprintf(Buf, sizeof(Buf),
                     "    {\"op\": \"%s\", \"threads\": %zu, "
-                    "\"iterations\": %zu, \"mean_seconds\": %.9g, "
-                    "\"min_seconds\": %.9g}%s\n",
+                    "\"iterations\": %zu, \"samples_in_mean\": %zu, "
+                    "\"mean_seconds\": %.9g, \"min_seconds\": %.9g",
                     escape(R.Op).c_str(), R.Threads, R.Iterations,
-                    R.MeanSeconds, R.MinSeconds,
-                    I + 1 == Results.size() ? "" : ",");
+                    R.SamplesInMean, R.MeanSeconds, R.MinSeconds);
       Out += Buf;
+      if (R.SpeedupVs1 > 0) {
+        std::snprintf(Buf, sizeof(Buf), ", \"speedup_vs_1thread\": %.4g",
+                      R.SpeedupVs1);
+        Out += Buf;
+      }
+      Out += I + 1 == Results.size() ? "}\n" : "},\n";
     }
     Out += "  ]\n";
     Out += "}\n";

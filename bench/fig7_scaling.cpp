@@ -4,9 +4,9 @@
 //
 // Regenerates Figure 7: inference latency versus thread count for the CHET
 // baseline (bulk-synchronous parallelism within each tensor kernel) and EVA
-// (asynchronous scheduling of the whole instruction DAG). The container has
-// 2 cores, so the default sweep is {1, 2}; EVA_BENCH_THREADS raises the
-// ceiling (oversubscribed points still show the schedule gap).
+// (asynchronous scheduling of the whole instruction DAG). The default sweep
+// is {1, 2, 4, 8}; EVA_BENCH_THREADS changes the ceiling (oversubscribed
+// points past the core count still show the schedule gap).
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,9 +41,7 @@ double latency(PreparedNetwork &PN, bool ChetStyle, size_t Threads) {
 } // namespace
 
 int main() {
-  std::vector<size_t> Threads = {1, 2};
-  for (size_t T = 4; T <= maxThreads(); T *= 2)
-    Threads.push_back(T);
+  std::vector<size_t> Threads = threadSweep();
 
   std::vector<NetworkDefinition> Zoo = makeAllNetworks(2024);
   size_t Limit = fullMode() ? 2 : 1;

@@ -61,7 +61,7 @@ Fidelity measure(PreparedNetwork &PN, size_t Images, size_t Threads) {
 } // namespace
 
 int main() {
-  size_t Threads = maxThreads();
+  size_t Threads = execThreads();
   size_t Images = fullMode() ? 5 : 1;
   TensorScales Scales;
   std::printf("Table 4: input/output scales and encrypted-inference "

@@ -42,7 +42,7 @@ double runLatency(PreparedNetwork &PN, bool ChetStyle, size_t Threads) {
 } // namespace
 
 int main() {
-  size_t Threads = maxThreads();
+  size_t Threads = execThreads();
   std::printf("Table 5: average inference latency (s) on %zu threads\n\n",
               Threads);
   std::printf("%-18s %12s %12s %9s\n", "Network", "CHET (s)", "EVA (s)",

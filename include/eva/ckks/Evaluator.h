@@ -14,6 +14,17 @@
 /// guarantees they hold for compiled programs, which is the paper's central
 /// "no runtime exceptions" claim.
 ///
+/// An Evaluator may optionally be given a ThreadPool, in which case the hot
+/// paths (MULTIPLY, the key-switch core of RELINEARIZE and ROTATE, and the
+/// rescaling mod-down) parallelize over independent RNS limbs — each prime
+/// component's NTTs and pointwise arithmetic run as a separate loop chunk.
+/// All limb work is exact modular integer arithmetic on disjoint
+/// components, so results are bit-identical to the serial evaluator. This
+/// intra-op parallelism composes with the executor's node-level DAG
+/// scheduling: when the DAG is too narrow to occupy every worker, idle
+/// workers pick up limb chunks of the ops in flight (Section 6.1's "as much
+/// parallelism as the schedule exposes").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EVA_CKKS_EVALUATOR_H
@@ -25,14 +36,21 @@
 #include "eva/ckks/Plaintext.h"
 
 #include <array>
+#include <functional>
 #include <memory>
 
 namespace eva {
 
+class ThreadPool;
+
 class Evaluator {
 public:
-  explicit Evaluator(std::shared_ptr<const CkksContext> Ctx)
-      : Ctx(std::move(Ctx)) {}
+  /// \p Pool, when non-null, enables limb-level parallelism inside single
+  /// operations (not owned; must outlive the evaluator). A null pool or a
+  /// pool of size 1 runs every limb inline.
+  explicit Evaluator(std::shared_ptr<const CkksContext> Ctx,
+                     ThreadPool *Pool = nullptr)
+      : Ctx(std::move(Ctx)), Pool(Pool) {}
 
   Ciphertext negate(const Ciphertext &A) const;
   Ciphertext add(const Ciphertext &A, const Ciphertext &B) const;
@@ -78,7 +96,12 @@ private:
   void divideRoundDropLast(std::vector<std::vector<uint64_t>> &Comps,
                            const std::vector<size_t> &PrimeIdx) const;
 
+  /// Runs Fn(I) for I in [0, Count) — across the pool when limb parallelism
+  /// is enabled, inline otherwise. Fn instances must touch disjoint limbs.
+  void forEachLimb(size_t Count, const std::function<void(size_t)> &Fn) const;
+
   std::shared_ptr<const CkksContext> Ctx;
+  ThreadPool *Pool = nullptr;
 };
 
 } // namespace eva

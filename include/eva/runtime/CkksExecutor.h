@@ -18,6 +18,15 @@
 ///    kernels (the paper's "static, bulk-synchronous schedule limits the
 ///    available parallelism", Section 8.2).
 ///
+/// Both parallel executors are cooperative: the thread that calls run()
+/// participates in the schedule (executing ready nodes or loop chunks)
+/// instead of sleeping, so an executor built with NumThreads = k uses
+/// exactly k execution contexts. They also own a limb-parallel Evaluator
+/// wired to the same pool, so when the DAG (or a kernel wavefront) is
+/// narrower than the worker count, idle workers pick up per-prime limb
+/// chunks of the CKKS ops in flight instead of idling — the two levels of
+/// parallelism compose.
+///
 /// Scale handling refines footnote 1 of the paper: instead of pretending
 /// each RESCALE divides by 2^bits, the executor tracks the actual
 /// prime-quotient scales. Because validation proves the conforming rescale
@@ -85,7 +94,8 @@ struct ExecutionStats {
 class CkksExecutor {
 public:
   CkksExecutor(const CompiledProgram &CP, std::shared_ptr<CkksWorkspace> WS)
-      : CP(CP), P(*CP.Prog), WS(std::move(WS)) {}
+      : CP(CP), P(*CP.Prog), WS(std::move(WS)),
+        ActiveEval(this->WS->Eval.get()) {}
   virtual ~CkksExecutor() = default;
 
   /// Encrypts the Cipher inputs (at each input node's scale, over the full
@@ -134,35 +144,51 @@ protected:
   const CompiledProgram &CP;
   const Program &P;
   std::shared_ptr<CkksWorkspace> WS;
+  /// The evaluator computeNode dispatches to: the workspace's shared serial
+  /// evaluator by default; parallel executors point it at their own
+  /// limb-parallel instance.
+  const Evaluator *ActiveEval;
   ExecutionStats Stats;
   mutable std::mutex OutputMutex;
 };
 
 /// The paper's EVA executor: asynchronous DAG scheduling + memory reuse.
+/// run()'s caller cooperates in the schedule, so NumThreads is the total
+/// number of execution contexts (NumThreads == 1 runs everything on the
+/// calling thread through the same scheduler).
 class ParallelCkksExecutor : public CkksExecutor {
 public:
   ParallelCkksExecutor(const CompiledProgram &CP,
                        std::shared_ptr<CkksWorkspace> WS, size_t NumThreads)
-      : CkksExecutor(CP, std::move(WS)), Pool(NumThreads) {}
+      : CkksExecutor(CP, std::move(WS)), Pool(NumThreads),
+        LimbEval(this->WS->Context, &Pool) {
+    ActiveEval = &LimbEval;
+  }
 
   std::map<std::string, Ciphertext> run(const SealedInputs &Inputs) override;
 
 private:
   ThreadPool Pool;
+  Evaluator LimbEval;
 };
 
 /// The CHET-style executor: kernels in sequence, bulk-synchronous wavefront
-/// parallelism within each kernel.
+/// parallelism within each kernel. The caller participates in each
+/// wavefront's parallelFor, so NumThreads is again the total context count.
 class KernelBulkCkksExecutor : public CkksExecutor {
 public:
   KernelBulkCkksExecutor(const CompiledProgram &CP,
                          std::shared_ptr<CkksWorkspace> WS, size_t NumThreads)
-      : CkksExecutor(CP, std::move(WS)), Pool(NumThreads) {}
+      : CkksExecutor(CP, std::move(WS)), Pool(NumThreads),
+        LimbEval(this->WS->Context, &Pool) {
+    ActiveEval = &LimbEval;
+  }
 
   std::map<std::string, Ciphertext> run(const SealedInputs &Inputs) override;
 
 private:
   ThreadPool Pool;
+  Evaluator LimbEval;
 };
 
 } // namespace eva

@@ -7,11 +7,44 @@
 #include "eva/ckks/Evaluator.h"
 
 #include "eva/ckks/Galois.h"
+#include "eva/support/ThreadPool.h"
 
 #include <cmath>
 #include <string>
 
 using namespace eva;
+
+namespace {
+
+/// Per-thread scratch for limb bodies. Limb work runs on whichever pool
+/// thread claims the chunk, so per-op locals would be allocated once per
+/// limb; thread-local buffers are allocated once per thread and reused.
+/// Safe because a limb body never nests another scratch user on the same
+/// thread (leaf bodies contain no parallel regions).
+std::vector<uint64_t> &u64Scratch(size_t N) {
+  thread_local std::vector<uint64_t> V;
+  V.resize(N);
+  return V;
+}
+
+std::vector<Uint128> &u128Scratch(size_t N, size_t Which) {
+  thread_local std::vector<Uint128> V[2];
+  V[Which].assign(N, Uint128(0));
+  return V[Which];
+}
+
+} // namespace
+
+void Evaluator::forEachLimb(size_t Count,
+                            const std::function<void(size_t)> &Fn) const {
+  // parallelFor itself degenerates to an inline loop for a size-1 pool.
+  if (Pool) {
+    Pool->parallelFor(Count, Fn);
+    return;
+  }
+  for (size_t I = 0; I < Count; ++I)
+    Fn(I);
+}
 
 void Evaluator::checkBinaryOperands(const Ciphertext &A,
                                     const Ciphertext &B) const {
@@ -115,9 +148,11 @@ Ciphertext Evaluator::multiply(const Ciphertext &A,
   Ciphertext Out;
   Out.Scale = A.Scale * B.Scale;
   Out.Polys.assign(K + L - 1, RnsPoly(N, Count));
-  std::vector<uint64_t> Tmp(N);
-  for (size_t C = 0; C < Count; ++C) {
+  // Limbs are independent: each prime component's convolution can run on a
+  // different worker. The scratch vector lives per limb for that reason.
+  forEachLimb(Count, [&](size_t C) {
     const Modulus &Q = Ctx->prime(C);
+    std::vector<uint64_t> &Tmp = u64Scratch(N);
     for (size_t I = 0; I < K; ++I) {
       for (size_t J = 0; J < L; ++J) {
         mulPolyComp(A.Polys[I].Comps[C], B.Polys[J].Comps[C], Tmp, Q);
@@ -125,7 +160,7 @@ Ciphertext Evaluator::multiply(const Ciphertext &A,
                     Out.Polys[I + J].Comps[C], Q);
       }
     }
-  }
+  });
   return Out;
 }
 
@@ -147,12 +182,13 @@ std::array<RnsPoly, 2> Evaluator::keySwitch(const RnsPoly &Target,
   uint64_t N = Ctx->polyDegree();
   assert(Count <= Key.Keys.size() && "not enough key components");
 
-  // Decompose: coefficient-domain copy of each component.
+  // Decompose: coefficient-domain copy of each component. One inverse NTT
+  // per limb, each independent.
   std::vector<std::vector<uint64_t>> TCoeff(Count);
-  for (size_t I = 0; I < Count; ++I) {
+  forEachLimb(Count, [&](size_t I) {
     TCoeff[I] = Target.Comps[I];
     Ctx->ntt(I).inverse(TCoeff[I]);
-  }
+  });
 
   // Output prime indices: current data primes plus the special prime.
   std::vector<size_t> OutIdx(Count + 1);
@@ -160,14 +196,16 @@ std::array<RnsPoly, 2> Evaluator::keySwitch(const RnsPoly &Target,
     OutIdx[I] = I;
   OutIdx[Count] = SpecialIdx;
 
+  // The inner-product accumulation is independent per output prime: every R
+  // reads all of TCoeff but writes only Acc[*].Comps[R], with its own
+  // scratch buffers.
   std::array<RnsPoly, 2> Acc = {RnsPoly(N, Count + 1), RnsPoly(N, Count + 1)};
-  std::vector<uint64_t> Tmp(N);
-  std::vector<Uint128> Lazy0(N), Lazy1(N);
-  for (size_t R = 0; R < OutIdx.size(); ++R) {
+  forEachLimb(OutIdx.size(), [&](size_t R) {
     size_t PrimeIdx = OutIdx[R];
     const Modulus &Qr = Ctx->prime(PrimeIdx);
-    std::fill(Lazy0.begin(), Lazy0.end(), Uint128(0));
-    std::fill(Lazy1.begin(), Lazy1.end(), Uint128(0));
+    std::vector<uint64_t> &Tmp = u64Scratch(N);
+    std::vector<Uint128> &Lazy0 = u128Scratch(N, 0);
+    std::vector<Uint128> &Lazy1 = u128Scratch(N, 1);
     for (size_t I = 0; I < Count; ++I) {
       if (PrimeIdx == I)
         Tmp = TCoeff[I]; // already reduced mod q_i
@@ -185,7 +223,7 @@ std::array<RnsPoly, 2> Evaluator::keySwitch(const RnsPoly &Target,
       Acc[0].Comps[R][X] = Qr.reduce128(Lazy0[X]);
       Acc[1].Comps[R][X] = Qr.reduce128(Lazy1[X]);
     }
-  }
+  });
 
   // Divide by the special prime (rounding) to return to the data chain.
   std::vector<size_t> DownIdx = OutIdx;
@@ -209,11 +247,13 @@ void Evaluator::divideRoundDropLast(
     V = addMod(V, Half, Qd);
 
   uint64_t N = Ctx->polyDegree();
-  std::vector<uint64_t> Tmp(N);
-  for (size_t T = 0; T < K - 1; ++T) {
+  // Each surviving limb reads the shared coefficient-form Last and rewrites
+  // only its own component — independent work per target prime.
+  forEachLimb(K - 1, [&](size_t T) {
     size_t TgtIdx = PrimeIdx[T];
     const Modulus &Qt = Ctx->prime(TgtIdx);
     uint64_t HalfMod = Qt.reduce(Half);
+    std::vector<uint64_t> &Tmp = u64Scratch(N);
     reducePolyComp(Last, Tmp, Qt);
     // Remove the rounding offset in coefficient form, then transform.
     for (uint64_t &V : Tmp)
@@ -223,7 +263,7 @@ void Evaluator::divideRoundDropLast(
     std::vector<uint64_t> &C = Comps[T];
     for (uint64_t X = 0; X < N; ++X)
       C[X] = mulModShoup(subMod(C[X], Tmp[X], Qt), Inv, Qt);
-  }
+  });
   Comps.pop_back();
 }
 
@@ -286,9 +326,9 @@ Ciphertext Evaluator::rotateLeft(const Ciphertext &A, uint64_t Steps,
                " (the compiler's rotation-selection pass must request it)");
 
   RnsPoly C0 = applyGaloisNttPoly(*Ctx, A.Polys[0], G,
-                                  /*SpansSpecialPrime=*/false);
+                                  /*SpansSpecialPrime=*/false, Pool);
   RnsPoly C1 = applyGaloisNttPoly(*Ctx, A.Polys[1], G,
-                                  /*SpansSpecialPrime=*/false);
+                                  /*SpansSpecialPrime=*/false, Pool);
   std::array<RnsPoly, 2> Ks = keySwitch(C1, Keys.at(G));
   Ciphertext Out;
   Out.Scale = A.Scale;

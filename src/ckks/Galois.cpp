@@ -6,6 +6,8 @@
 
 #include "eva/ckks/Galois.h"
 
+#include "eva/support/ThreadPool.h"
+
 using namespace eva;
 
 uint64_t eva::galoisEltFromStep(uint64_t Steps, uint64_t PolyDegree) {
@@ -37,24 +39,35 @@ void eva::applyGaloisComp(std::span<const uint64_t> In,
 }
 
 RnsPoly eva::applyGaloisNttPoly(const CkksContext &Ctx, const RnsPoly &Poly,
-                                uint64_t GaloisElt, bool SpansSpecialPrime) {
+                                uint64_t GaloisElt, bool SpansSpecialPrime,
+                                ThreadPool *Pool) {
   size_t Count = Poly.primeCount();
+  if (SpansSpecialPrime) {
+    assert(Count == Ctx.totalPrimeCount() &&
+           "key polynomials must span all primes");
+  } else {
+    assert(Count <= Ctx.dataPrimeCount() && "too many components");
+  }
   RnsPoly Out(Poly.Degree, Count);
-  std::vector<uint64_t> Tmp(Poly.Degree);
-  for (size_t I = 0; I < Count; ++I) {
+  // Each limb round-trips through coefficient form independently (inverse
+  // NTT, permute, forward NTT) with its own scratch buffer.
+  auto OneLimb = [&](size_t I) {
     size_t PrimeIdx = I;
-    if (SpansSpecialPrime) {
-      assert(Count == Ctx.totalPrimeCount() &&
-             "key polynomials must span all primes");
-    } else {
-      assert(Count <= Ctx.dataPrimeCount() && "too many components");
-    }
     const NttTables &Tables = Ctx.ntt(PrimeIdx);
+    // Per-thread scratch: limb bodies run on whichever pool thread claims
+    // them, and a fresh 8N-byte allocation per limb is measurable.
+    thread_local std::vector<uint64_t> Tmp;
     Tmp = Poly.Comps[I];
     Tables.inverse(Tmp);
     applyGaloisComp(Tmp, Out.Comps[I], GaloisElt, Poly.Degree,
                     Ctx.prime(PrimeIdx));
     Tables.forward(Out.Comps[I]);
+  };
+  if (Pool) {
+    Pool->parallelFor(Count, OneLimb);
+  } else {
+    for (size_t I = 0; I < Count; ++I)
+      OneLimb(I);
   }
   return Out;
 }

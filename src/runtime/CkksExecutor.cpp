@@ -107,7 +107,7 @@ void CkksExecutor::computeNode(const Node *N, std::vector<Value> &Values,
                                std::map<std::string, Ciphertext> &Outputs)
     const {
   Value &Slot = Values[N->id()];
-  Evaluator &E = *WS->Eval;
+  const Evaluator &E = *ActiveEval;
 
   // Plain-typed nodes are views onto plain vectors; no work at run time.
   if (N->isPlain() && N->op() != OpCode::Output) {
@@ -116,9 +116,16 @@ void CkksExecutor::computeNode(const Node *N, std::vector<Value> &Values,
     return;
   }
 
+  // Scheduling invariants are enforced with fatalError, not assert: the
+  // default build is Release (-DNDEBUG), and a compiled-out check here would
+  // turn a scheduler bug into a silent wrong answer or a crash on an empty
+  // optional.
   auto CipherOf = [&](const Node *Parm) -> const Ciphertext & {
     const Value &V = Values[Parm->id()];
-    assert(V.isCipher() && "expected a ciphertext operand");
+    if (!V.isCipher())
+      fatalError("operand @" + std::to_string(Parm->id()) + " of node @" +
+                 std::to_string(N->id()) +
+                 " has no ciphertext: executed out of dependency order");
     return *V.Ct;
   };
 
@@ -145,7 +152,9 @@ void CkksExecutor::computeNode(const Node *N, std::vector<Value> &Values,
   case OpCode::Sub: {
     const Node *A = N->parm(0);
     const Node *B = N->parm(1);
-    assert(A->isCipher() && "frontend normalizes the cipher operand first");
+    if (!A->isCipher())
+      fatalError("ADD/SUB with a plain first operand: the frontend "
+                 "normalizes the cipher operand first");
     const Ciphertext &CA = CipherOf(A);
     if (B->isCipher()) {
       Slot.Ct = N->op() == OpCode::Add ? E.add(CA, CipherOf(B))
@@ -163,7 +172,9 @@ void CkksExecutor::computeNode(const Node *N, std::vector<Value> &Values,
   case OpCode::Multiply: {
     const Node *A = N->parm(0);
     const Node *B = N->parm(1);
-    assert(A->isCipher() && "frontend normalizes the cipher operand first");
+    if (!A->isCipher())
+      fatalError("MULTIPLY with a plain first operand: the frontend "
+                 "normalizes the cipher operand first");
     const Ciphertext &CA = CipherOf(A);
     if (B->isCipher()) {
       Slot.Ct = E.multiply(CA, CipherOf(B));
@@ -264,8 +275,14 @@ ParallelCkksExecutor::run(const SealedInputs &Inputs) {
   std::atomic<size_t> Remaining(Order.size());
   std::atomic<size_t> LiveBytes(0);
   std::atomic<size_t> PeakBytes(0);
-  std::mutex DoneMutex;
-  std::condition_variable DoneCV;
+  std::atomic<size_t> LiveNodes(0);
+  std::atomic<size_t> PeakNodes(0);
+
+  auto RaiseToAtLeast = [](std::atomic<size_t> &Peak, size_t Current) {
+    size_t Prev = Peak.load();
+    while (Current > Prev && !Peak.compare_exchange_weak(Prev, Current))
+      ;
+  };
 
   // The scheduler: a node is ready (active) when all parents are computed;
   // finishing a node may ready its children, which are submitted
@@ -273,16 +290,15 @@ ParallelCkksExecutor::run(const SealedInputs &Inputs) {
   std::function<void(Node *)> Execute = [&](Node *N) {
     computeNode(N, Values, Inputs, Outputs);
     if (Values[N->id()].isCipher()) {
-      size_t B = LiveBytes.fetch_add(Values[N->id()].Ct->memoryBytes()) +
-                 Values[N->id()].Ct->memoryBytes();
-      size_t Prev = PeakBytes.load();
-      while (B > Prev && !PeakBytes.compare_exchange_weak(Prev, B))
-        ;
+      size_t Bytes = Values[N->id()].Ct->memoryBytes();
+      RaiseToAtLeast(PeakBytes, LiveBytes.fetch_add(Bytes) + Bytes);
+      RaiseToAtLeast(PeakNodes, LiveNodes.fetch_add(1) + 1);
     }
     for (const Node *Parm : N->parms()) {
       if (Pending[Parm->id()].fetch_sub(1) == 1 &&
           Values[Parm->id()].isCipher()) {
         LiveBytes.fetch_sub(Values[Parm->id()].Ct->memoryBytes());
+        LiveNodes.fetch_sub(1);
         Values[Parm->id()].Ct.reset();
       }
     }
@@ -290,23 +306,22 @@ ParallelCkksExecutor::run(const SealedInputs &Inputs) {
       if (Deps[C->id()].fetch_sub(1) == 1)
         Pool.submit([&, C] { Execute(C); });
     }
-    if (Remaining.fetch_sub(1) == 1) {
-      std::lock_guard<std::mutex> Lock(DoneMutex);
-      DoneCV.notify_all();
-    }
+    if (Remaining.fetch_sub(1) == 1)
+      Pool.poke(); // wake the cooperating caller: the DAG is done
   };
 
   for (Node *N : Order)
     if (N->parmCount() == 0)
       Pool.submit([&, N] { Execute(N); });
 
-  {
-    std::unique_lock<std::mutex> Lock(DoneMutex);
-    DoneCV.wait(Lock, [&] { return Remaining.load() == 0; });
-  }
+  // The caller is one of the pool's execution contexts: it runs ready-node
+  // tasks itself until the whole DAG has executed (with a pool of size 1
+  // this is the only thread that ever runs nodes).
+  Pool.helpUntil([&] { return Remaining.load() == 0; });
   // Drain workers so no task still references this frame's state.
   Pool.waitIdle();
   Stats.PeakLiveBytes = PeakBytes.load();
+  Stats.PeakLiveNodes = PeakNodes.load();
   return Outputs;
 }
 
@@ -339,7 +354,12 @@ KernelBulkCkksExecutor::run(const SealedInputs &Inputs) {
             Ready = false;
         (Ready ? Wave : Rest).push_back(N);
       }
-      assert(!Wave.empty() && "no progress inside kernel chunk");
+      // fatalError, not assert: under the default Release build an assert
+      // compiles out and an empty wave spins forever.
+      if (Wave.empty())
+        fatalError("no progress inside kernel chunk: a node depends on a "
+                   "later kernel (the frontend must tag kernels in "
+                   "topological order)");
       Pool.parallelFor(Wave.size(), [&](size_t K) {
         computeNode(Wave[K], Values, Inputs, Outputs);
       });

@@ -1,4 +1,4 @@
-//===- ThreadPool.cpp - Worker pool for the executor ----------------------===//
+//===- ThreadPool.cpp - Cooperative worker pool ---------------------------===//
 //
 // Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
 //
@@ -13,14 +13,21 @@ using namespace eva;
 ThreadPool::ThreadPool(size_t NumThreads) {
   if (NumThreads == 0)
     NumThreads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  Workers.reserve(NumThreads);
-  for (size_t I = 0; I < NumThreads; ++I)
+  // The caller is the Nth execution context; spawn N - 1 workers.
+  Workers.reserve(NumThreads - 1);
+  for (size_t I = 0; I + 1 < NumThreads; ++I)
     Workers.emplace_back([this] { workerLoop(); });
 }
 
 ThreadPool::~ThreadPool() {
+  // Drain remaining tasks on the destructing thread first: with no workers
+  // (pool of size 1) queued tasks would otherwise be dropped, and with
+  // workers it speeds shutdown. Submitting from a task during destruction is
+  // still honored because runOneTask re-checks the queue.
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    std::unique_lock<std::mutex> Lock(Mutex);
+    while (!Tasks.empty())
+      runOneTask(Lock);
     Stopping = true;
   }
   TaskAvailable.notify_all();
@@ -34,59 +41,141 @@ void ThreadPool::submit(std::function<void()> Task) {
     Tasks.push(std::move(Task));
   }
   TaskAvailable.notify_one();
+  // A size-1 pool has no workers: wake cooperating threads in waitIdle.
+  if (Workers.empty())
+    Idle.notify_all();
+}
+
+void ThreadPool::runOneTask(std::unique_lock<std::mutex> &Lock) {
+  std::function<void()> Task = std::move(Tasks.front());
+  Tasks.pop();
+  ++ActiveTasks;
+  Lock.unlock();
+  Task();
+  Lock.lock();
+  --ActiveTasks;
+  if (Tasks.empty() && ActiveTasks == 0)
+    Idle.notify_all();
 }
 
 void ThreadPool::waitIdle() {
   std::unique_lock<std::mutex> Lock(Mutex);
-  Idle.wait(Lock, [this] { return Tasks.empty() && ActiveTasks == 0; });
+  for (;;) {
+    if (!Tasks.empty()) {
+      runOneTask(Lock);
+      continue;
+    }
+    if (ActiveTasks == 0)
+      return;
+    Idle.wait(Lock,
+              [this] { return !Tasks.empty() || ActiveTasks == 0; });
+  }
+}
+
+void ThreadPool::helpUntil(const std::function<bool()> &Done) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    if (Done())
+      return;
+    if (!Tasks.empty()) {
+      runOneTask(Lock);
+      continue;
+    }
+    TaskAvailable.wait(
+        Lock, [&] { return Stopping || !Tasks.empty() || Done(); });
+    if (Stopping && Tasks.empty())
+      return;
+  }
+}
+
+void ThreadPool::poke() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  TaskAvailable.notify_all();
+  Idle.notify_all();
+}
+
+void ThreadPool::runLoopChunks(LoopState &LS) {
+  for (;;) {
+    size_t Begin = LS.Next.fetch_add(LS.Chunk);
+    if (Begin >= LS.Count)
+      return;
+    size_t End = std::min(Begin + LS.Chunk, LS.Count);
+    (*LS.Body)(Begin, End);
+    size_t Iters = End - Begin;
+    if (LS.DoneIters.fetch_add(Iters) + Iters == LS.Count) {
+      // Last chunk: wake the loop's caller. Taking the lock orders the
+      // notification after the caller's predicate check.
+      std::lock_guard<std::mutex> Lock(LS.M);
+      LS.AllDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelForChunks(
+    size_t Count, size_t Grain,
+    const std::function<void(size_t, size_t)> &Body) {
+  if (Count == 0)
+    return;
+  if (Grain == 0)
+    Grain = 1;
+  size_t MaxChunks = (Count + Grain - 1) / Grain;
+  if (Workers.empty() || MaxChunks <= 1) {
+    Body(0, Count);
+    return;
+  }
+
+  std::shared_ptr<LoopState> LS = std::make_shared<LoopState>();
+  LS->Count = Count;
+  LS->Body = &Body;
+  // A few chunks per participant balances load without paying dispatch
+  // overhead per index; never split below the caller's grain.
+  size_t Participants = std::min(size(), MaxChunks);
+  LS->Chunk = std::max(Grain, (Count + Participants * 4 - 1) /
+                                  (Participants * 4));
+  size_t NumChunks = (Count + LS->Chunk - 1) / LS->Chunk;
+
+  // One helper per worker, unconditionally. Gating on currently-idle
+  // workers looks cheaper but a worker unwinding between tasks is counted
+  // as busy for a few microseconds, and a stale zero here would serialize
+  // back-to-back wavefront loops; a helper that arrives after the loop
+  // drained costs only one fetch_add before exiting.
+  size_t Helpers = std::min(Workers.size(), NumChunks - 1);
+  for (size_t I = 0; I < Helpers; ++I)
+    submit([this, LS] { runLoopChunks(*LS); });
+
+  // The caller participates: nested calls from inside a worker task make
+  // progress even when every other worker is occupied.
+  runLoopChunks(*LS);
+
+  // Wait only for straggler chunks already claimed by helpers. Helpers that
+  // run after this returns see an exhausted iteration space and exit without
+  // dereferencing Body.
+  std::unique_lock<std::mutex> Lock(LS->M);
+  LS->AllDone.wait(Lock,
+                   [&] { return LS->DoneIters.load() == LS->Count; });
 }
 
 void ThreadPool::parallelFor(size_t Count,
                              const std::function<void(size_t)> &Body) {
   if (Count == 0)
     return;
-  size_t NumWorkers = std::min(Count, Workers.size());
-  if (NumWorkers <= 1) {
+  if (Workers.empty() || Count == 1) {
     for (size_t I = 0; I < Count; ++I)
       Body(I);
     return;
   }
-  std::atomic<size_t> Next(0);
-  std::atomic<size_t> Done(0);
-  std::mutex DoneMutex;
-  std::condition_variable DoneCV;
-  for (size_t W = 0; W < NumWorkers; ++W) {
-    submit([&, Count] {
-      for (size_t I = Next.fetch_add(1); I < Count; I = Next.fetch_add(1))
-        Body(I);
-      if (Done.fetch_add(1) + 1 == NumWorkers) {
-        std::lock_guard<std::mutex> Lock(DoneMutex);
-        DoneCV.notify_all();
-      }
-    });
-  }
-  std::unique_lock<std::mutex> Lock(DoneMutex);
-  DoneCV.wait(Lock, [&] { return Done.load() == NumWorkers; });
+  parallelForChunks(Count, 1, [&Body](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I)
+      Body(I);
+  });
 }
 
 void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
   for (;;) {
-    std::function<void()> Task;
-    {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      TaskAvailable.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
-      if (Stopping && Tasks.empty())
-        return;
-      Task = std::move(Tasks.front());
-      Tasks.pop();
-      ++ActiveTasks;
-    }
-    Task();
-    {
-      std::lock_guard<std::mutex> Lock(Mutex);
-      --ActiveTasks;
-      if (Tasks.empty() && ActiveTasks == 0)
-        Idle.notify_all();
-    }
+    TaskAvailable.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
+    if (Stopping && Tasks.empty())
+      return;
+    runOneTask(Lock);
   }
 }

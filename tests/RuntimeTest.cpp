@@ -204,6 +204,67 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(I.param.Name);
     });
 
+TEST(EndToEnd, AllExecutorsProduceIdenticalOutputsOnMultiKernelProgram) {
+  // A program with several frontend-tagged kernels (the CHET executor's
+  // chunk boundaries), run from the SAME encrypted inputs under all three
+  // executors with >= 2 threads. Every CKKS op is exact modular integer
+  // arithmetic, so the decrypted outputs must agree bit-for-bit — any
+  // divergence means a scheduling race (lost limb, stale operand, retire
+  // before last use).
+  ProgramBuilder B("kernels", 64);
+  Expr X = B.inputCipher("x", 30);
+  Expr Y = B.inputCipher("y", 30);
+  Expr Conv = B.inKernel([&] {
+    Expr Acc = X * B.constant(0.5, 20);
+    for (int I = 1; I < 4; ++I)
+      Acc = Acc + (X << I) * B.constant(0.25 * I, 20);
+    return Acc;
+  });
+  Expr Square = B.inKernel([&] { return Conv * Conv + Y; });
+  Expr Pool = B.inKernel([&] { return Square + (Square << 2); });
+  B.output("conv", Conv, 30);
+  B.output("pooled", Pool, 30);
+
+  Expected<CompiledProgram> CP = compile(B.program(), CompilerOptions::eva());
+  ASSERT_TRUE(CP.ok()) << (CP.ok() ? "" : CP.message());
+  Expected<std::shared_ptr<CkksWorkspace>> WS =
+      CkksWorkspace::create(*CP, 4242);
+  ASSERT_TRUE(WS.ok()) << (WS.ok() ? "" : WS.message());
+
+  std::map<std::string, std::vector<double>> Inputs =
+      randomInputs(B.program(), 97);
+  CkksExecutor Serial(*CP, WS.value());
+  ParallelCkksExecutor Parallel(*CP, WS.value(), 4);
+  KernelBulkCkksExecutor Bulk(*CP, WS.value(), 4);
+
+  // Encrypt once; every executor consumes the identical ciphertexts.
+  SealedInputs Sealed = Serial.encryptInputs(Inputs);
+  std::map<std::string, Ciphertext> SerialOut = Serial.run(Sealed);
+  std::map<std::string, Ciphertext> ParallelOut = Parallel.run(Sealed);
+  std::map<std::string, Ciphertext> BulkOut = Bulk.run(Sealed);
+
+  ASSERT_EQ(SerialOut.size(), 2u);
+  ASSERT_EQ(ParallelOut.size(), 2u);
+  ASSERT_EQ(BulkOut.size(), 2u);
+  for (const auto &[Name, Ct] : SerialOut) {
+    std::vector<double> Want = Serial.decryptOutput(Ct);
+    ASSERT_TRUE(ParallelOut.count(Name)) << Name;
+    ASSERT_TRUE(BulkOut.count(Name)) << Name;
+    EXPECT_EQ(Want, Serial.decryptOutput(ParallelOut.at(Name)))
+        << "parallel executor diverged on " << Name;
+    EXPECT_EQ(Want, Serial.decryptOutput(BulkOut.at(Name)))
+        << "kernel-bulk executor diverged on " << Name;
+  }
+
+  // Stats parity: the parallel executor tracks the same counters as the
+  // serial one (PeakLiveNodes used to be left at zero).
+  EXPECT_GT(Serial.stats().PeakLiveNodes, 0u);
+  EXPECT_GT(Parallel.stats().PeakLiveNodes, 0u);
+  EXPECT_LE(Parallel.stats().PeakLiveNodes,
+            Parallel.stats().TotalNodeCount);
+  EXPECT_GT(Parallel.stats().PeakLiveBytes, 0u);
+}
+
 TEST(EndToEnd, MemoryReuseBoundsLiveCiphertexts) {
   // A long chain should retire intermediates: peak live nodes must stay far
   // below the node count (Section 6.1's retire rule).

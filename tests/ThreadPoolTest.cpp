@@ -3,9 +3,11 @@
 // Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
 //
 // The pool underpins both executors (ParallelCkksExecutor's DAG scheduler and
-// KernelBulkCkksExecutor's per-kernel parallelFor), so its barrier and
-// idle-tracking semantics must hold under oversubscription, nested submission,
-// and the zero-thread (hardware concurrency) fallback.
+// KernelBulkCkksExecutor's per-kernel parallelFor) and the Evaluator's
+// limb-level parallelism, so its barrier and idle-tracking semantics must
+// hold under oversubscription, nested submission, parallelFor called from
+// inside worker tasks (node-level × limb-level composition), and the
+// zero-thread (hardware concurrency) fallback.
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,7 +33,9 @@ TEST(ThreadPool, ZeroThreadsFallsBackToHardwareConcurrency) {
   EXPECT_EQ(Ran.load(), 1);
 }
 
-TEST(ThreadPool, SingleWorkerRunsEveryTask) {
+TEST(ThreadPool, SizeOnePoolRunsEveryTaskOnTheCaller) {
+  // A pool of size 1 spawns no workers: queued tasks run on whichever
+  // thread cooperates (here, the waitIdle caller).
   ThreadPool Pool(1);
   ASSERT_EQ(Pool.size(), 1u);
   std::atomic<int> Sum(0);
@@ -69,8 +73,8 @@ TEST(ThreadPool, ParallelForZeroCountReturnsImmediately) {
 }
 
 TEST(ThreadPool, ParallelForCountBelowWorkersRunsInline) {
-  // NumWorkers = min(Count, size); Count == 1 degenerates to the caller's
-  // thread, which must still execute the body.
+  // Count == 1 degenerates to the caller's thread, which must still execute
+  // the body.
   ThreadPool Pool(8);
   std::atomic<int> Hits(0);
   Pool.parallelFor(1, [&](size_t I) {
@@ -140,9 +144,9 @@ TEST(ThreadPool, OversubscribedSubmitBurst) {
 }
 
 TEST(ThreadPool, ParallelForDistributesAcrossWorkers) {
-  // With enough slow iterations, more than one worker should participate.
-  // (On a single-core host this still passes: min(Count, size) workers are
-  // spawned and each records its thread id.)
+  // More than one thread may participate (the caller always does); on a
+  // single-core host this still passes because participation is
+  // opportunistic, never required.
   ThreadPool Pool(4);
   std::mutex M;
   std::set<std::thread::id> Seen;
@@ -171,6 +175,125 @@ TEST(ThreadPool, SequentialParallelForCallsReuseThePool) {
   for (int Round = 0; Round < 20; ++Round)
     Pool.parallelFor(100, [&](size_t I) { Sum.fetch_add(static_cast<long long>(I)); });
   EXPECT_EQ(Sum.load(), 20ll * (99 * 100 / 2));
+}
+
+//===----------------------------------------------------------------------===//
+// Nested parallelism: parallelFor called from inside a worker task. The old
+// caller-blocks design serialized this (the worker slept while other workers
+// ran its loop) and deadlocked once every worker was blocked inside a nested
+// loop; the cooperative design must run all of it to completion.
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, NestedParallelForFromWorkerTask) {
+  ThreadPool Pool(2);
+  constexpr size_t Inner = 256;
+  std::atomic<long long> Sum(0);
+  Pool.submit([&] {
+    Pool.parallelFor(Inner, [&](size_t I) {
+      Sum.fetch_add(static_cast<long long>(I));
+    });
+    // The barrier must hold inside a worker too: every iteration's side
+    // effect is visible here.
+    EXPECT_EQ(Sum.load(), static_cast<long long>(Inner * (Inner - 1) / 2));
+  });
+  Pool.waitIdle();
+  EXPECT_EQ(Sum.load(), static_cast<long long>(Inner * (Inner - 1) / 2));
+}
+
+TEST(ThreadPool, EveryWorkerNestingConcurrentlyDoesNotDeadlock) {
+  // The executor composition: all execution contexts run node tasks that
+  // each open a limb-level parallelFor. With the caller-blocks design this
+  // deadlocks as soon as every worker sleeps in its own nested loop.
+  ThreadPool Pool(4);
+  constexpr int Tasks = 16;
+  constexpr size_t Inner = 128;
+  std::vector<std::atomic<int>> Hits(Tasks * Inner);
+  for (auto &H : Hits)
+    H.store(0);
+  for (int T = 0; T < Tasks; ++T)
+    Pool.submit([&, T] {
+      Pool.parallelFor(Inner, [&, T](size_t I) {
+        Hits[T * Inner + I].fetch_add(1);
+      });
+    });
+  Pool.waitIdle();
+  for (size_t I = 0; I < Hits.size(); ++I)
+    ASSERT_EQ(Hits[I].load(), 1) << "slot " << I;
+}
+
+TEST(ThreadPool, DoublyNestedParallelFor) {
+  ThreadPool Pool(3);
+  constexpr size_t Outer = 8, Inner = 64;
+  std::vector<std::atomic<int>> Hits(Outer * Inner);
+  for (auto &H : Hits)
+    H.store(0);
+  Pool.parallelFor(Outer, [&](size_t O) {
+    Pool.parallelFor(Inner, [&, O](size_t I) {
+      Hits[O * Inner + I].fetch_add(1);
+    });
+  });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    ASSERT_EQ(Hits[I].load(), 1) << "slot " << I;
+}
+
+TEST(ThreadPool, ParallelForChunksCoversRangeWithDisjointChunks) {
+  ThreadPool Pool(4);
+  constexpr size_t Count = 10000, Grain = 64;
+  std::vector<std::atomic<int>> Hits(Count);
+  for (auto &H : Hits)
+    H.store(0);
+  std::atomic<size_t> Chunks(0);
+  std::atomic<size_t> BelowGrain(0);
+  Pool.parallelForChunks(Count, Grain, [&](size_t Begin, size_t End) {
+    ASSERT_LT(Begin, End);
+    ASSERT_LE(End, Count);
+    Chunks.fetch_add(1);
+    // Only the chunk containing the tail may be shorter than the grain.
+    if (End - Begin < Grain)
+      BelowGrain.fetch_add(1);
+    for (size_t I = Begin; I < End; ++I)
+      Hits[I].fetch_add(1);
+  });
+  for (size_t I = 0; I < Count; ++I)
+    ASSERT_EQ(Hits[I].load(), 1) << "index " << I;
+  EXPECT_GE(Chunks.load(), 1u);
+  EXPECT_LE(Chunks.load(), Count / Grain + 1);
+  EXPECT_LE(BelowGrain.load(), 1u);
+}
+
+TEST(ThreadPool, ParallelForChunksZeroGrainIsTreatedAsOne) {
+  ThreadPool Pool(2);
+  std::atomic<long long> Sum(0);
+  Pool.parallelForChunks(100, 0, [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I)
+      Sum.fetch_add(static_cast<long long>(I));
+  });
+  EXPECT_EQ(Sum.load(), 99ll * 100 / 2);
+}
+
+TEST(ThreadPool, ParallelForChunksGrainAboveCountRunsInline) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls(0);
+  Pool.parallelForChunks(10, 100, [&](size_t Begin, size_t End) {
+    EXPECT_EQ(Begin, 0u);
+    EXPECT_EQ(End, 10u);
+    Calls.fetch_add(1);
+  });
+  EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPool, HelpUntilRunsQueuedTasksOnTheCaller) {
+  ThreadPool Pool(1); // no workers: only the helping caller makes progress
+  std::atomic<int> Done(0);
+  constexpr int Tasks = 32;
+  // Tasks submit follow-up work, like the DAG scheduler readying children.
+  for (int I = 0; I < Tasks; ++I)
+    Pool.submit([&] {
+      if (Done.fetch_add(1) + 1 == Tasks)
+        Pool.poke();
+    });
+  Pool.helpUntil([&] { return Done.load() == Tasks; });
+  EXPECT_EQ(Done.load(), Tasks);
 }
 
 } // namespace
