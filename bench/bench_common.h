@@ -138,6 +138,9 @@ struct BenchResult {
   double MeanSeconds = 0;
   double MinSeconds = 0;
   double SpeedupVs1 = 0;
+  /// Throughput results (the service bench) also carry requests/second
+  /// (0 means "not a throughput result" and is omitted from the JSON).
+  double Rps = 0;
 };
 
 /// Calls \p Fn repeatedly — at least \p MinIters times and until
@@ -225,6 +228,11 @@ public:
       if (R.SpeedupVs1 > 0) {
         std::snprintf(Buf, sizeof(Buf), ", \"speedup_vs_1thread\": %.4g",
                       R.SpeedupVs1);
+        Out += Buf;
+      }
+      if (R.Rps > 0) {
+        std::snprintf(Buf, sizeof(Buf), ", \"requests_per_second\": %.4g",
+                      R.Rps);
         Out += Buf;
       }
       Out += I + 1 == Results.size() ? "}\n" : "},\n";

@@ -1,0 +1,190 @@
+//===- service_throughput.cpp - Multi-tenant service throughput -----------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// Measures the encrypted-compute service end to end through the in-process
+// transport (the full serialized-message path — encode, symmetric encrypt,
+// wire encode/decode, validation, scheduling, execution — minus only the
+// socket I/O, so numbers are not confounded by kernel networking): sustained
+// requests/sec and p50/p95 request latency at {1, 4, 16} concurrent tenant
+// sessions submitting back-to-back requests against one small program.
+//
+// Writes BENCH_service.json (bench_common.h reporter schema; throughput
+// points carry "requests_per_second").
+//
+// Usage: service_throughput [output-dir]       (default: current directory)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "eva/frontend/Expr.h"
+#include "eva/service/Client.h"
+#include "eva/support/Random.h"
+
+#include <algorithm>
+#include <thread>
+
+#ifndef EVA_GIT_SHA
+#define EVA_GIT_SHA "unknown"
+#endif
+
+using namespace eva;
+using namespace evabench;
+
+namespace {
+
+/// The benched workload: rotation + relinearized multiply + plain operand —
+/// one of every evaluation-key kind, small enough to stress the service
+/// layers rather than raw FHE arithmetic.
+std::unique_ptr<Program> buildProgram() {
+  ProgramBuilder B("svc_bench", 64);
+  Expr X = B.inputCipher("x", 30);
+  Expr W = B.inputPlain("w", 20);
+  Expr Y = (X * X) + (X << 1) + W;
+  B.output("out", Y, 30);
+  return B.take();
+}
+
+struct SweepResult {
+  size_t Sessions = 0;
+  size_t Requests = 0;
+  double WallSeconds = 0;
+  double P50 = 0;
+  double P95 = 0;
+  double MeanLatency = 0;
+};
+
+SweepResult runSweepPoint(Service &Svc, size_t Sessions,
+                          size_t RequestsPerSession) {
+  InProcessTransport T(Svc);
+
+  // Set up tenants (sessions + per-tenant sealed requests) outside the
+  // measured region: key generation and upload is a once-per-session cost.
+  std::vector<std::unique_ptr<ServiceClient>> Clients;
+  std::vector<SealedRequest> Requests;
+  for (size_t S = 0; S < Sessions; ++S) {
+    auto C = std::make_unique<ServiceClient>(T);
+    Expected<std::vector<ParamSignature>> Sigs = C->listPrograms();
+    if (!Sigs || Sigs->empty())
+      eva::fatalError("bench: listPrograms failed");
+    if (Status St = C->openSession((*Sigs)[0], 1000 + S); !St.ok())
+      eva::fatalError("bench: openSession failed: " + St.message());
+    RandomSource Rng(77 + S);
+    std::vector<double> X(64), W(64);
+    for (double &V : X)
+      V = Rng.uniformReal(-1, 1);
+    for (double &V : W)
+      V = Rng.uniformReal(-1, 1);
+    Expected<SealedRequest> Req =
+        C->encryptInputs({{"x", X}, {"w", W}});
+    if (!Req)
+      eva::fatalError("bench: encryptInputs failed: " + Req.message());
+    Requests.push_back(std::move(*Req));
+    Clients.push_back(std::move(C));
+  }
+
+  // Measured region: every tenant submits back-to-back requests
+  // concurrently; per-request latency is wall time of submit().
+  std::vector<std::vector<double>> Latencies(Sessions);
+  eva::Timer Wall;
+  std::vector<std::thread> Threads;
+  for (size_t S = 0; S < Sessions; ++S) {
+    Threads.emplace_back([&, S] {
+      Latencies[S].reserve(RequestsPerSession);
+      for (size_t R = 0; R < RequestsPerSession; ++R) {
+        eva::Timer T1;
+        Expected<std::map<std::string, Ciphertext>> Out =
+            Clients[S]->submit(Requests[S]);
+        if (!Out)
+          eva::fatalError("bench: submit failed: " + Out.message());
+        Latencies[S].push_back(T1.seconds());
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+  double WallSeconds = Wall.seconds();
+
+  for (std::unique_ptr<ServiceClient> &C : Clients)
+    (void)C->closeSession();
+
+  std::vector<double> All;
+  for (const std::vector<double> &L : Latencies)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+
+  SweepResult R;
+  R.Sessions = Sessions;
+  R.Requests = All.size();
+  R.WallSeconds = WallSeconds;
+  R.P50 = All[All.size() / 2];
+  R.P95 = All[std::min(All.size() - 1,
+                       static_cast<size_t>(All.size() * 0.95))];
+  double Sum = 0;
+  for (double L : All)
+    Sum += L;
+  R.MeanLatency = Sum / static_cast<double>(All.size());
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutDir = Argc > 1 ? Argv[1] : ".";
+
+  ServiceConfig Config;
+  // Two requests in flight: enough to overlap tenants without measuring
+  // oversubscription on small CI hosts. EVA_BENCH_THREADS raises it.
+  Config.Scheduler.Workers = std::min<size_t>(maxThreads(), 2);
+  Config.ExecThreadsPerSession = 1;
+  Service Svc(Config);
+  if (Status S = Svc.registry().registerSource(*buildProgram()); !S.ok())
+    eva::fatalError("bench: register failed: " + S.message());
+
+  JsonReport Report("service", EVA_GIT_SHA);
+  const size_t RequestsPerPoint = 32;
+
+  std::printf("service_throughput: workers=%zu\n", Config.Scheduler.Workers);
+  // Warmup: populate executor/encoder caches before the first timed point.
+  runSweepPoint(Svc, 1, 4);
+
+  for (size_t Sessions : {1u, 4u, 16u}) {
+    size_t PerSession =
+        std::max<size_t>(1, RequestsPerPoint / Sessions);
+    SweepResult R = runSweepPoint(Svc, Sessions, PerSession);
+
+    double Rps = static_cast<double>(R.Requests) / R.WallSeconds;
+    std::printf("  sessions=%-3zu requests=%-3zu wall=%7.3fs  "
+                "rps=%7.2f  p50=%8.5fs  p95=%8.5fs\n",
+                R.Sessions, R.Requests, R.WallSeconds, Rps, R.P50, R.P95);
+
+    BenchResult Mean;
+    Mean.Op = "service_" + std::to_string(Sessions) + "sessions_latency";
+    Mean.Threads = Sessions;
+    Mean.Iterations = R.Requests;
+    Mean.SamplesInMean = R.Requests;
+    Mean.MeanSeconds = R.MeanLatency;
+    Mean.MinSeconds = R.P50; // robust central point for trend lines
+    Mean.Rps = Rps;
+    Report.add(Mean);
+
+    BenchResult P95;
+    P95.Op = "service_" + std::to_string(Sessions) + "sessions_p95";
+    P95.Threads = Sessions;
+    P95.Iterations = R.Requests;
+    P95.SamplesInMean = R.Requests;
+    P95.MeanSeconds = R.P95;
+    P95.MinSeconds = R.P50;
+    Report.add(P95);
+  }
+
+  std::string Path = OutDir + "/BENCH_service.json";
+  if (!Report.write(Path)) {
+    std::fprintf(stderr, "service_throughput: cannot write %s\n",
+                 Path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", Path.c_str());
+  return 0;
+}

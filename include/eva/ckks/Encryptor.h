@@ -21,16 +21,30 @@ namespace eva {
 /// 2 polynomials and carry the plaintext's scale; they are created over the
 /// plaintext's prime count (always the full data chain in compiled EVA
 /// programs, since MODSWITCH instructions lower levels explicitly).
+///
+/// encryptSymmetric produces a ciphertext under the secret key whose c1 is
+/// expanded from a PRNG seed, so serialization can ship (c0, seed) instead
+/// of (c0, c1) — half the upload for fresh request ciphertexts. Decryption
+/// and evaluation treat both forms identically.
 class Encryptor {
 public:
   Encryptor(std::shared_ptr<const CkksContext> Ctx, PublicKey Pk,
             uint64_t Seed = 0);
 
+  /// Symmetric-only encryptor: no public key needed (clients that hold the
+  /// secret key and only upload seed-compressed fresh ciphertexts).
+  Encryptor(std::shared_ptr<const CkksContext> Ctx, uint64_t Seed);
+
   Ciphertext encrypt(const Plaintext &Pt);
+
+  /// Secret-key encryption with seed-expanded c1. \p C1SeedOut receives the
+  /// seed such that Polys[1] == expandUniformNtt(Ctx, count, seed).
+  Ciphertext encryptSymmetric(const Plaintext &Pt, const SecretKey &Sk,
+                              uint64_t &C1SeedOut);
 
 private:
   std::shared_ptr<const CkksContext> Ctx;
-  PublicKey Pk;
+  PublicKey Pk; // empty polys for symmetric-only encryptors
   KeyGenerator Sampler; // reused for ternary/error sampling only
 };
 

@@ -23,6 +23,16 @@
 
 namespace eva {
 
+/// Deterministically expands \p Seed into a uniform polynomial in NTT form
+/// over the first \p PrimeCount context primes. Uniformity in NTT form
+/// equals uniformity in coefficient form (the NTT is a bijection), so the
+/// result can stand in for any freshly sampled uniform polynomial. The
+/// expansion uses raw mt19937_64 output with rejection sampling — fully
+/// specified by the C++ standard, so client and server reproduce identical
+/// polynomials from the same seed regardless of standard library.
+RnsPoly expandUniformNtt(const CkksContext &Ctx, size_t PrimeCount,
+                         uint64_t Seed);
+
 class KeyGenerator {
 public:
   explicit KeyGenerator(std::shared_ptr<const CkksContext> Ctx,
@@ -45,9 +55,15 @@ public:
 
   RandomSource &rng() { return Rng; }
 
+  /// Draws a fresh nonzero expansion seed from the generator's stream.
+  uint64_t deriveSeed();
+
 private:
-  /// (c0, c1) with c0 + c1*s = e over the first \p PrimeCount primes.
-  std::array<RnsPoly, 2> encryptZeroSymmetric(size_t PrimeCount);
+  /// (c0, c1) with c0 + c1*s = e over the first \p PrimeCount primes. When
+  /// \p C1SeedOut is non-null, c1 is expanded from a derived seed (written
+  /// through the pointer) so serialization can ship the seed instead.
+  std::array<RnsPoly, 2> encryptZeroSymmetric(size_t PrimeCount,
+                                              uint64_t *C1SeedOut = nullptr);
   /// Builds a key-switching key for target polynomial \p W (NTT form over
   /// all primes): component i encrypts P * W * (CRT basis_i).
   KSwitchKey createKSwitchKey(const RnsPoly &W);

@@ -30,14 +30,21 @@ struct SecretKey {
   RnsPoly S; // NTT form over all primes (data + special)
 };
 
+/// Key and ciphertext uniform components are expanded from PRNG seeds so
+/// the wire format can ship the 8-byte seed instead of the polynomial
+/// (roughly halving key upload size). A seed of 0 means "not seed-derived":
+/// the polynomial must be shipped in full.
 struct PublicKey {
   RnsPoly P0, P1; // NTT form over all primes
+  uint64_t P1Seed = 0; ///< P1 == expandUniformNtt(P1Seed) when nonzero.
 };
 
 /// One key-switching key: per decomposition prime i, a pair (k0_i, k1_i)
 /// over the full modulus Q*P with k0_i + k1_i * s = e_i + P * w * qtilde_i.
 struct KSwitchKey {
   std::vector<std::array<RnsPoly, 2>> Keys;
+  /// Parallel to Keys when non-empty: k1_i == expandUniformNtt(C1Seeds[i]).
+  std::vector<uint64_t> C1Seeds;
   bool empty() const { return Keys.empty(); }
 };
 

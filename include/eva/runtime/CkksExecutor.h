@@ -58,6 +58,14 @@ namespace eva {
 
 /// The "encryption context" of Table 7: parameters, keys, and the
 /// encoder/encryptor/decryptor/evaluator stack for one compiled program.
+///
+/// Two flavours exist. create() is the fused client+server workspace used
+/// when one process owns everything (tests, benches, the examples).
+/// createServer() builds the evaluation-only workspace an encrypted-compute
+/// service holds per client session: the context, the encoder (for plain
+/// operands), and the *client-supplied* evaluation keys — KeyGen, Enc, and
+/// Dec stay null, so no secret key ever exists server-side and
+/// encryptInputs/decryptOutput fail fast if called.
 class CkksWorkspace {
 public:
   /// Generates primes from the compiled bit sizes, validates them at the
@@ -65,6 +73,15 @@ public:
   /// relinearization, and one Galois key per rotation step).
   static Expected<std::shared_ptr<CkksWorkspace>>
   create(const CompiledProgram &CP, uint64_t Seed = 0);
+
+  /// Evaluation-only workspace over an existing context (shared across the
+  /// sessions of one registered program) and the evaluation keys a client
+  /// uploaded. Validates that \p Gk covers every rotation step the compiled
+  /// program needs and that \p Rk is present when it relinearizes.
+  static Expected<std::shared_ptr<CkksWorkspace>>
+  createServer(const CompiledProgram &CP,
+               std::shared_ptr<const CkksContext> Ctx, RelinKeys Rk,
+               GaloisKeys Gk);
 
   std::shared_ptr<const CkksContext> Context;
   std::unique_ptr<CkksEncoder> Encoder;

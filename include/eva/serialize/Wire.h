@@ -102,10 +102,18 @@ public:
         return false;
       }
       uint8_t B = static_cast<uint8_t>(Data[Pos++]);
+      // The 10th byte (Shift == 63) may only contribute its lowest payload
+      // bit; anything above would shift past bit 63 and be silently lost,
+      // so a value with those bits set does not fit in 64 bits.
+      if (Shift == 63 && (B & 0x7E) != 0) {
+        Failed = true;
+        return false;
+      }
       V |= static_cast<uint64_t>(B & 0x7F) << Shift;
       if ((B & 0x80) == 0)
         return true;
     }
+    // Continuation bit still set after 10 bytes: the varint is overlong.
     Failed = true;
     return false;
   }

@@ -1,0 +1,139 @@
+//===- eva/service/Client.h - Service clients -------------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the deployment split (paper Section 2): everything
+/// that touches plaintexts or the secret key lives here. A ServiceClient
+/// fetches a program's parameter signature, derives the identical
+/// encryption context the server uses (prime generation is deterministic
+/// from the bit sizes), generates its own keys, uploads only the
+/// evaluation keys (seed-compressed), encrypts inputs with seed-compressed
+/// symmetric ciphertexts, and decrypts results locally.
+///
+/// Transports: SocketTransport speaks the framing protocol to a remote
+/// evaserve; InProcessTransport calls Service::dispatch directly, so tests
+/// and benches drive the full encode -> encrypt -> submit -> execute ->
+/// decrypt loop through the same serialized-message path without sockets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SERVICE_CLIENT_H
+#define EVA_SERVICE_CLIENT_H
+
+#include "eva/runtime/CkksExecutor.h"
+#include "eva/service/Framing.h"
+#include "eva/service/Service.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eva {
+
+/// One request/response exchange. Implementations must be usable from
+/// multiple client threads.
+class Transport {
+public:
+  virtual ~Transport() = default;
+  virtual Expected<Frame> roundTrip(MessageType Type,
+                                    std::string_view Payload) = 0;
+};
+
+/// Calls Service::dispatch in-process (same serialized messages, no I/O).
+class InProcessTransport : public Transport {
+public:
+  explicit InProcessTransport(Service &Svc) : Svc(Svc) {}
+  Expected<Frame> roundTrip(MessageType Type,
+                            std::string_view Payload) override {
+    std::pair<MessageType, std::string> R = Svc.dispatch(Type, Payload);
+    return Frame{R.first, std::move(R.second)};
+  }
+
+private:
+  Service &Svc;
+};
+
+/// Speaks the framing protocol over a loopback TCP connection.
+class SocketTransport : public Transport {
+public:
+  static Expected<std::unique_ptr<SocketTransport>>
+  connectLoopback(uint16_t Port);
+  ~SocketTransport() override;
+
+  Expected<Frame> roundTrip(MessageType Type,
+                            std::string_view Payload) override;
+
+private:
+  explicit SocketTransport(int Fd) : Fd(Fd) {}
+  std::mutex IoMutex; // one exchange at a time per connection
+  int Fd;
+};
+
+/// The client-side sealed request: encrypted inputs plus the c1 expansion
+/// seeds that let the wire carry (c0, seed) instead of (c0, c1).
+struct SealedRequest {
+  SealedInputs Inputs;
+  std::map<std::string, uint64_t> C1Seeds;
+};
+
+class ServiceClient {
+public:
+  explicit ServiceClient(Transport &T) : T(T) {}
+
+  Expected<std::vector<ParamSignature>> listPrograms();
+
+  /// Builds the client crypto stack for \p Sig (context, keys seeded from
+  /// \p KeySeed) and opens a server session with the evaluation keys.
+  Status openSession(const ParamSignature &Sig, uint64_t KeySeed);
+
+  /// Encodes and encrypts \p Inputs per the program's input schema.
+  Expected<SealedRequest>
+  encryptInputs(const std::map<std::string, std::vector<double>> &Inputs);
+
+  /// Submits a sealed request; returns the encrypted outputs.
+  Expected<std::map<std::string, Ciphertext>> submit(const SealedRequest &Req);
+
+  /// Decrypts and decodes outputs to vec_size values each.
+  std::map<std::string, std::vector<double>>
+  decryptOutputs(const std::map<std::string, Ciphertext> &Outputs) const;
+
+  /// encryptInputs + submit + decryptOutputs.
+  Expected<std::map<std::string, std::vector<double>>>
+  call(const std::map<std::string, std::vector<double>> &Inputs);
+
+  Status closeSession();
+
+  bool hasSession() const { return SessionId != 0; }
+  uint64_t sessionId() const { return SessionId; }
+  const ParamSignature &signature() const { return Sig; }
+  std::shared_ptr<const CkksContext> context() const { return Ctx; }
+  const RelinKeys &relinKeys() const { return Rk; }
+  const GaloisKeys &galoisKeys() const { return Gk; }
+  const SecretKey &secretKey() const { return KeyGen->secretKey(); }
+
+private:
+  /// Sends one message and insists on \p Want back (Error frames become
+  /// diagnostics).
+  Expected<std::string> exchange(MessageType Send, std::string_view Payload,
+                                 MessageType Want);
+
+  Transport &T;
+  ParamSignature Sig;
+  uint64_t SessionId = 0;
+  std::shared_ptr<const CkksContext> Ctx;
+  std::unique_ptr<CkksEncoder> Encoder;
+  std::unique_ptr<KeyGenerator> KeyGen;
+  std::unique_ptr<Encryptor> Enc; // symmetric-only
+  std::unique_ptr<Decryptor> Dec;
+  RelinKeys Rk;
+  GaloisKeys Gk;
+};
+
+} // namespace eva
+
+#endif // EVA_SERVICE_CLIENT_H

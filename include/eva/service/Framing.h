@@ -1,0 +1,55 @@
+//===- eva/service/Framing.h - Length-prefixed socket framing ---*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level transport protocol of the service: every message travels
+/// as one frame
+///
+///   +------+------+----------------+--------------------+
+///   | 'EVAS' (4B) | type (1B)      | length (4B, LE)    |  payload ...
+///   +------+------+----------------+--------------------+
+///
+/// followed by `length` payload bytes (a serialized message of Messages.h).
+/// Readers verify the magic, bound the length (MaxFramePayload), and read
+/// to completion across partial reads and EINTR; any violation closes the
+/// connection with a diagnostic rather than desynchronizing the stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SERVICE_FRAMING_H
+#define EVA_SERVICE_FRAMING_H
+
+#include "eva/service/Messages.h"
+#include "eva/support/Error.h"
+
+#include <string>
+#include <string_view>
+
+namespace eva {
+
+/// 'E' 'V' 'A' 'S' on the wire.
+inline constexpr unsigned char FrameMagic[4] = {'E', 'V', 'A', 'S'};
+
+/// Largest accepted payload (256 MiB): comfortably above the biggest
+/// seed-compressed Galois-key upload at the largest supported degree, far
+/// below a hostile length that would balloon server memory.
+inline constexpr uint32_t MaxFramePayload = 256u << 20;
+
+struct Frame {
+  MessageType Type = MessageType::Error;
+  std::string Payload;
+};
+
+/// Writes one complete frame to \p Fd.
+Status writeFrame(int Fd, MessageType Type, std::string_view Payload);
+
+/// Reads one complete frame from \p Fd. A clean EOF before any header byte
+/// yields the distinguished message "connection closed".
+Expected<Frame> readFrame(int Fd);
+
+} // namespace eva
+
+#endif // EVA_SERVICE_FRAMING_H

@@ -1,0 +1,168 @@
+//===- eva/service/Messages.h - Service wire messages -----------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/response messages of the encrypted-compute service, in the
+/// same hand-rolled proto3 wire format as the program schema (Figure 1).
+/// The protocol deliberately has NO message that carries a secret key: the
+/// deployment split of Section 2 — client encrypts, server computes on
+/// ciphertexts — is enforced by the wire schema itself, not by convention.
+///
+/// \code
+///   enum MessageType   { ERROR = 0; LIST_PROGRAMS = 1; PROGRAM_LIST = 2;
+///                        OPEN_SESSION = 3; SESSION_OPENED = 4;
+///                        EXECUTE = 5; EXECUTE_RESULT = 6;
+///                        CLOSE_SESSION = 7; SESSION_CLOSED = 8; }
+///   message Error        { string message = 1; }
+///   message InputSpec    { string name = 1; double log_scale = 2;
+///                          bool cipher = 3; }
+///   message OutputSpec   { string name = 1; double log_scale = 2; }
+///   message ParamSignature {
+///     string program = 1; uint64 poly_degree = 2; uint64 vec_size = 3;
+///     repeated int32 context_bit_sizes = 4;   // storage order, special last
+///     repeated uint64 rotation_steps = 5; uint32 security = 6;
+///     repeated InputSpec inputs = 7; repeated OutputSpec outputs = 8;
+///     bool needs_relin = 9; }
+///   message ProgramList  { repeated ParamSignature programs = 1; }
+///   message OpenSession  { string program = 1; bytes relin_keys = 2;
+///                          bytes galois_keys = 3; }   // CkksIO encodings
+///   message SessionOpened{ uint64 session_id = 1; }
+///   message NamedCipher  { string name = 1; bytes ciphertext = 2; }
+///   message NamedPlain   { string name = 1; bytes values = 2; } // LE doubles
+///   message Execute      { uint64 session_id = 1;
+///                          repeated NamedCipher cipher_inputs = 2;
+///                          repeated NamedPlain plain_inputs = 3; }
+///   message ExecuteResult{ repeated NamedCipher outputs = 1; }
+///   message CloseSession { uint64 session_id = 1; }
+///   message SessionClosed{ uint64 session_id = 1; }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SERVICE_MESSAGES_H
+#define EVA_SERVICE_MESSAGES_H
+
+#include "eva/ckks/SecurityTable.h"
+#include "eva/support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eva {
+
+enum class MessageType : uint8_t {
+  Error = 0,
+  ListPrograms = 1,
+  ProgramList = 2,
+  OpenSession = 3,
+  SessionOpened = 4,
+  Execute = 5,
+  ExecuteResult = 6,
+  CloseSession = 7,
+  SessionClosed = 8,
+};
+
+const char *messageTypeName(MessageType T);
+
+/// One named program input as the client must supply it.
+struct ServiceInputSpec {
+  std::string Name;
+  double LogScale = 0;
+  bool IsCipher = true;
+};
+
+struct ServiceOutputSpec {
+  std::string Name;
+  double LogScale = 0;
+};
+
+/// Everything a client needs to build a matching encryption context and
+/// key set for one registered program: the compiled parameters (both sides
+/// derive identical primes deterministically from the bit sizes), the
+/// rotation-step set requiring Galois keys, and the I/O schema.
+struct ParamSignature {
+  std::string ProgramName;
+  uint64_t PolyDegree = 0;
+  uint64_t VecSize = 0;
+  std::vector<int> ContextBitSizes; ///< storage order, special prime last
+  std::vector<uint64_t> RotationSteps;
+  SecurityLevel Security = SecurityLevel::TC128;
+  bool NeedsRelin = false;
+  std::vector<ServiceInputSpec> Inputs;
+  std::vector<ServiceOutputSpec> Outputs;
+};
+
+struct ErrorMsg {
+  std::string Message;
+};
+
+struct ProgramListMsg {
+  std::vector<ParamSignature> Programs;
+};
+
+struct OpenSessionMsg {
+  std::string ProgramName;
+  std::string RelinKeyBytes;  ///< CkksIO RelinKeys encoding (may be empty)
+  std::string GaloisKeyBytes; ///< CkksIO GaloisKeys encoding (may be empty)
+};
+
+struct SessionOpenedMsg {
+  uint64_t SessionId = 0;
+};
+
+struct ExecuteMsg {
+  uint64_t SessionId = 0;
+  /// Ciphertexts stay serialized here: only the session (which knows the
+  /// program's context) can validate and decode them.
+  std::vector<std::pair<std::string, std::string>> CipherInputs;
+  std::vector<std::pair<std::string, std::vector<double>>> PlainInputs;
+};
+
+struct ExecuteResultMsg {
+  std::vector<std::pair<std::string, std::string>> Outputs;
+};
+
+struct CloseSessionMsg {
+  uint64_t SessionId = 0;
+};
+
+struct SessionClosedMsg {
+  uint64_t SessionId = 0;
+};
+
+std::string serializeError(const ErrorMsg &M);
+Expected<ErrorMsg> deserializeError(std::string_view Data);
+
+std::string serializeParamSignature(const ParamSignature &Sig);
+Expected<ParamSignature> deserializeParamSignature(std::string_view Data);
+
+std::string serializeProgramList(const ProgramListMsg &M);
+Expected<ProgramListMsg> deserializeProgramList(std::string_view Data);
+
+std::string serializeOpenSession(const OpenSessionMsg &M);
+Expected<OpenSessionMsg> deserializeOpenSession(std::string_view Data);
+
+std::string serializeSessionOpened(const SessionOpenedMsg &M);
+Expected<SessionOpenedMsg> deserializeSessionOpened(std::string_view Data);
+
+std::string serializeExecute(const ExecuteMsg &M);
+Expected<ExecuteMsg> deserializeExecute(std::string_view Data);
+
+std::string serializeExecuteResult(const ExecuteResultMsg &M);
+Expected<ExecuteResultMsg> deserializeExecuteResult(std::string_view Data);
+
+std::string serializeCloseSession(const CloseSessionMsg &M);
+Expected<CloseSessionMsg> deserializeCloseSession(std::string_view Data);
+
+std::string serializeSessionClosed(const SessionClosedMsg &M);
+Expected<SessionClosedMsg> deserializeSessionClosed(std::string_view Data);
+
+} // namespace eva
+
+#endif // EVA_SERVICE_MESSAGES_H

@@ -1,0 +1,66 @@
+//===- eva/service/ProgramRegistry.h - Compiled-program registry -*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server-side catalogue of executable programs. Each registered entry
+/// holds the compiled program (Algorithm 1 output), the CKKS context built
+/// from its selected parameters (shared by every session of that program),
+/// and the parameter signature clients fetch to construct matching contexts
+/// and keys. Registration compiles from source form — the same `.evabin`
+/// files `evac` consumes — so the registry is the deployment boundary: drop
+/// a program file on the server, clients discover it via LIST_PROGRAMS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SERVICE_PROGRAMREGISTRY_H
+#define EVA_SERVICE_PROGRAMREGISTRY_H
+
+#include "eva/ckks/Context.h"
+#include "eva/core/Compiler.h"
+#include "eva/service/Messages.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eva {
+
+/// One registered program: immutable once published, shared by sessions.
+struct RegisteredProgram {
+  CompiledProgram CP;
+  std::shared_ptr<const CkksContext> Context;
+  ParamSignature Signature;
+};
+
+/// Builds the client-facing signature of a compiled program.
+ParamSignature signatureOf(const CompiledProgram &CP);
+
+class ProgramRegistry {
+public:
+  /// Compiles \p Source with \p Options and publishes it under its program
+  /// name. Fails on compile errors, context validation, or a name collision.
+  Status registerSource(const Program &Source,
+                        const CompilerOptions &Options = CompilerOptions::eva());
+
+  /// Loads a source program from \p Path (proto3 wire format or textual
+  /// listing, as evac accepts) and registers it.
+  Status loadFromFile(const std::string &Path,
+                      const CompilerOptions &Options = CompilerOptions::eva());
+
+  std::shared_ptr<const RegisteredProgram> find(const std::string &Name) const;
+  std::vector<ParamSignature> signatures() const;
+  size_t size() const;
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::shared_ptr<const RegisteredProgram>> Programs;
+};
+
+} // namespace eva
+
+#endif // EVA_SERVICE_PROGRAMREGISTRY_H

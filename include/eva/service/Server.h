@@ -1,0 +1,80 @@
+//===- eva/service/Server.h - Loopback socket server ------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The socket front-end of the service (what `evaserve` runs): accepts TCP
+/// connections on 127.0.0.1, reads request frames, funnels them through
+/// Service::dispatch, and writes response frames. One thread per
+/// connection; concurrency across tenants comes from the RequestScheduler
+/// behind dispatch. Binding port 0 picks an ephemeral port (port() reports
+/// it), which is how tests run a real server without port collisions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SERVICE_SERVER_H
+#define EVA_SERVICE_SERVER_H
+
+#include "eva/service/Service.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eva {
+
+class ServiceServer {
+public:
+  /// \p MaxConnections bounds concurrent client connections (each pins a
+  /// thread and an fd); excess connects are closed immediately.
+  explicit ServiceServer(Service &Svc, size_t MaxConnections = 128)
+      : Svc(Svc), MaxConnections(MaxConnections) {}
+  ~ServiceServer() { stop(); }
+
+  ServiceServer(const ServiceServer &) = delete;
+  ServiceServer &operator=(const ServiceServer &) = delete;
+
+  /// Binds 127.0.0.1:\p Port (0 = ephemeral), starts accepting.
+  Status start(uint16_t Port = 0);
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Stops accepting, closes the listener, and joins all threads. Safe to
+  /// call repeatedly.
+  void stop();
+
+private:
+  /// One live (or finished-but-unreaped) connection. The server owns the
+  /// fd: serveConnection marks Done and the reaper/stop() joins and closes,
+  /// so stop() can safely shutdown() the fd of a blocked reader without
+  /// racing a concurrent close.
+  struct Connection {
+    std::thread T;
+    int Fd = -1;
+    std::atomic<bool> Done{false};
+  };
+
+  void acceptLoop();
+  void serveConnection(Connection *C);
+  /// Joins and closes finished connections (called from the accept loop so
+  /// a long-lived daemon does not accumulate dead threads).
+  void reapFinished();
+
+  Service &Svc;
+  size_t MaxConnections;
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::atomic<bool> Stopping{false};
+  std::thread Acceptor;
+  std::mutex ConnMutex;
+  std::vector<std::unique_ptr<Connection>> Connections;
+};
+
+} // namespace eva
+
+#endif // EVA_SERVICE_SERVER_H

@@ -1,0 +1,74 @@
+//===- eva/service/Service.h - The encrypted-compute service ----*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport-independent service core: program registry + session
+/// manager + request scheduler behind a single dispatch() over serialized
+/// messages. The socket server (Server.h) and the in-process transport
+/// (Client.h) both funnel through dispatch, so tests exercise byte-for-byte
+/// the same path a remote client exercises — including every defensive
+/// deserialization step — without socket flakiness.
+///
+/// Threat model: the server operates on ciphertexts and evaluation keys
+/// only. No dispatch path deserializes a secret key (the wire schema has no
+/// message for one), and requests are fully validated — session exists,
+/// inputs complete, ciphertexts well-formed at the expected level and scale
+/// — before they reach an executor, because executor invariant violations
+/// are process-fatal by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SERVICE_SERVICE_H
+#define EVA_SERVICE_SERVICE_H
+
+#include "eva/service/Messages.h"
+#include "eva/service/ProgramRegistry.h"
+#include "eva/service/RequestScheduler.h"
+#include "eva/service/Session.h"
+
+namespace eva {
+
+struct ServiceConfig {
+  SchedulerConfig Scheduler;
+  /// Cooperative pool size of each session's executor (1 = the scheduler
+  /// worker runs the whole DAG itself).
+  size_t ExecThreadsPerSession = 1;
+  /// Open sessions pin their key material; beyond this many, OPEN_SESSION
+  /// is rejected (untrusted clients must not be able to OOM the server).
+  size_t MaxSessions = 64;
+};
+
+class Service {
+public:
+  explicit Service(ServiceConfig Config = {});
+
+  ProgramRegistry &registry() { return Registry; }
+  const ProgramRegistry &registry() const { return Registry; }
+
+  /// Handles one request frame and produces the response frame. Never
+  /// throws and never aborts on malformed payloads: every failure returns
+  /// a MessageType::Error response.
+  std::pair<MessageType, std::string> dispatch(MessageType Type,
+                                               std::string_view Payload);
+
+  SchedulerStats schedulerStats() const { return Scheduler.stats(); }
+  size_t activeSessionCount() const { return Sessions.activeCount(); }
+
+private:
+  std::pair<MessageType, std::string> handleListPrograms();
+  std::pair<MessageType, std::string> handleOpenSession(std::string_view);
+  std::pair<MessageType, std::string> handleExecute(std::string_view);
+  std::pair<MessageType, std::string> handleCloseSession(std::string_view);
+
+  ServiceConfig Config;
+  ProgramRegistry Registry;
+  SessionManager Sessions;
+  RequestScheduler Scheduler;
+};
+
+} // namespace eva
+
+#endif // EVA_SERVICE_SERVICE_H

@@ -1,0 +1,91 @@
+//===- eva/service/Session.h - Per-client sessions --------------*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A session binds one client's evaluation keys to one registered program.
+/// The server-side workspace holds only what evaluation needs — context,
+/// encoder, and the client-supplied relinearization/Galois keys; the secret
+/// key exists solely on the client (CkksWorkspace::createServer leaves the
+/// key generator, encryptor, and decryptor null). Each session owns a
+/// ParallelCkksExecutor whose cooperative thread pool executes that
+/// client's requests; a per-session mutex serializes them, while different
+/// sessions run concurrently under the RequestScheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SERVICE_SESSION_H
+#define EVA_SERVICE_SESSION_H
+
+#include "eva/runtime/CkksExecutor.h"
+#include "eva/service/ProgramRegistry.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace eva {
+
+class Session {
+public:
+  Session(uint64_t Id, std::shared_ptr<const RegisteredProgram> Prog,
+          std::shared_ptr<CkksWorkspace> WS, size_t ExecThreads)
+      : Id(Id), Prog(std::move(Prog)), WS(std::move(WS)),
+        Exec(this->Prog->CP, this->WS, ExecThreads) {}
+
+  uint64_t id() const { return Id; }
+  const RegisteredProgram &program() const { return *Prog; }
+  const CkksContext &context() const { return *WS->Context; }
+
+  /// Runs one encrypted request to completion. Requests of the same
+  /// session are serialized (they share the executor); the scheduler
+  /// overlaps requests of different sessions.
+  std::map<std::string, Ciphertext> execute(const SealedInputs &Inputs) {
+    std::lock_guard<std::mutex> Lock(ExecMutex);
+    return Exec.run(Inputs);
+  }
+
+private:
+  uint64_t Id;
+  std::shared_ptr<const RegisteredProgram> Prog;
+  std::shared_ptr<CkksWorkspace> WS;
+  ParallelCkksExecutor Exec;
+  std::mutex ExecMutex;
+};
+
+/// Owns the live sessions; thread-safe. Bounded: key material is pinned in
+/// memory for a session's whole lifetime, so an untrusted client looping
+/// OPEN_SESSION must hit a limit, not the server's OOM killer.
+class SessionManager {
+public:
+  explicit SessionManager(size_t ExecThreadsPerSession = 1,
+                          size_t MaxSessions = 64)
+      : ExecThreads(ExecThreadsPerSession), MaxSessions(MaxSessions) {}
+
+  /// Validates the keys against the program (createServer checks Galois
+  /// coverage and relin presence) and publishes a fresh session. Fails
+  /// when the session limit is reached.
+  Expected<std::shared_ptr<Session>>
+  open(std::shared_ptr<const RegisteredProgram> Prog, RelinKeys Rk,
+       GaloisKeys Gk);
+
+  std::shared_ptr<Session> find(uint64_t Id) const;
+  bool close(uint64_t Id);
+  size_t activeCount() const;
+  /// Advisory capacity probe so callers can refuse a session request
+  /// before paying for key deserialization; open() remains authoritative.
+  bool atCapacity() const;
+
+private:
+  mutable std::mutex M;
+  uint64_t NextId = 1;
+  size_t ExecThreads;
+  size_t MaxSessions;
+  std::map<uint64_t, std::shared_ptr<Session>> Sessions;
+};
+
+} // namespace eva
+
+#endif // EVA_SERVICE_SESSION_H

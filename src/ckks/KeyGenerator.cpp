@@ -10,6 +10,37 @@
 
 using namespace eva;
 
+namespace {
+
+/// Uniform value in [0, Bound) from raw engine output, bias-free via
+/// rejection: values below 2^64 mod Bound are rejected, leaving an interval
+/// whose length is a multiple of Bound.
+uint64_t boundedUniform(RandomSource &Rng, uint64_t Bound) {
+  uint64_t Threshold = (0 - Bound) % Bound; // 2^64 mod Bound
+  for (;;) {
+    uint64_t R = Rng.uniform64();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+} // namespace
+
+RnsPoly eva::expandUniformNtt(const CkksContext &Ctx, size_t PrimeCount,
+                              uint64_t Seed) {
+  assert(Seed != 0 && "seed 0 is reserved for 'not seed-derived'");
+  assert(PrimeCount >= 1 && PrimeCount <= Ctx.totalPrimeCount());
+  RandomSource Rng(Seed);
+  uint64_t N = Ctx.polyDegree();
+  RnsPoly P(N, PrimeCount);
+  for (size_t C = 0; C < PrimeCount; ++C) {
+    uint64_t Q = Ctx.prime(C).value();
+    for (uint64_t I = 0; I < N; ++I)
+      P.Comps[C][I] = boundedUniform(Rng, Q);
+  }
+  return P;
+}
+
 KeyGenerator::KeyGenerator(std::shared_ptr<const CkksContext> CtxIn,
                            uint64_t Seed)
     : Ctx(std::move(CtxIn)), Rng(Seed == 0 ? 0x5EA1C0DEull : Seed) {
@@ -62,9 +93,29 @@ RnsPoly KeyGenerator::sampleUniform(size_t PrimeCount) {
   return P;
 }
 
-std::array<RnsPoly, 2> KeyGenerator::encryptZeroSymmetric(size_t PrimeCount) {
+uint64_t KeyGenerator::deriveSeed() {
+  // Expansion seeds are published on the wire (that is the point of seed
+  // compression), so they must NOT be drawn from the engine that samples
+  // secret material: mt19937_64 state is recoverable from its outputs, and
+  // a server collecting enough key seeds could rewind the stream to the
+  // secret-key coefficients. Draw from OS entropy instead — the seed only
+  // needs to be reproducible by expandUniformNtt, not by this generator.
+  std::random_device Rd;
+  uint64_t S = (static_cast<uint64_t>(Rd()) << 32) | Rd();
+  // 0 marks "not seed-derived" on the wire; remap it (probability 2^-64).
+  return S == 0 ? 0x9E3779B97F4A7C15ull : S;
+}
+
+std::array<RnsPoly, 2> KeyGenerator::encryptZeroSymmetric(size_t PrimeCount,
+                                                          uint64_t *C1SeedOut) {
   uint64_t N = Ctx->polyDegree();
-  RnsPoly C1 = sampleUniform(PrimeCount);
+  RnsPoly C1;
+  if (C1SeedOut) {
+    *C1SeedOut = deriveSeed();
+    C1 = expandUniformNtt(*Ctx, PrimeCount, *C1SeedOut);
+  } else {
+    C1 = sampleUniform(PrimeCount);
+  }
   RnsPoly E = sampleErrorNtt(PrimeCount);
   RnsPoly C0(N, PrimeCount);
   // c0 = e - c1 * s, so that c0 + c1 * s = e.
@@ -77,10 +128,13 @@ std::array<RnsPoly, 2> KeyGenerator::encryptZeroSymmetric(size_t PrimeCount) {
 }
 
 PublicKey KeyGenerator::createPublicKey() {
-  std::array<RnsPoly, 2> Z = encryptZeroSymmetric(Ctx->totalPrimeCount());
+  uint64_t Seed = 0;
+  std::array<RnsPoly, 2> Z =
+      encryptZeroSymmetric(Ctx->totalPrimeCount(), &Seed);
   PublicKey Pk;
   Pk.P0 = std::move(Z[0]);
   Pk.P1 = std::move(Z[1]);
+  Pk.P1Seed = Seed;
   return Pk;
 }
 
@@ -91,8 +145,10 @@ KSwitchKey KeyGenerator::createKSwitchKey(const RnsPoly &W) {
   uint64_t SpecialPrime = Ctx->prime(Ctx->specialPrimeIndex()).value();
   KSwitchKey Key;
   Key.Keys.resize(DecompCount);
+  Key.C1Seeds.resize(DecompCount, 0);
   for (size_t I = 0; I < DecompCount; ++I) {
-    std::array<RnsPoly, 2> Z = encryptZeroSymmetric(Ctx->totalPrimeCount());
+    std::array<RnsPoly, 2> Z =
+        encryptZeroSymmetric(Ctx->totalPrimeCount(), &Key.C1Seeds[I]);
     // Add P * W on the i-th CRT component only (the CRT basis trick).
     const Modulus &Qi = Ctx->prime(I);
     uint64_t Factor = Qi.reduce(SpecialPrime);

@@ -6,6 +6,8 @@
 
 #include "eva/runtime/CkksExecutor.h"
 
+#include "eva/ckks/Galois.h"
+#include "eva/ir/Printer.h"
 #include "eva/math/Primes.h"
 
 #include <atomic>
@@ -39,8 +41,40 @@ CkksWorkspace::create(const CompiledProgram &CP, uint64_t Seed) {
   return WS;
 }
 
+Expected<std::shared_ptr<CkksWorkspace>>
+CkksWorkspace::createServer(const CompiledProgram &CP,
+                            std::shared_ptr<const CkksContext> Ctx,
+                            RelinKeys RkIn, GaloisKeys GkIn) {
+  using Result = Expected<std::shared_ptr<CkksWorkspace>>;
+  if (!Ctx)
+    return Result::error("server workspace needs a context");
+  if (Ctx->polyDegree() != CP.PolyDegree)
+    return Result::error("context degree does not match compiled program");
+  if (Ctx->slotCount() < CP.Prog->vecSize())
+    return Result::error("vector size exceeds slot count");
+  if (RkIn.empty() && countOps(*CP.Prog, OpCode::Relinearize) > 0)
+    return Result::error("program relinearizes but no relin key was supplied");
+  for (uint64_t Step : CP.RotationSteps) {
+    if (Step == 0)
+      continue;
+    if (!GkIn.has(galoisEltFromStep(Step, CP.PolyDegree)))
+      return Result::error("missing galois key for rotation step " +
+                           std::to_string(Step));
+  }
+
+  std::shared_ptr<CkksWorkspace> WS = std::make_shared<CkksWorkspace>();
+  WS->Context = std::move(Ctx);
+  WS->Encoder = std::make_unique<CkksEncoder>(WS->Context);
+  WS->Rk = std::move(RkIn);
+  WS->Gk = std::move(GkIn);
+  WS->Eval = std::make_unique<Evaluator>(WS->Context);
+  return WS;
+}
+
 SealedInputs CkksExecutor::encryptInputs(
     const std::map<std::string, std::vector<double>> &Inputs) {
+  if (!WS->Enc)
+    fatalError("encryptInputs on an evaluation-only (server) workspace");
   SealedInputs Out;
   for (const Node *N : P.inputs()) {
     auto It = Inputs.find(N->name());
@@ -59,6 +93,8 @@ SealedInputs CkksExecutor::encryptInputs(
 }
 
 std::vector<double> CkksExecutor::decryptOutput(const Ciphertext &Ct) const {
+  if (!WS->Dec)
+    fatalError("decryptOutput on an evaluation-only (server) workspace");
   std::vector<double> Slots = WS->Encoder->decode(WS->Dec->decrypt(Ct));
   Slots.resize(P.vecSize());
   return Slots;

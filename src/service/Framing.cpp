@@ -1,0 +1,99 @@
+//===- Framing.cpp - Length-prefixed socket framing ----------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/service/Framing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace eva;
+
+namespace {
+
+/// Writes all of \p Data, looping over partial writes and EINTR.
+/// MSG_NOSIGNAL: a peer that disconnected mid-exchange must surface as an
+/// EPIPE error on this connection, not a process-killing SIGPIPE — one
+/// vanishing tenant cannot be allowed to take down the daemon.
+Status writeAll(int Fd, const char *Data, size_t Size) {
+  while (Size > 0) {
+    ssize_t N = ::send(Fd, Data, Size, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(std::string("write failed: ") +
+                           std::strerror(errno));
+    }
+    Data += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return Status::success();
+}
+
+/// Reads exactly \p Size bytes. \p SawAnyByte distinguishes a clean EOF at
+/// a frame boundary from truncation inside a frame.
+Status readAll(int Fd, char *Data, size_t Size, bool &SawAnyByte) {
+  while (Size > 0) {
+    ssize_t N = ::read(Fd, Data, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(std::string("read failed: ") +
+                           std::strerror(errno));
+    }
+    if (N == 0)
+      return Status::error(SawAnyByte ? "connection truncated mid-frame"
+                                      : "connection closed");
+    SawAnyByte = true;
+    Data += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return Status::success();
+}
+
+} // namespace
+
+Status eva::writeFrame(int Fd, MessageType Type, std::string_view Payload) {
+  if (Payload.size() > MaxFramePayload)
+    return Status::error("frame payload exceeds the protocol maximum");
+  char Header[9];
+  std::memcpy(Header, FrameMagic, 4);
+  Header[4] = static_cast<char>(Type);
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  for (int I = 0; I < 4; ++I)
+    Header[5 + I] = static_cast<char>((Len >> (8 * I)) & 0xFF);
+  if (Status S = writeAll(Fd, Header, sizeof(Header)); !S.ok())
+    return S;
+  return writeAll(Fd, Payload.data(), Payload.size());
+}
+
+Expected<Frame> eva::readFrame(int Fd) {
+  using Result = Expected<Frame>;
+  char Header[9];
+  bool SawAnyByte = false;
+  if (Status S = readAll(Fd, Header, sizeof(Header), SawAnyByte); !S.ok())
+    return S;
+  if (std::memcmp(Header, FrameMagic, 4) != 0)
+    return Result::error("bad frame magic");
+  uint8_t RawType = static_cast<uint8_t>(Header[4]);
+  if (RawType > static_cast<uint8_t>(MessageType::SessionClosed))
+    return Result::error("unknown frame type " + std::to_string(RawType));
+  uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<uint32_t>(static_cast<uint8_t>(Header[5 + I]))
+           << (8 * I);
+  if (Len > MaxFramePayload)
+    return Result::error("frame length " + std::to_string(Len) +
+                         " exceeds the protocol maximum");
+  Frame F;
+  F.Type = static_cast<MessageType>(RawType);
+  F.Payload.resize(Len);
+  if (Len > 0)
+    if (Status S = readAll(Fd, F.Payload.data(), Len, SawAnyByte); !S.ok())
+      return S;
+  return F;
+}

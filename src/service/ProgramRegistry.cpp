@@ -1,0 +1,94 @@
+//===- ProgramRegistry.cpp - Compiled-program registry -------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/service/ProgramRegistry.h"
+
+#include "eva/ir/Printer.h"
+#include "eva/ir/TextFormat.h"
+#include "eva/serialize/ProtoIO.h"
+
+#include <fstream>
+
+using namespace eva;
+
+ParamSignature eva::signatureOf(const CompiledProgram &CP) {
+  ParamSignature Sig;
+  const Program &P = *CP.Prog;
+  Sig.ProgramName = P.name();
+  Sig.PolyDegree = CP.PolyDegree;
+  Sig.VecSize = P.vecSize();
+  Sig.ContextBitSizes = CP.contextBitSizes();
+  Sig.RotationSteps.assign(CP.RotationSteps.begin(), CP.RotationSteps.end());
+  Sig.Security = CP.Options.Security;
+  Sig.NeedsRelin = countOps(P, OpCode::Relinearize) > 0;
+  for (const Node *N : P.inputs())
+    Sig.Inputs.push_back({N->name(), N->logScale(), N->isCipher()});
+  for (const Node *N : P.outputs())
+    Sig.Outputs.push_back({N->name(), N->logScale()});
+  return Sig;
+}
+
+Status ProgramRegistry::registerSource(const Program &Source,
+                                       const CompilerOptions &Options) {
+  Expected<CompiledProgram> CP = compile(Source, Options);
+  if (!CP)
+    return Status::error("compile failed for program '" + Source.name() +
+                         "': " + CP.message());
+  Expected<std::shared_ptr<CkksContext>> Ctx = CkksContext::createFromBitSizes(
+      CP->PolyDegree, CP->contextBitSizes(), Options.Security);
+  if (!Ctx)
+    return Status::error("context for program '" + Source.name() +
+                         "': " + Ctx.message());
+  if (Ctx.value()->slotCount() < CP->Prog->vecSize())
+    return Status::error("program '" + Source.name() +
+                         "' vector size exceeds slot count");
+
+  auto Entry = std::make_shared<RegisteredProgram>();
+  Entry->Signature = signatureOf(*CP);
+  Entry->CP = std::move(*CP);
+  Entry->Context = Ctx.value();
+
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Programs.emplace(Source.name(), std::move(Entry)).second)
+    return Status::error("program '" + Source.name() + "' already registered");
+  return Status::success();
+}
+
+Status ProgramRegistry::loadFromFile(const std::string &Path,
+                                     const CompilerOptions &Options) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Status::error("cannot open " + Path);
+  std::string Data((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  Expected<std::unique_ptr<Program>> P =
+      Data.rfind("program ", 0) == 0 ? parseProgramText(Data)
+                                     : deserializeProgram(Data);
+  if (!P)
+    return Status::error(Path + ": " + P.message());
+  return registerSource(**P, Options);
+}
+
+std::shared_ptr<const RegisteredProgram>
+ProgramRegistry::find(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Programs.find(Name);
+  return It == Programs.end() ? nullptr : It->second;
+}
+
+std::vector<ParamSignature> ProgramRegistry::signatures() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<ParamSignature> Out;
+  Out.reserve(Programs.size());
+  for (const auto &[Name, Entry] : Programs)
+    Out.push_back(Entry->Signature);
+  return Out;
+}
+
+size_t ProgramRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Programs.size();
+}

@@ -1,0 +1,116 @@
+//===- RequestScheduler.cpp - Request queue/batching ---------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/service/RequestScheduler.h"
+
+#include <algorithm>
+
+using namespace eva;
+
+RequestScheduler::RequestScheduler(SchedulerConfig ConfigIn)
+    : Config(ConfigIn) {
+  if (Config.Workers == 0)
+    Config.Workers = 1;
+  if (Config.MaxBatch == 0)
+    Config.MaxBatch = 1;
+  Workers.reserve(Config.Workers);
+  for (size_t I = 0; I < Config.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+RequestScheduler::~RequestScheduler() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  // Fail whatever never ran so no future blocks forever.
+  for (Request &R : Queue)
+    R.Promise.set_value(Result::error("scheduler shut down"));
+}
+
+Expected<std::future<RequestScheduler::Result>>
+RequestScheduler::submit(std::shared_ptr<Session> S, SealedInputs Inputs) {
+  using SubmitResult = Expected<std::future<Result>>;
+  if (!S)
+    return SubmitResult::error("request references no session");
+  Request R;
+  R.S = std::move(S);
+  R.Inputs = std::move(Inputs);
+  std::future<Result> F = R.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping)
+      return SubmitResult::error("scheduler is shutting down");
+    if (Queue.size() >= Config.MaxQueueDepth) {
+      ++Stats.Rejected;
+      return SubmitResult::error("request queue full (" +
+                                 std::to_string(Config.MaxQueueDepth) +
+                                 " deep): retry later");
+    }
+    Queue.push_back(std::move(R));
+    ++Stats.Submitted;
+  }
+  QueueCv.notify_one();
+  return F;
+}
+
+void RequestScheduler::workerLoop() {
+  for (;;) {
+    std::vector<Request> Batch;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Stopping && Queue.empty())
+        return;
+      // Claim a FIFO batch in one critical section; requests of many
+      // sessions ride one wakeup. Claim only a fair share of the queue
+      // (never all of it) so concurrent workers keep overlapping distinct
+      // sessions instead of one worker serializing the whole burst.
+      size_t FairShare =
+          (Queue.size() + Workers.size() - 1) / Workers.size();
+      size_t Claim = std::min(Config.MaxBatch, std::max<size_t>(1, FairShare));
+      while (!Queue.empty() && Batch.size() < Claim) {
+        Batch.push_back(std::move(Queue.front()));
+        Queue.pop_front();
+      }
+      if (!Queue.empty())
+        QueueCv.notify_one();
+      InFlight += Batch.size();
+      ++Stats.Batches;
+    }
+    for (Request &R : Batch) {
+      Result Res = Result::error("unreachable");
+      bool Ok = false;
+      try {
+        Res = R.S->execute(R.Inputs);
+        Ok = true;
+      } catch (const std::exception &E) {
+        Res = Result::error(std::string("execution failed: ") + E.what());
+      } catch (...) {
+        Res = Result::error("execution failed with unknown exception");
+      }
+      R.Promise.set_value(std::move(Res));
+      std::lock_guard<std::mutex> Lock(M);
+      --InFlight;
+      ++(Ok ? Stats.Completed : Stats.Failed);
+      if (InFlight == 0 && Queue.empty())
+        IdleCv.notify_all();
+    }
+  }
+}
+
+void RequestScheduler::drain() {
+  std::unique_lock<std::mutex> Lock(M);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+}
+
+SchedulerStats RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Stats;
+}

@@ -1,0 +1,158 @@
+//===- Server.cpp - Loopback socket server --------------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/service/Server.h"
+
+#include "eva/service/Framing.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace eva;
+
+Status ServiceServer::start(uint16_t Port) {
+  if (ListenFd >= 0)
+    return Status::error("server already started");
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::error(std::string("socket: ") + std::strerror(errno));
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Status S = Status::error(std::string("bind: ") + std::strerror(errno));
+    ::close(Fd);
+    return S;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Status S = Status::error(std::string("listen: ") + std::strerror(errno));
+    ::close(Fd);
+    return S;
+  }
+  socklen_t AddrLen = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen) < 0) {
+    Status S =
+        Status::error(std::string("getsockname: ") + std::strerror(errno));
+    ::close(Fd);
+    return S;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  ListenFd = Fd;
+  Stopping = false;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return Status::success();
+}
+
+void ServiceServer::stop() {
+  if (ListenFd < 0)
+    return;
+  Stopping = true;
+  // shutdown() unblocks the accept(); close alone is not guaranteed to.
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  std::vector<std::unique_ptr<Connection>> Conns;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    Conns.swap(Connections);
+  }
+  // Unblock every connection thread still parked in readFrame — a client
+  // idling between requests must not be able to hang shutdown — then join
+  // and release the fds.
+  for (std::unique_ptr<Connection> &C : Conns)
+    ::shutdown(C->Fd, SHUT_RDWR);
+  for (std::unique_ptr<Connection> &C : Conns) {
+    if (C->T.joinable())
+      C->T.join();
+    ::close(C->Fd);
+  }
+  ListenFd = -1;
+}
+
+void ServiceServer::reapFinished() {
+  std::vector<std::unique_ptr<Connection>> Dead;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (std::unique_ptr<Connection> &C : Connections)
+      if (C->Done)
+        Dead.push_back(std::move(C));
+    std::erase_if(Connections,
+                  [](const std::unique_ptr<Connection> &C) { return !C; });
+  }
+  for (std::unique_ptr<Connection> &C : Dead) {
+    if (C->T.joinable())
+      C->T.join();
+    ::close(C->Fd);
+  }
+}
+
+void ServiceServer::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Stopping) {
+      if (Fd >= 0)
+        ::close(Fd);
+      return;
+    }
+    if (Fd < 0) {
+      // Transient conditions (a client aborting mid-handshake, fd
+      // exhaustion under a burst) must not permanently end accepting —
+      // a daemon that silently stops serving is worse than a slow one.
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        reapFinished();
+        continue;
+      }
+      return; // listener closed or unrecoverable
+    }
+    reapFinished();
+    {
+      // Bound concurrent connections: each one pins a thread and an fd.
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      if (Connections.size() >= MaxConnections) {
+        ::close(Fd);
+        continue;
+      }
+    }
+    auto C = std::make_unique<Connection>();
+    C->Fd = Fd;
+    Connection *Raw = C.get();
+    C->T = std::thread([this, Raw] { serveConnection(Raw); });
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    Connections.push_back(std::move(C));
+  }
+}
+
+void ServiceServer::serveConnection(Connection *C) {
+  for (;;) {
+    Expected<Frame> Req = readFrame(C->Fd);
+    if (!Req) {
+      // Clean disconnects are normal; protocol violations just end the
+      // connection — the stream cannot be resynchronized anyway.
+      break;
+    }
+    std::pair<MessageType, std::string> Resp =
+        Svc.dispatch(Req->Type, Req->Payload);
+    if (Status S = writeFrame(C->Fd, Resp.first, Resp.second); !S.ok())
+      break;
+  }
+  // The fd stays open until the reaper or stop() joins this thread.
+  C->Done = true;
+}

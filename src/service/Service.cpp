@@ -1,0 +1,181 @@
+//===- Service.cpp - The encrypted-compute service -----------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/service/Service.h"
+
+#include "eva/serialize/CkksIO.h"
+
+#include <cmath>
+
+using namespace eva;
+
+namespace {
+
+std::pair<MessageType, std::string> errorFrame(std::string Message) {
+  return {MessageType::Error, serializeError({std::move(Message)})};
+}
+
+} // namespace
+
+Service::Service(ServiceConfig ConfigIn)
+    : Config(ConfigIn),
+      Sessions(Config.ExecThreadsPerSession, Config.MaxSessions),
+      Scheduler(Config.Scheduler) {}
+
+std::pair<MessageType, std::string> Service::dispatch(MessageType Type,
+                                                      std::string_view Payload) {
+  switch (Type) {
+  case MessageType::ListPrograms:
+    return handleListPrograms();
+  case MessageType::OpenSession:
+    return handleOpenSession(Payload);
+  case MessageType::Execute:
+    return handleExecute(Payload);
+  case MessageType::CloseSession:
+    return handleCloseSession(Payload);
+  default:
+    return errorFrame(std::string("unexpected message type ") +
+                      messageTypeName(Type));
+  }
+}
+
+std::pair<MessageType, std::string> Service::handleListPrograms() {
+  ProgramListMsg M;
+  M.Programs = Registry.signatures();
+  return {MessageType::ProgramList, serializeProgramList(M)};
+}
+
+std::pair<MessageType, std::string>
+Service::handleOpenSession(std::string_view Payload) {
+  Expected<OpenSessionMsg> M = deserializeOpenSession(Payload);
+  if (!M)
+    return errorFrame(M.message());
+  std::shared_ptr<const RegisteredProgram> Prog =
+      Registry.find(M->ProgramName);
+  if (!Prog)
+    return errorFrame("unknown program '" + M->ProgramName + "'");
+  // Refuse before deserializing keys: seed-expanding a full Galois-key
+  // upload is exactly the cheap-to-send, expensive-to-process asymmetry a
+  // session flood would exploit. open() re-checks authoritatively.
+  if (Sessions.atCapacity())
+    return errorFrame("session limit reached (" +
+                      std::to_string(Config.MaxSessions) +
+                      "): close one or retry later");
+
+  RelinKeys Rk;
+  if (!M->RelinKeyBytes.empty()) {
+    Expected<RelinKeys> R =
+        deserializeRelinKeys(*Prog->Context, M->RelinKeyBytes);
+    if (!R)
+      return errorFrame("relin keys: " + R.message());
+    Rk = std::move(*R);
+  }
+  GaloisKeys Gk;
+  if (!M->GaloisKeyBytes.empty()) {
+    Expected<GaloisKeys> G =
+        deserializeGaloisKeys(*Prog->Context, M->GaloisKeyBytes);
+    if (!G)
+      return errorFrame("galois keys: " + G.message());
+    Gk = std::move(*G);
+  }
+
+  Expected<std::shared_ptr<Session>> S =
+      Sessions.open(std::move(Prog), std::move(Rk), std::move(Gk));
+  if (!S)
+    return errorFrame(S.message());
+  return {MessageType::SessionOpened,
+          serializeSessionOpened({(*S)->id()})};
+}
+
+std::pair<MessageType, std::string>
+Service::handleExecute(std::string_view Payload) {
+  Expected<ExecuteMsg> M = deserializeExecute(Payload);
+  if (!M)
+    return errorFrame(M.message());
+  std::shared_ptr<Session> S = Sessions.find(M->SessionId);
+  if (!S)
+    return errorFrame("unknown session " + std::to_string(M->SessionId));
+  const RegisteredProgram &Prog = S->program();
+  const CkksContext &Ctx = S->context();
+
+  // Validate the request against the program's input schema BEFORE it can
+  // reach the executor: executor invariant violations are process-fatal,
+  // and a hostile tenant must not be able to take the service down.
+  SealedInputs Inputs;
+  for (const auto &[Name, Bytes] : M->CipherInputs) {
+    Expected<Ciphertext> Ct = deserializeCiphertext(Ctx, Bytes);
+    if (!Ct)
+      return errorFrame("cipher input '" + Name + "': " + Ct.message());
+    if (!Inputs.Cipher.emplace(Name, std::move(*Ct)).second)
+      return errorFrame("duplicate cipher input '" + Name + "'");
+  }
+  for (auto &[Name, Values] : M->PlainInputs)
+    if (!Inputs.Plain.emplace(Name, std::move(Values)).second)
+      return errorFrame("duplicate plain input '" + Name + "'");
+
+  size_t Matched = 0;
+  for (const ServiceInputSpec &Spec : Prog.Signature.Inputs) {
+    if (Spec.IsCipher) {
+      auto It = Inputs.Cipher.find(Spec.Name);
+      if (It == Inputs.Cipher.end())
+        return errorFrame("missing cipher input '" + Spec.Name + "'");
+      const Ciphertext &Ct = It->second;
+      // Fresh inputs to a compiled program: 2 polynomials over the full
+      // data chain, encoded at the input node's scale (MODSWITCH/RESCALE
+      // instructions consume levels explicitly from there).
+      if (Ct.size() != 2)
+        return errorFrame("cipher input '" + Spec.Name +
+                          "' must have exactly 2 polynomials");
+      if (Ct.primeCount() != Ctx.dataPrimeCount())
+        return errorFrame("cipher input '" + Spec.Name +
+                          "' is not at the full data chain level");
+      if (Ct.Scale != std::exp2(Spec.LogScale))
+        return errorFrame("cipher input '" + Spec.Name +
+                          "' scale does not match the program's 2^" +
+                          std::to_string(Spec.LogScale));
+    } else {
+      auto It = Inputs.Plain.find(Spec.Name);
+      if (It == Inputs.Plain.end())
+        return errorFrame("missing plain input '" + Spec.Name + "'");
+      if (It->second.empty() ||
+          Prog.CP.Prog->vecSize() % It->second.size() != 0)
+        return errorFrame("plain input '" + Spec.Name +
+                          "' size must divide the program vector size");
+      // NaN/Inf would reach the encoder's float->integer rounding, which is
+      // undefined for non-finite values.
+      for (double V : It->second)
+        if (!std::isfinite(V))
+          return errorFrame("plain input '" + Spec.Name +
+                            "' contains a non-finite value");
+    }
+    ++Matched;
+  }
+  if (Inputs.Cipher.size() + Inputs.Plain.size() != Matched)
+    return errorFrame("request carries inputs the program does not declare");
+
+  Expected<std::future<RequestScheduler::Result>> F =
+      Scheduler.submit(std::move(S), std::move(Inputs));
+  if (!F)
+    return errorFrame(F.message());
+  RequestScheduler::Result R = F->get();
+  if (!R)
+    return errorFrame(R.message());
+
+  ExecuteResultMsg Out;
+  for (const auto &[Name, Ct] : *R)
+    Out.Outputs.emplace_back(Name, serializeCiphertext(Ct));
+  return {MessageType::ExecuteResult, serializeExecuteResult(Out)};
+}
+
+std::pair<MessageType, std::string>
+Service::handleCloseSession(std::string_view Payload) {
+  Expected<CloseSessionMsg> M = deserializeCloseSession(Payload);
+  if (!M)
+    return errorFrame(M.message());
+  if (!Sessions.close(M->SessionId))
+    return errorFrame("unknown session " + std::to_string(M->SessionId));
+  return {MessageType::SessionClosed, serializeSessionClosed({M->SessionId})};
+}

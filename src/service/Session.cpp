@@ -1,0 +1,62 @@
+//===- Session.cpp - Per-client sessions ---------------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/service/Session.h"
+
+using namespace eva;
+
+Expected<std::shared_ptr<Session>>
+SessionManager::open(std::shared_ptr<const RegisteredProgram> Prog,
+                     RelinKeys Rk, GaloisKeys Gk) {
+  using Result = Expected<std::shared_ptr<Session>>;
+  if (!Prog)
+    return Result::error("session references no program");
+  {
+    // Check the limit before the (expensive) workspace build too, so a
+    // session flood fails fast; the post-build re-check under the lock is
+    // the authoritative one.
+    std::lock_guard<std::mutex> Lock(M);
+    if (Sessions.size() >= MaxSessions)
+      return Result::error("session limit reached (" +
+                           std::to_string(MaxSessions) + "): close one or retry later");
+  }
+  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::createServer(
+      Prog->CP, Prog->Context, std::move(Rk), std::move(Gk));
+  if (!WS)
+    return WS.takeStatus();
+
+  std::lock_guard<std::mutex> Lock(M);
+  if (Sessions.size() >= MaxSessions)
+    return Result::error("session limit reached (" +
+                         std::to_string(MaxSessions) +
+                         "): close one or retry later");
+  uint64_t Id = NextId++;
+  auto S = std::make_shared<Session>(Id, std::move(Prog), WS.value(),
+                                     ExecThreads);
+  Sessions.emplace(Id, S);
+  return S;
+}
+
+std::shared_ptr<Session> SessionManager::find(uint64_t Id) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Sessions.find(Id);
+  return It == Sessions.end() ? nullptr : It->second;
+}
+
+bool SessionManager::close(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(M);
+  return Sessions.erase(Id) != 0;
+}
+
+size_t SessionManager::activeCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Sessions.size();
+}
+
+bool SessionManager::atCapacity() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Sessions.size() >= MaxSessions;
+}

@@ -107,6 +107,13 @@ TEST(EvacCli, Poly3DumpGolden) {
   expectGolden(shellQuote(fixture("poly3.evabin")) + " --dump", "poly3.dump.golden");
 }
 
+// --params-json is the machine-readable contract deploy tooling (evacall,
+// service configuration) consumes; its schema must not drift silently.
+TEST(EvacCli, Poly3ParamsJsonGolden) {
+  expectGolden(shellQuote(fixture("poly3.evabin")) + " --params-json",
+               "poly3.params.golden");
+}
+
 // rotsum: binary proto3 wire-format fixture.
 TEST(EvacCli, RotsumEagerGolden) {
   expectGolden(shellQuote(fixture("rotsum.evabin")), "rotsum.eager.golden");

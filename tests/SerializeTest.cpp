@@ -68,6 +68,69 @@ TEST(Wire, RejectsTruncatedInput) {
   EXPECT_TRUE(R.failed());
 }
 
+TEST(Wire, RejectsVarintLongerThanTenBytes) {
+  // Eleven bytes, continuation bit set on all of the first ten.
+  std::string Data(11, '\x80');
+  Data[10] = '\x01';
+  WireReader R(Data);
+  uint64_t V;
+  EXPECT_FALSE(R.readVarint(V));
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(Wire, RejectsVarintOverflowing64Bits) {
+  // Ten bytes whose last byte carries more than the single bit that fits:
+  // 0x02 in the 10th byte would be bit 64.
+  std::string Data(9, '\x80');
+  Data += '\x02';
+  WireReader R(Data);
+  uint64_t V;
+  EXPECT_FALSE(R.readVarint(V));
+  EXPECT_TRUE(R.failed());
+
+  // The maximum value ~0ull (nine 0xFF bytes + 0x01) still round-trips.
+  std::string Max(9, '\xff');
+  Max += '\x01';
+  WireReader R2(Max);
+  ASSERT_TRUE(R2.readVarint(V));
+  EXPECT_EQ(V, ~0ull);
+}
+
+TEST(Wire, RejectsVarintTruncatedMidway) {
+  std::string Data(3, '\x80'); // continuation bits but no terminator
+  WireReader R(Data);
+  uint64_t V;
+  EXPECT_FALSE(R.readVarint(V));
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(Wire, RejectsLengthExceedingRemainingBuffer) {
+  // A length-delimited field claiming 2^60 bytes in a 3-byte buffer.
+  WireWriter W;
+  W.tag(1, WireType::LengthDelimited);
+  W.varint(1ull << 60);
+  WireReader R(W.str());
+  uint32_t Field;
+  WireType Type;
+  ASSERT_TRUE(R.nextField(Field, Type));
+  std::string_view B;
+  EXPECT_FALSE(R.readBytes(B));
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(Wire, SkipRejectsMalformedNestedLength) {
+  // skip() of a length-delimited field must apply the same bounds check.
+  WireWriter W;
+  W.tag(7, WireType::LengthDelimited);
+  W.varint(1000); // dangling: no payload follows
+  WireReader R(W.str());
+  uint32_t Field;
+  WireType Type;
+  ASSERT_TRUE(R.nextField(Field, Type));
+  EXPECT_FALSE(R.skip(Type));
+  EXPECT_TRUE(R.failed());
+}
+
 TEST(Wire, SkipsUnknownFields) {
   WireWriter W;
   W.varintField(9, 42);

@@ -1,0 +1,772 @@
+//===- ServiceTest.cpp - Encrypted-compute service tests ----------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the three service layers end to end:
+///  * CkksIO wire round-trips — every runtime object satisfies
+///    load(save(x)) => bit-identical decryption results, including the
+///    seed-compressed key and ciphertext paths — plus defensive rejection
+///    of malformed input.
+///  * The framing protocol over real socketpairs.
+///  * The service core and transports: concurrent tenant sessions over a
+///    loopback socket server produce results bit-identical to a direct
+///    in-process CkksExecutor::run, with the secret key provably absent
+///    from every frame on the wire.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/frontend/Expr.h"
+#include "eva/serialize/CkksIO.h"
+#include "eva/serialize/Wire.h"
+#include "eva/service/Client.h"
+#include "eva/service/Server.h"
+#include "eva/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace eva;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// CkksIO round trips
+//===----------------------------------------------------------------------===//
+
+/// A small low-cost crypto stack (security enforcement off, tiny degree) for
+/// serialization tests that don't need a compiled program.
+struct MiniCkks {
+  std::shared_ptr<const CkksContext> Ctx;
+  std::unique_ptr<CkksEncoder> Encoder;
+  std::unique_ptr<KeyGenerator> KeyGen;
+  std::unique_ptr<Encryptor> Enc;
+  std::unique_ptr<Decryptor> Dec;
+
+  explicit MiniCkks(uint64_t Seed = 42) {
+    Expected<std::shared_ptr<CkksContext>> C = CkksContext::createFromBitSizes(
+        1024, {36, 36, 40}, SecurityLevel::None);
+    EXPECT_TRUE(C.ok()) << (C.ok() ? "" : C.message());
+    Ctx = C.value();
+    Encoder = std::make_unique<CkksEncoder>(Ctx);
+    KeyGen = std::make_unique<KeyGenerator>(Ctx, Seed);
+    Enc = std::make_unique<Encryptor>(Ctx, KeyGen->createPublicKey(),
+                                      Seed + 1);
+    Dec = std::make_unique<Decryptor>(Ctx, KeyGen->secretKey());
+  }
+
+  Plaintext encode(const std::vector<double> &V, double Scale = 1099511627776.0
+                   /* 2^40 */) {
+    Plaintext Pt;
+    Encoder->encode(V, Scale, Ctx->dataPrimeCount(), Pt);
+    return Pt;
+  }
+};
+
+bool polysEqual(const RnsPoly &A, const RnsPoly &B) {
+  return A.Degree == B.Degree && A.Comps == B.Comps;
+}
+
+bool ciphertextsEqual(const Ciphertext &A, const Ciphertext &B) {
+  if (A.size() != B.size() || A.Scale != B.Scale)
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!polysEqual(A.Polys[I], B.Polys[I]))
+      return false;
+  return true;
+}
+
+std::vector<double> randomVector(size_t N, uint64_t Seed) {
+  RandomSource Rng(Seed);
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = Rng.uniformReal(-1, 1);
+  return V;
+}
+
+TEST(CkksIO, PlaintextRoundTripIsBitIdentical) {
+  MiniCkks K;
+  Plaintext Pt = K.encode(randomVector(K.Ctx->slotCount(), 7));
+  Expected<Plaintext> Q = deserializePlaintext(*K.Ctx, serializePlaintext(Pt));
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  EXPECT_TRUE(polysEqual(Pt.Poly, Q->Poly));
+  EXPECT_EQ(Pt.Scale, Q->Scale);
+}
+
+TEST(CkksIO, CiphertextRoundTripIsBitIdentical) {
+  MiniCkks K;
+  Ciphertext Ct = K.Enc->encrypt(K.encode(randomVector(K.Ctx->slotCount(), 8)));
+  Expected<Ciphertext> Q =
+      deserializeCiphertext(*K.Ctx, serializeCiphertext(Ct));
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  EXPECT_TRUE(ciphertextsEqual(Ct, *Q));
+  // Decryption of the loaded ciphertext is bit-identical.
+  std::vector<double> A = K.Encoder->decode(K.Dec->decrypt(Ct));
+  std::vector<double> B = K.Encoder->decode(K.Dec->decrypt(*Q));
+  ASSERT_EQ(A.size(), B.size());
+  EXPECT_EQ(std::memcmp(A.data(), B.data(), A.size() * sizeof(double)), 0);
+}
+
+TEST(CkksIO, SeedCompressedCiphertextRoundTrip) {
+  MiniCkks K;
+  Plaintext Pt = K.encode(randomVector(K.Ctx->slotCount(), 9));
+  uint64_t Seed = 0;
+  Ciphertext Ct = K.Enc->encryptSymmetric(Pt, K.KeyGen->secretKey(), Seed);
+  ASSERT_NE(Seed, 0u);
+
+  std::string Full = serializeCiphertext(Ct);
+  std::string Compressed = serializeCiphertext(Ct, Seed);
+  // The compressed form drops one of two polynomials: about half the bytes.
+  EXPECT_LT(Compressed.size(), Full.size() * 0.55);
+
+  Expected<Ciphertext> Q = deserializeCiphertext(*K.Ctx, Compressed);
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  EXPECT_TRUE(ciphertextsEqual(Ct, *Q)) << "seed expansion must reproduce c1";
+  std::vector<double> A = K.Encoder->decode(K.Dec->decrypt(Ct));
+  std::vector<double> B = K.Encoder->decode(K.Dec->decrypt(*Q));
+  EXPECT_EQ(std::memcmp(A.data(), B.data(), A.size() * sizeof(double)), 0);
+}
+
+TEST(CkksIO, SymmetricCiphertextDecryptsCorrectly) {
+  MiniCkks K;
+  std::vector<double> V = randomVector(K.Ctx->slotCount(), 10);
+  uint64_t Seed = 0;
+  Ciphertext Ct = K.Enc->encryptSymmetric(K.encode(V), K.KeyGen->secretKey(),
+                                          Seed);
+  std::vector<double> Out = K.Encoder->decode(K.Dec->decrypt(Ct));
+  for (size_t I = 0; I < V.size(); ++I)
+    EXPECT_NEAR(Out[I], V[I], 1e-4) << "slot " << I;
+}
+
+TEST(CkksIO, PublicKeyRoundTripWithSeedCompression) {
+  MiniCkks K;
+  PublicKey Pk = K.KeyGen->createPublicKey();
+  ASSERT_NE(Pk.P1Seed, 0u) << "KeyGenerator must seed public keys";
+  std::string Data = serializePublicKey(Pk);
+  Expected<PublicKey> Q = deserializePublicKey(*K.Ctx, Data);
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  EXPECT_TRUE(polysEqual(Pk.P0, Q->P0));
+  EXPECT_TRUE(polysEqual(Pk.P1, Q->P1));
+  EXPECT_EQ(Pk.P1Seed, Q->P1Seed);
+
+  // A loaded public key encrypts; the original secret key decrypts.
+  Encryptor Enc2(K.Ctx, *Q, 77);
+  std::vector<double> V = randomVector(K.Ctx->slotCount(), 11);
+  std::vector<double> Out =
+      K.Encoder->decode(K.Dec->decrypt(Enc2.encrypt(K.encode(V))));
+  for (size_t I = 0; I < V.size(); ++I)
+    EXPECT_NEAR(Out[I], V[I], 1e-4);
+}
+
+TEST(CkksIO, SecretKeyRoundTrip) {
+  MiniCkks K;
+  const SecretKey &Sk = K.KeyGen->secretKey();
+  Expected<SecretKey> Q =
+      deserializeSecretKey(*K.Ctx, serializeSecretKey(Sk));
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  EXPECT_TRUE(polysEqual(Sk.S, Q->S));
+}
+
+TEST(CkksIO, RelinKeysRoundTripProducesIdenticalResults) {
+  MiniCkks K;
+  RelinKeys Rk = K.KeyGen->createRelinKeys();
+  std::string Data = serializeRelinKeys(Rk);
+  Expected<RelinKeys> Q = deserializeRelinKeys(*K.Ctx, Data);
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+
+  // Relinearizing with the loaded key is bit-identical to the original.
+  Evaluator Eval(K.Ctx);
+  Ciphertext A = K.Enc->encrypt(K.encode(randomVector(K.Ctx->slotCount(), 12)));
+  Ciphertext B = K.Enc->encrypt(K.encode(randomVector(K.Ctx->slotCount(), 13)));
+  Ciphertext Prod = Eval.multiply(A, B);
+  Ciphertext R1 = Eval.relinearize(Prod, Rk);
+  Ciphertext R2 = Eval.relinearize(Prod, *Q);
+  EXPECT_TRUE(ciphertextsEqual(R1, R2));
+}
+
+TEST(CkksIO, GaloisKeysRoundTripProducesIdenticalResults) {
+  MiniCkks K;
+  GaloisKeys Gk = K.KeyGen->createGaloisKeys({1, 3});
+  std::string Data = serializeGaloisKeys(Gk);
+  Expected<GaloisKeys> Q = deserializeGaloisKeys(*K.Ctx, Data);
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  ASSERT_EQ(Q->Keys.size(), Gk.Keys.size());
+
+  Evaluator Eval(K.Ctx);
+  Ciphertext Ct = K.Enc->encrypt(K.encode(randomVector(K.Ctx->slotCount(), 14)));
+  Ciphertext R1 = Eval.rotateLeft(Ct, 3, Gk);
+  Ciphertext R2 = Eval.rotateLeft(Ct, 3, *Q);
+  EXPECT_TRUE(ciphertextsEqual(R1, R2));
+}
+
+TEST(CkksIO, SeedCompressionHalvesKeyUploadSize) {
+  MiniCkks K;
+  RelinKeys Rk = K.KeyGen->createRelinKeys();
+  std::string Compressed = serializeRelinKeys(Rk);
+  // Strip the seeds to measure the uncompressed form of the same key.
+  RelinKeys Fat = Rk;
+  Fat.Key.C1Seeds.assign(Fat.Key.C1Seeds.size(), 0);
+  std::string Full = serializeRelinKeys(Fat);
+  EXPECT_LT(Compressed.size(), Full.size() * 0.55)
+      << "seeded form should be about half the bytes";
+
+  // Both forms load into keys with identical polynomials.
+  Expected<RelinKeys> QC = deserializeRelinKeys(*K.Ctx, Compressed);
+  Expected<RelinKeys> QF = deserializeRelinKeys(*K.Ctx, Full);
+  ASSERT_TRUE(QC.ok() && QF.ok());
+  for (size_t I = 0; I < QC->Key.Keys.size(); ++I) {
+    EXPECT_TRUE(polysEqual(QC->Key.Keys[I][0], QF->Key.Keys[I][0]));
+    EXPECT_TRUE(polysEqual(QC->Key.Keys[I][1], QF->Key.Keys[I][1]));
+  }
+}
+
+TEST(CkksIO, RejectsMalformedInput) {
+  MiniCkks K;
+  // Garbage and truncation.
+  EXPECT_FALSE(deserializeCiphertext(*K.Ctx, "not a ciphertext").ok());
+  Ciphertext Ct = K.Enc->encrypt(K.encode(randomVector(K.Ctx->slotCount(), 15)));
+  std::string Data = serializeCiphertext(Ct);
+  EXPECT_FALSE(
+      deserializeCiphertext(*K.Ctx, std::string_view(Data).substr(0, 100))
+          .ok());
+  // A single-poly ciphertext without a seed is invalid.
+  Ciphertext Single = Ct;
+  Single.Polys.resize(1);
+  EXPECT_FALSE(deserializeCiphertext(*K.Ctx, serializeCiphertext(Single)).ok());
+  // Degree mismatch: a poly serialized for another context.
+  Expected<std::shared_ptr<CkksContext>> Other =
+      CkksContext::createFromBitSizes(512, {36, 36, 40}, SecurityLevel::None);
+  ASSERT_TRUE(Other.ok());
+  EXPECT_FALSE(deserializeCiphertext(*Other.value(), Data).ok());
+  // Out-of-range residue: corrupt one coefficient to >= q. Component bytes
+  // live near the front; set eight consecutive payload bytes to 0xFF.
+  std::string Corrupt = Data;
+  std::memset(Corrupt.data() + 24, 0xFF, 8);
+  EXPECT_FALSE(deserializeCiphertext(*K.Ctx, Corrupt).ok());
+  // Empty input.
+  EXPECT_FALSE(deserializeRelinKeys(*K.Ctx, "").ok());
+  EXPECT_FALSE(deserializePublicKey(*K.Ctx, "\x0a\x03xyz").ok());
+}
+
+TEST(CkksIO, RejectsTamperedScaleAndSeed) {
+  MiniCkks K;
+  Plaintext Pt = K.encode(randomVector(K.Ctx->slotCount(), 16));
+  uint64_t Seed = 0;
+  Ciphertext Ct = K.Enc->encryptSymmetric(Pt, K.KeyGen->secretKey(), Seed);
+  // Both polys AND a seed: ambiguous, must be rejected.
+  std::string Full = serializeCiphertext(Ct);
+  WireWriter W;
+  W.varintField(3, Seed);
+  std::string Tampered = Full + W.str();
+  EXPECT_FALSE(deserializeCiphertext(*K.Ctx, Tampered).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+struct SocketPair {
+  int Fds[2];
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0); }
+  ~SocketPair() {
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+  }
+};
+
+TEST(Framing, RoundTrip) {
+  SocketPair SP;
+  std::string Payload(100000, 'x');
+  Payload[5] = '\0'; // binary-safe
+  ASSERT_TRUE(writeFrame(SP.Fds[0], MessageType::Execute, Payload).ok());
+  Expected<Frame> F = readFrame(SP.Fds[1]);
+  ASSERT_TRUE(F.ok()) << (F.ok() ? "" : F.message());
+  EXPECT_EQ(F->Type, MessageType::Execute);
+  EXPECT_EQ(F->Payload, Payload);
+}
+
+TEST(Framing, CleanEofReportsConnectionClosed) {
+  SocketPair SP;
+  // Writer closes before sending any byte: a clean disconnect.
+  ::shutdown(SP.Fds[0], SHUT_WR);
+  Expected<Frame> F = readFrame(SP.Fds[1]);
+  ASSERT_FALSE(F.ok());
+  EXPECT_EQ(F.message(), "connection closed");
+}
+
+TEST(Framing, RejectsBadMagic) {
+  SocketPair SP;
+  const char Junk[] = "JUNKx\x01\x00\x00\x00";
+  ASSERT_EQ(::write(SP.Fds[0], Junk, 9), 9);
+  Expected<Frame> F = readFrame(SP.Fds[1]);
+  ASSERT_FALSE(F.ok());
+  EXPECT_NE(F.message().find("magic"), std::string::npos);
+}
+
+TEST(Framing, RejectsOversizedLength) {
+  SocketPair SP;
+  char Header[9] = {'E', 'V', 'A', 'S', 0, 0, 0, 0, 0x7F};
+  ASSERT_EQ(::write(SP.Fds[0], Header, 9), 9);
+  Expected<Frame> F = readFrame(SP.Fds[1]);
+  ASSERT_FALSE(F.ok());
+  EXPECT_NE(F.message().find("exceeds"), std::string::npos);
+}
+
+TEST(Framing, ReportsTruncationMidFrame) {
+  SocketPair SP;
+  char Header[9] = {'E', 'V', 'A', 'S', 0, 16, 0, 0, 0};
+  ASSERT_EQ(::write(SP.Fds[0], Header, 9), 9);
+  ASSERT_EQ(::write(SP.Fds[0], "abc", 3), 3);
+  ::shutdown(SP.Fds[0], SHUT_WR);
+  Expected<Frame> F = readFrame(SP.Fds[1]);
+  ASSERT_FALSE(F.ok());
+  EXPECT_NE(F.message().find("truncated"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Messages
+//===----------------------------------------------------------------------===//
+
+TEST(Messages, ParamSignatureRoundTrip) {
+  ParamSignature Sig;
+  Sig.ProgramName = "demo";
+  Sig.PolyDegree = 8192;
+  Sig.VecSize = 256;
+  Sig.ContextBitSizes = {40, 40, 60};
+  Sig.RotationSteps = {1, 4, 16};
+  Sig.Security = SecurityLevel::TC128;
+  Sig.NeedsRelin = true;
+  Sig.Inputs = {{"x", 30, true}, {"w", 20, false}};
+  Sig.Outputs = {{"out", 30}};
+  Expected<ParamSignature> Q =
+      deserializeParamSignature(serializeParamSignature(Sig));
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  EXPECT_EQ(Q->ProgramName, Sig.ProgramName);
+  EXPECT_EQ(Q->PolyDegree, Sig.PolyDegree);
+  EXPECT_EQ(Q->VecSize, Sig.VecSize);
+  EXPECT_EQ(Q->ContextBitSizes, Sig.ContextBitSizes);
+  EXPECT_EQ(Q->RotationSteps, Sig.RotationSteps);
+  EXPECT_EQ(Q->Security, Sig.Security);
+  EXPECT_EQ(Q->NeedsRelin, Sig.NeedsRelin);
+  ASSERT_EQ(Q->Inputs.size(), 2u);
+  EXPECT_EQ(Q->Inputs[0].Name, "x");
+  EXPECT_EQ(Q->Inputs[0].LogScale, 30);
+  EXPECT_TRUE(Q->Inputs[0].IsCipher);
+  EXPECT_FALSE(Q->Inputs[1].IsCipher);
+  ASSERT_EQ(Q->Outputs.size(), 1u);
+  EXPECT_EQ(Q->Outputs[0].Name, "out");
+}
+
+TEST(Messages, ExecuteRoundTrip) {
+  ExecuteMsg M;
+  M.SessionId = 99;
+  M.CipherInputs = {{"x", std::string("\x01\x02\x00\x03", 4)}};
+  M.PlainInputs = {{"w", {1.5, -2.25, 0.0}}};
+  Expected<ExecuteMsg> Q = deserializeExecute(serializeExecute(M));
+  ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
+  EXPECT_EQ(Q->SessionId, 99u);
+  ASSERT_EQ(Q->CipherInputs.size(), 1u);
+  EXPECT_EQ(Q->CipherInputs[0].first, "x");
+  EXPECT_EQ(Q->CipherInputs[0].second, M.CipherInputs[0].second);
+  ASSERT_EQ(Q->PlainInputs.size(), 1u);
+  EXPECT_EQ(Q->PlainInputs[0].second, M.PlainInputs[0].second);
+}
+
+TEST(Messages, RejectsGarbage) {
+  std::string Junk(64, '\xff');
+  EXPECT_FALSE(deserializeParamSignature(Junk).ok());
+  EXPECT_FALSE(deserializeExecute(Junk).ok());
+  EXPECT_FALSE(deserializeOpenSession(Junk).ok());
+  EXPECT_FALSE(deserializeProgramList(Junk).ok());
+  EXPECT_FALSE(deserializeExecuteResult(Junk).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Service end to end
+//===----------------------------------------------------------------------===//
+
+/// The served workload: rotation + relinearized multiply + plain operand,
+/// touching every kind of evaluation key.
+std::unique_ptr<Program> buildServedProgram() {
+  ProgramBuilder B("served", 8);
+  Expr X = B.inputCipher("x", 30);
+  Expr W = B.inputPlain("w", 20);
+  Expr Y = (X * X) + (X << 1) + W;
+  B.output("out", Y, 30);
+  return B.take();
+}
+
+/// Compiles the served program exactly as the registry does, for the
+/// direct-execution comparison.
+CompiledProgram compileServedProgram() {
+  std::unique_ptr<Program> P = buildServedProgram();
+  Expected<CompiledProgram> CP = compile(*P, CompilerOptions::eva());
+  EXPECT_TRUE(CP.ok()) << (CP.ok() ? "" : CP.message());
+  return std::move(*CP);
+}
+
+std::map<std::string, std::vector<double>> servedInputs(uint64_t Seed) {
+  return {{"x", randomVector(8, Seed)}, {"w", randomVector(8, Seed + 1)}};
+}
+
+/// Runs one client conversation over \p T and checks the decrypted result
+/// is bit-identical to a direct CkksExecutor::run of the same compiled
+/// program on the same sealed inputs under the same keys.
+void runTenant(Transport &T, uint64_t KeySeed, uint64_t InputSeed) {
+  ServiceClient Client(T);
+  Expected<std::vector<ParamSignature>> Sigs = Client.listPrograms();
+  ASSERT_TRUE(Sigs.ok()) << (Sigs.ok() ? "" : Sigs.message());
+  ASSERT_EQ(Sigs->size(), 1u);
+  ASSERT_TRUE(Client.openSession((*Sigs)[0], KeySeed).ok());
+
+  std::map<std::string, std::vector<double>> Inputs = servedInputs(InputSeed);
+  Expected<SealedRequest> Req = Client.encryptInputs(Inputs);
+  ASSERT_TRUE(Req.ok()) << (Req.ok() ? "" : Req.message());
+  Expected<std::map<std::string, Ciphertext>> Remote = Client.submit(*Req);
+  ASSERT_TRUE(Remote.ok()) << (Remote.ok() ? "" : Remote.message());
+  std::map<std::string, std::vector<double>> RemoteOut =
+      Client.decryptOutputs(*Remote);
+
+  // Direct in-process execution of the same program on the same sealed
+  // inputs with the same (client-held) keys.
+  CompiledProgram CP = compileServedProgram();
+  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::createServer(
+      CP, Client.context(), Client.relinKeys(), Client.galoisKeys());
+  ASSERT_TRUE(WS.ok()) << (WS.ok() ? "" : WS.message());
+  CkksExecutor Direct(CP, WS.value());
+  std::map<std::string, Ciphertext> DirectCt = Direct.run(Req->Inputs);
+  std::map<std::string, std::vector<double>> DirectOut =
+      Client.decryptOutputs(DirectCt);
+
+  ASSERT_EQ(RemoteOut.size(), DirectOut.size());
+  for (const auto &[Name, RV] : RemoteOut) {
+    const std::vector<double> &DV = DirectOut.at(Name);
+    ASSERT_EQ(RV.size(), DV.size());
+    EXPECT_EQ(std::memcmp(RV.data(), DV.data(), RV.size() * sizeof(double)),
+              0)
+        << "service result for '" << Name
+        << "' is not bit-identical to direct execution";
+  }
+
+  // And the result is actually the computed function, not an echo.
+  for (size_t I = 0; I < 8; ++I) {
+    const std::vector<double> &X = Inputs["x"];
+    const std::vector<double> &W = Inputs["w"];
+    double Want = X[I] * X[I] + X[(I + 1) % 8] + W[I];
+    EXPECT_NEAR(RemoteOut.at("out")[I], Want, 1e-2) << "slot " << I;
+  }
+  EXPECT_TRUE(Client.closeSession().ok());
+}
+
+TEST(Service, InProcessEndToEnd) {
+  Service Svc;
+  ASSERT_TRUE(Svc.registry().registerSource(*buildServedProgram()).ok());
+  InProcessTransport T(Svc);
+  runTenant(T, /*KeySeed=*/101, /*InputSeed=*/201);
+  EXPECT_EQ(Svc.schedulerStats().Completed, 1u);
+  EXPECT_EQ(Svc.schedulerStats().Failed, 0u);
+}
+
+/// A transport wrapper that records every request frame leaving the client.
+class RecordingTransport : public Transport {
+public:
+  explicit RecordingTransport(Transport &Inner) : Inner(Inner) {}
+  Expected<Frame> roundTrip(MessageType Type,
+                            std::string_view Payload) override {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Sent.emplace_back(Type, std::string(Payload));
+    }
+    return Inner.roundTrip(Type, Payload);
+  }
+  std::vector<std::pair<MessageType, std::string>> sent() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Sent;
+  }
+
+private:
+  Transport &Inner;
+  mutable std::mutex M;
+  std::vector<std::pair<MessageType, std::string>> Sent;
+};
+
+TEST(Service, SecretKeyNeverTransmitted) {
+  Service Svc;
+  ASSERT_TRUE(Svc.registry().registerSource(*buildServedProgram()).ok());
+  InProcessTransport Inner(Svc);
+  RecordingTransport T(Inner);
+
+  ServiceClient Client(T);
+  Expected<std::vector<ParamSignature>> Sigs = Client.listPrograms();
+  ASSERT_TRUE(Sigs.ok());
+  ASSERT_TRUE(Client.openSession((*Sigs)[0], 77).ok());
+  Expected<std::map<std::string, std::vector<double>>> Out =
+      Client.call(servedInputs(7));
+  ASSERT_TRUE(Out.ok()) << (Out.ok() ? "" : Out.message());
+
+  // Structural guarantee: the request path consists only of message types
+  // the schema defines, and none of them has a secret-key field. Byte-level
+  // guarantee: no frame contains the secret key's polynomial bytes (checked
+  // against every serialization the client could produce).
+  std::string SkBytes = serializeSecretKey(Client.secretKey());
+  std::string SkPolyBytes = serializeRnsPoly(Client.secretKey().S);
+  // The raw residues of the first component, without any wire framing.
+  std::string SkRaw;
+  for (uint64_t V : Client.secretKey().S.Comps[0])
+    for (int B = 0; B < 8; ++B)
+      SkRaw.push_back(static_cast<char>((V >> (8 * B)) & 0xFF));
+
+  for (const auto &[Type, Payload] : T.sent()) {
+    EXPECT_TRUE(Type == MessageType::ListPrograms ||
+                Type == MessageType::OpenSession ||
+                Type == MessageType::Execute ||
+                Type == MessageType::CloseSession)
+        << "unexpected request type " << messageTypeName(Type);
+    EXPECT_EQ(Payload.find(SkBytes), std::string::npos);
+    EXPECT_EQ(Payload.find(SkPolyBytes), std::string::npos);
+    EXPECT_EQ(Payload.find(SkRaw), std::string::npos);
+  }
+}
+
+// The acceptance test: one evaserve-style socket server, two concurrent
+// tenant sessions with different keys, each bit-identical to direct
+// execution.
+TEST(Service, TwoConcurrentTenantsOverLoopback) {
+  Service Svc;
+  ASSERT_TRUE(Svc.registry().registerSource(*buildServedProgram()).ok());
+  ServiceServer Server(Svc);
+  ASSERT_TRUE(Server.start(0).ok());
+  ASSERT_NE(Server.port(), 0);
+
+  std::thread T1([&] {
+    Expected<std::unique_ptr<SocketTransport>> T =
+        SocketTransport::connectLoopback(Server.port());
+    ASSERT_TRUE(T.ok()) << (T.ok() ? "" : T.message());
+    runTenant(**T, /*KeySeed=*/111, /*InputSeed=*/311);
+  });
+  std::thread T2([&] {
+    Expected<std::unique_ptr<SocketTransport>> T =
+        SocketTransport::connectLoopback(Server.port());
+    ASSERT_TRUE(T.ok()) << (T.ok() ? "" : T.message());
+    runTenant(**T, /*KeySeed=*/222, /*InputSeed=*/322);
+  });
+  T1.join();
+  T2.join();
+
+  SchedulerStats Stats = Svc.schedulerStats();
+  EXPECT_EQ(Stats.Completed, 2u);
+  EXPECT_EQ(Stats.Failed, 0u);
+  EXPECT_EQ(Svc.activeSessionCount(), 0u) << "sessions should be closed";
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Service robustness against hostile/malformed requests
+//===----------------------------------------------------------------------===//
+
+struct ServiceFixture {
+  Service Svc;
+  InProcessTransport T{Svc};
+  ServiceFixture() {
+    EXPECT_TRUE(Svc.registry().registerSource(*buildServedProgram()).ok());
+  }
+  /// Dispatches and expects an Error frame whose message contains \p Want.
+  void expectError(MessageType Type, std::string_view Payload,
+                   const std::string &Want) {
+    std::pair<MessageType, std::string> R = Svc.dispatch(Type, Payload);
+    ASSERT_EQ(R.first, MessageType::Error) << "expected error for " << Want;
+    Expected<ErrorMsg> E = deserializeError(R.second);
+    ASSERT_TRUE(E.ok());
+    EXPECT_NE(E->Message.find(Want), std::string::npos)
+        << "got: " << E->Message;
+  }
+};
+
+TEST(Service, RejectsUnknownProgramAndSession) {
+  ServiceFixture F;
+  OpenSessionMsg Open;
+  Open.ProgramName = "no-such-program";
+  F.expectError(MessageType::OpenSession, serializeOpenSession(Open),
+                "unknown program");
+  ExecuteMsg Exec;
+  Exec.SessionId = 12345;
+  F.expectError(MessageType::Execute, serializeExecute(Exec),
+                "unknown session");
+  F.expectError(MessageType::CloseSession,
+                serializeCloseSession({777}), "unknown session");
+}
+
+TEST(Service, RejectsGarbagePayloads) {
+  ServiceFixture F;
+  std::string Junk(48, '\xfe');
+  for (MessageType Type :
+       {MessageType::OpenSession, MessageType::Execute,
+        MessageType::CloseSession}) {
+    std::pair<MessageType, std::string> R = F.Svc.dispatch(Type, Junk);
+    EXPECT_EQ(R.first, MessageType::Error)
+        << "garbage " << messageTypeName(Type) << " must yield an error";
+  }
+  // Response types arriving as requests are rejected too.
+  std::pair<MessageType, std::string> R =
+      F.Svc.dispatch(MessageType::ProgramList, "");
+  EXPECT_EQ(R.first, MessageType::Error);
+}
+
+TEST(Service, RejectsSessionWithoutRequiredKeys) {
+  ServiceFixture F;
+  // No galois/relin keys at all: the program needs both.
+  OpenSessionMsg Open;
+  Open.ProgramName = "served";
+  F.expectError(MessageType::OpenSession, serializeOpenSession(Open),
+                "relin");
+}
+
+TEST(Service, RejectsMalformedAndMismatchedRequests) {
+  ServiceFixture F;
+  ServiceClient Client(F.T);
+  Expected<std::vector<ParamSignature>> Sigs = Client.listPrograms();
+  ASSERT_TRUE(Sigs.ok());
+  ASSERT_TRUE(Client.openSession((*Sigs)[0], 55).ok());
+  uint64_t Sid = Client.sessionId();
+
+  // Garbage ciphertext bytes.
+  ExecuteMsg Exec;
+  Exec.SessionId = Sid;
+  Exec.CipherInputs = {{"x", "garbage bytes"}};
+  Exec.PlainInputs = {{"w", {1, 2, 3, 4, 5, 6, 7, 8}}};
+  F.expectError(MessageType::Execute, serializeExecute(Exec), "cipher input");
+
+  // Missing inputs.
+  ExecuteMsg Empty;
+  Empty.SessionId = Sid;
+  F.expectError(MessageType::Execute, serializeExecute(Empty), "missing");
+
+  // Well-formed ciphertext at the wrong scale.
+  Expected<SealedRequest> Req = Client.encryptInputs(servedInputs(5));
+  ASSERT_TRUE(Req.ok());
+  Ciphertext Wrong = Req->Inputs.Cipher.at("x");
+  Wrong.Scale *= 2;
+  ExecuteMsg BadScale;
+  BadScale.SessionId = Sid;
+  BadScale.CipherInputs = {{"x", serializeCiphertext(Wrong)}};
+  BadScale.PlainInputs = {{"w", Req->Inputs.Plain.at("w")}};
+  F.expectError(MessageType::Execute, serializeExecute(BadScale), "scale");
+
+  // Non-finite plain values would hit undefined float->integer rounding in
+  // the server-side encoder.
+  ExecuteMsg BadPlain;
+  BadPlain.SessionId = Sid;
+  BadPlain.CipherInputs = {
+      {"x", serializeCiphertext(Req->Inputs.Cipher.at("x"))}};
+  BadPlain.PlainInputs = {
+      {"w", {1.0, std::numeric_limits<double>::infinity(), 3, 4, 5, 6, 7, 8}}};
+  F.expectError(MessageType::Execute, serializeExecute(BadPlain),
+                "non-finite");
+
+  // Undeclared extra input.
+  ExecuteMsg Extra;
+  Extra.SessionId = Sid;
+  Extra.CipherInputs = {
+      {"x", serializeCiphertext(Req->Inputs.Cipher.at("x"))},
+      {"y", serializeCiphertext(Req->Inputs.Cipher.at("x"))}};
+  Extra.PlainInputs = {{"w", Req->Inputs.Plain.at("w")}};
+  F.expectError(MessageType::Execute, serializeExecute(Extra),
+                "does not declare");
+
+  // The session survives all of the above abuse and still works.
+  Expected<std::map<std::string, std::vector<double>>> Out =
+      Client.call(servedInputs(6));
+  EXPECT_TRUE(Out.ok()) << (Out.ok() ? "" : Out.message());
+}
+
+TEST(Service, SessionsAreIsolated) {
+  ServiceFixture F;
+  ServiceClient A(F.T), B(F.T);
+  Expected<std::vector<ParamSignature>> Sigs = A.listPrograms();
+  ASSERT_TRUE(Sigs.ok());
+  ASSERT_TRUE(A.openSession((*Sigs)[0], 1001).ok());
+  ASSERT_TRUE(B.openSession((*Sigs)[0], 2002).ok());
+  EXPECT_NE(A.sessionId(), B.sessionId());
+  EXPECT_EQ(F.Svc.activeSessionCount(), 2u);
+
+  // A ciphertext encrypted under A's keys submitted on B's session is
+  // well-formed wire-wise, so the server executes it — but the result is
+  // garbage under B's key, and NOT a valid result under either key. The
+  // tenants' keys do not mix.
+  Expected<SealedRequest> ReqA = A.encryptInputs(servedInputs(9));
+  ASSERT_TRUE(ReqA.ok());
+  ExecuteMsg Cross;
+  Cross.SessionId = B.sessionId();
+  for (const auto &[Name, Ct] : ReqA->Inputs.Cipher)
+    Cross.CipherInputs.emplace_back(Name, serializeCiphertext(Ct));
+  for (const auto &[Name, V] : ReqA->Inputs.Plain)
+    Cross.PlainInputs.emplace_back(Name, V);
+  std::pair<MessageType, std::string> R =
+      F.Svc.dispatch(MessageType::Execute, serializeExecute(Cross));
+  ASSERT_EQ(R.first, MessageType::ExecuteResult);
+  Expected<ExecuteResultMsg> Res = deserializeExecuteResult(R.second);
+  ASSERT_TRUE(Res.ok());
+  Expected<Ciphertext> CrossCt =
+      deserializeCiphertext(*B.context(), Res->Outputs[0].second);
+  ASSERT_TRUE(CrossCt.ok());
+  std::map<std::string, Ciphertext> CrossOut;
+  CrossOut.emplace("out", std::move(*CrossCt));
+  std::vector<double> Decrypted = A.decryptOutputs(CrossOut).at("out");
+  std::map<std::string, std::vector<double>> In = servedInputs(9);
+  const std::vector<double> &X = In.at("x");
+  const std::vector<double> &W = In.at("w");
+  double Err = 0;
+  for (size_t I = 0; I < 8; ++I)
+    Err = std::max(Err,
+                   std::abs(Decrypted[I] -
+                            (X[I] * X[I] + X[(I + 1) % 8] + W[I])));
+  EXPECT_GT(Err, 1.0) << "cross-tenant execution must not decrypt correctly";
+}
+
+TEST(Service, SessionLimitRejectsFloods) {
+  ServiceConfig Config;
+  Config.MaxSessions = 2;
+  Service Svc(Config);
+  ASSERT_TRUE(Svc.registry().registerSource(*buildServedProgram()).ok());
+  InProcessTransport T(Svc);
+  ServiceClient A(T), B(T), C(T);
+  Expected<std::vector<ParamSignature>> Sigs = A.listPrograms();
+  ASSERT_TRUE(Sigs.ok());
+  ASSERT_TRUE(A.openSession((*Sigs)[0], 1).ok());
+  ASSERT_TRUE(B.openSession((*Sigs)[0], 2).ok());
+  Status S = C.openSession((*Sigs)[0], 3);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("session limit"), std::string::npos);
+  // Closing one frees a slot.
+  ASSERT_TRUE(A.closeSession().ok());
+  EXPECT_TRUE(C.openSession((*Sigs)[0], 3).ok());
+}
+
+TEST(Service, SchedulerBackpressureRejectsWhenQueueFull) {
+  ServiceConfig Config;
+  Config.Scheduler.Workers = 1;
+  Config.Scheduler.MaxQueueDepth = 0; // every submission beyond capacity
+  Service Svc(Config);
+  ASSERT_TRUE(Svc.registry().registerSource(*buildServedProgram()).ok());
+  InProcessTransport T(Svc);
+  ServiceClient Client(T);
+  Expected<std::vector<ParamSignature>> Sigs = Client.listPrograms();
+  ASSERT_TRUE(Sigs.ok());
+  ASSERT_TRUE(Client.openSession((*Sigs)[0], 31).ok());
+  Expected<std::map<std::string, std::vector<double>>> Out =
+      Client.call(servedInputs(1));
+  ASSERT_FALSE(Out.ok());
+  EXPECT_NE(Out.message().find("queue full"), std::string::npos);
+  EXPECT_EQ(Svc.schedulerStats().Rejected, 1u);
+}
+
+} // namespace

@@ -9,7 +9,7 @@
 //
 // Usage:
 //   evac <input.evabin> [-o <output.evabin>] [--chet] [--lazy] [--dump]
-//        [--dot]
+//        [--dot] [--params-json]
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,19 +27,88 @@ using namespace eva;
 static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s <input.evabin> [-o <output.evabin>] [--chet] "
-               "[--lazy] [--dump] [--dot]\n"
-               "  --chet   use the CHET-baseline insertion policies\n"
-               "  --lazy   use LAZY-MODSWITCH instead of EAGER\n"
-               "  --dump   print the transformed program\n"
-               "  --dot    print the transformed term graph as Graphviz\n",
+               "[--lazy] [--dump] [--dot] [--params-json]\n"
+               "  --chet        use the CHET-baseline insertion policies\n"
+               "  --lazy        use LAZY-MODSWITCH instead of EAGER\n"
+               "  --dump        print the transformed program\n"
+               "  --dot         print the transformed term graph as Graphviz\n"
+               "  --params-json print the selected encryption parameters as "
+               "JSON (for deploy tooling)\n",
                Prog);
   return 1;
+}
+
+/// Program/input/output names are arbitrary bytes in the wire format; they
+/// must not be able to break the JSON contract.
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (unsigned char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += static_cast<char>(C);
+    } else if (C < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
+
+/// Machine-readable parameter report for deploy tooling (evacall, service
+/// configuration): the selected encryption parameters plus the program's
+/// I/O schema, mirroring the service's ParamSignature.
+static void printParamsJson(const Program &P, const CompiledProgram &CP) {
+  std::printf("{\n");
+  std::printf("  \"program\": \"%s\",\n", jsonEscape(P.name()).c_str());
+  std::printf("  \"vec_size\": %llu,\n",
+              static_cast<unsigned long long>(P.vecSize()));
+  std::printf("  \"poly_modulus_degree\": %llu,\n",
+              static_cast<unsigned long long>(CP.PolyDegree));
+  std::printf("  \"total_modulus_bits\": %d,\n", CP.TotalModulusBits);
+  std::printf("  \"security\": \"%s\",\n",
+              CP.Options.Security == SecurityLevel::TC128 ? "tc128" : "none");
+  std::printf("  \"coeff_modulus_bits\": [");
+  for (size_t I = 0; I < CP.BitSizes.size(); ++I)
+    std::printf("%s%d", I ? ", " : "", CP.BitSizes[I]);
+  std::printf("],\n");
+  std::vector<int> CtxBits = CP.contextBitSizes();
+  std::printf("  \"context_coeff_modulus_bits\": [");
+  for (size_t I = 0; I < CtxBits.size(); ++I)
+    std::printf("%s%d", I ? ", " : "", CtxBits[I]);
+  std::printf("],\n");
+  std::printf("  \"rotation_steps\": [");
+  size_t I = 0;
+  for (uint64_t S : CP.RotationSteps)
+    std::printf("%s%llu", I++ ? ", " : "", static_cast<unsigned long long>(S));
+  std::printf("],\n");
+  std::printf("  \"needs_relin_keys\": %s,\n",
+              countOps(*CP.Prog, OpCode::Relinearize) > 0 ? "true" : "false");
+  std::printf("  \"inputs\": [");
+  for (size_t J = 0; J < P.inputs().size(); ++J) {
+    const Node *N = P.inputs()[J];
+    std::printf("%s\n    {\"name\": \"%s\", \"log_scale\": %.0f, "
+                "\"encrypted\": %s}",
+                J ? "," : "", jsonEscape(N->name()).c_str(), N->logScale(),
+                N->isCipher() ? "true" : "false");
+  }
+  std::printf("\n  ],\n");
+  std::printf("  \"outputs\": [");
+  for (size_t J = 0; J < CP.Prog->outputs().size(); ++J) {
+    const Node *N = CP.Prog->outputs()[J];
+    std::printf("%s\n    {\"name\": \"%s\", \"log_scale\": %.0f}",
+                J ? "," : "", jsonEscape(N->name()).c_str(), N->logScale());
+  }
+  std::printf("\n  ]\n");
+  std::printf("}\n");
 }
 
 int main(int Argc, char **Argv) {
   const char *InputPath = nullptr;
   const char *OutputPath = nullptr;
-  bool Dump = false, Dot = false;
+  bool Dump = false, Dot = false, ParamsJson = false;
   CompilerOptions Options = CompilerOptions::eva();
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc) {
@@ -52,6 +121,8 @@ int main(int Argc, char **Argv) {
       Dump = true;
     } else if (std::strcmp(Argv[I], "--dot") == 0) {
       Dot = true;
+    } else if (std::strcmp(Argv[I], "--params-json") == 0) {
+      ParamsJson = true;
     } else if (Argv[I][0] != '-' && !InputPath) {
       InputPath = Argv[I];
     } else {
@@ -81,6 +152,18 @@ int main(int Argc, char **Argv) {
   if (!CP) {
     std::fprintf(stderr, "evac: compile error: %s\n", CP.message().c_str());
     return 1;
+  }
+
+  if (ParamsJson) {
+    // Machine-readable mode: the JSON document is the entire stdout.
+    printParamsJson(**P, *CP);
+    if (OutputPath) {
+      if (Status S = saveProgram(*CP->Prog, OutputPath); !S.ok()) {
+        std::fprintf(stderr, "evac: error: %s\n", S.message().c_str());
+        return 1;
+      }
+    }
+    return 0;
   }
 
   std::printf("program      : %s (vec_size %llu, %zu instructions, "

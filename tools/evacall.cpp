@@ -1,0 +1,183 @@
+//===- evacall.cpp - The encrypted-compute client tool --------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// Drives a running evaserve from the command line: lists served programs,
+// or runs the full client loop — fetch the program's parameter signature,
+// derive the matching context, generate keys, upload the evaluation keys
+// (seed-compressed), encrypt the inputs symmetrically, submit, and decrypt
+// the results. The secret key never leaves this process.
+//
+// Usage:
+//   evacall --port N --list
+//   evacall --port N --program NAME [--in name=v1,v2,...]... [--seed S]
+//           [--show K]
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/service/Client.h"
+#include "eva/support/Random.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace eva;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s --port N --list\n"
+               "       %s --port N --program NAME [--in name=v1,v2,...]... "
+               "[--seed S] [--show K]\n"
+               "  --list           print the served programs and their "
+               "parameters\n"
+               "  --program NAME   open a session and run NAME\n"
+               "  --in name=list   comma-separated values for one input "
+               "(default: uniform random in [-1,1])\n"
+               "  --seed S         key/input RNG seed (default 1)\n"
+               "  --show K         print only the first K slots of each "
+               "output (default 8)\n",
+               Prog, Prog);
+  return 1;
+}
+
+bool parseValues(const char *Spec, std::string &Name,
+                 std::vector<double> &Values) {
+  const char *Eq = std::strchr(Spec, '=');
+  if (!Eq || Eq == Spec)
+    return false;
+  Name.assign(Spec, Eq - Spec);
+  Values.clear();
+  const char *P = Eq + 1;
+  while (*P) {
+    char *End = nullptr;
+    double V = std::strtod(P, &End);
+    if (End == P)
+      return false;
+    Values.push_back(V);
+    P = End;
+    if (*P == ',')
+      ++P;
+    else if (*P)
+      return false;
+  }
+  return !Values.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Port = -1;
+  bool List = false;
+  const char *ProgramName = nullptr;
+  uint64_t Seed = 1;
+  size_t Show = 8;
+  std::map<std::string, std::vector<double>> GivenInputs;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--port") == 0 && I + 1 < Argc) {
+      Port = std::atoi(Argv[++I]);
+    } else if (std::strcmp(Argv[I], "--list") == 0) {
+      List = true;
+    } else if (std::strcmp(Argv[I], "--program") == 0 && I + 1 < Argc) {
+      ProgramName = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--in") == 0 && I + 1 < Argc) {
+      std::string Name;
+      std::vector<double> Values;
+      if (!parseValues(Argv[++I], Name, Values))
+        return usage(Argv[0]);
+      GivenInputs[Name] = std::move(Values);
+    } else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc) {
+      Seed = static_cast<uint64_t>(std::strtoull(Argv[++I], nullptr, 10));
+    } else if (std::strcmp(Argv[I], "--show") == 0 && I + 1 < Argc) {
+      Show = static_cast<size_t>(std::max(1, std::atoi(Argv[++I])));
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (Port <= 0 || Port > 65535 || (!List && !ProgramName))
+    return usage(Argv[0]);
+
+  Expected<std::unique_ptr<SocketTransport>> T =
+      SocketTransport::connectLoopback(static_cast<uint16_t>(Port));
+  if (!T) {
+    std::fprintf(stderr, "evacall: error: %s\n", T.message().c_str());
+    return 1;
+  }
+  ServiceClient Client(**T);
+
+  Expected<std::vector<ParamSignature>> Sigs = Client.listPrograms();
+  if (!Sigs) {
+    std::fprintf(stderr, "evacall: error: %s\n", Sigs.message().c_str());
+    return 1;
+  }
+
+  if (List) {
+    for (const ParamSignature &Sig : *Sigs) {
+      std::printf("%s: N=%llu vec_size=%llu primes=%zu security=%s%s\n",
+                  Sig.ProgramName.c_str(),
+                  static_cast<unsigned long long>(Sig.PolyDegree),
+                  static_cast<unsigned long long>(Sig.VecSize),
+                  Sig.ContextBitSizes.size(),
+                  Sig.Security == SecurityLevel::TC128 ? "tc128" : "none",
+                  Sig.NeedsRelin ? " relin" : "");
+      for (const ServiceInputSpec &In : Sig.Inputs)
+        std::printf("  input  %-16s scale 2^%.0f %s\n", In.Name.c_str(),
+                    In.LogScale, In.IsCipher ? "(encrypted)" : "(plain)");
+      for (const ServiceOutputSpec &Out : Sig.Outputs)
+        std::printf("  output %-16s scale 2^%.0f\n", Out.Name.c_str(),
+                    Out.LogScale);
+    }
+    return 0;
+  }
+
+  const ParamSignature *Sig = nullptr;
+  for (const ParamSignature &S : *Sigs)
+    if (S.ProgramName == ProgramName)
+      Sig = &S;
+  if (!Sig) {
+    std::fprintf(stderr, "evacall: error: server does not serve '%s'\n",
+                 ProgramName);
+    return 1;
+  }
+
+  if (Status S = Client.openSession(*Sig, Seed); !S.ok()) {
+    std::fprintf(stderr, "evacall: error: %s\n", S.message().c_str());
+    return 1;
+  }
+  std::printf("session %llu opened for '%s'\n",
+              static_cast<unsigned long long>(Client.sessionId()),
+              ProgramName);
+
+  // Fill unspecified inputs with reproducible uniform noise.
+  RandomSource Rng(Seed * 7919 + 1);
+  std::map<std::string, std::vector<double>> Inputs = GivenInputs;
+  for (const ServiceInputSpec &In : Sig->Inputs) {
+    if (Inputs.count(In.Name))
+      continue;
+    std::vector<double> V(Sig->VecSize);
+    for (double &X : V)
+      X = Rng.uniformReal(-1, 1);
+    Inputs.emplace(In.Name, std::move(V));
+  }
+
+  Expected<std::map<std::string, std::vector<double>>> Out =
+      Client.call(Inputs);
+  if (!Out) {
+    std::fprintf(stderr, "evacall: error: %s\n", Out.message().c_str());
+    return 1;
+  }
+  for (const auto &[Name, Values] : *Out) {
+    std::printf("output @%s:", Name.c_str());
+    for (size_t I = 0; I < Values.size() && I < Show; ++I)
+      std::printf(" %.6g", Values[I]);
+    if (Values.size() > Show)
+      std::printf(" ... (%zu slots)", Values.size());
+    std::printf("\n");
+  }
+  Client.closeSession();
+  return 0;
+}
