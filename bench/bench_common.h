@@ -16,6 +16,7 @@
 #ifndef EVA_BENCH_COMMON_H
 #define EVA_BENCH_COMMON_H
 
+#include "eva/api/Runner.h"
 #include "eva/runtime/CkksExecutor.h"
 #include "eva/support/Timer.h"
 #include "eva/tensor/Network.h"
@@ -89,6 +90,22 @@ struct PreparedNetwork {
   double ContextSeconds = 0;
 };
 
+/// A Runner over a prepared network's shared workspace (benches reuse one
+/// expensive key set across executor styles and thread counts). \p PN must
+/// outlive the runner.
+inline std::unique_ptr<eva::Runner>
+makeLocalRunner(const PreparedNetwork &PN, eva::LocalStyle Style,
+                size_t Threads) {
+  eva::LocalRunnerOptions Opts;
+  Opts.Threads = Threads;
+  Opts.Style = Style;
+  eva::Expected<std::unique_ptr<eva::Runner>> R =
+      eva::Runner::local(PN.Compiled, PN.Workspace, Opts);
+  if (!R)
+    eva::fatalError("bench: " + R.message());
+  return std::move(R.value());
+}
+
 /// Compiles \p Net with \p Options and builds keys. Returns false (with a
 /// message) on failure.
 inline bool prepare(eva::NetworkDefinition Net,
@@ -143,16 +160,19 @@ struct BenchResult {
   double Rps = 0;
 };
 
-/// Calls \p Fn repeatedly — at least \p MinIters times and until
-/// \p MinTotalSeconds of wall clock have been spent — and reports the
-/// per-iteration mean and min. With >= 3 iterations the single slowest one
-/// is excluded from the mean (not the min): on shared/virtualized hosts a
-/// co-tenant burst can inflate one iteration by 50%, which would otherwise
-/// dominate a small-sample mean and fake a regression at whichever sweep
-/// point it lands on.
+/// Samples \p Fn — a callable reporting its own per-iteration duration in
+/// seconds (e.g. a Runner's compute-phase time, excluding encrypt and
+/// decrypt) — at least \p MinIters times and until \p MinTotalSeconds of
+/// reported time have accumulated, and reports the per-iteration mean and
+/// min. With >= 3 iterations the single slowest one is excluded from the
+/// mean (not the min): on shared/virtualized hosts a co-tenant burst can
+/// inflate one iteration by 50%, which would otherwise dominate a
+/// small-sample mean and fake a regression at whichever sweep point it
+/// lands on.
 template <typename FnT>
-inline BenchResult measure(const std::string &Op, FnT &&Fn,
-                           size_t MinIters = 3, double MinTotalSeconds = 0.2) {
+inline BenchResult measureSeconds(const std::string &Op, FnT &&Fn,
+                                  size_t MinIters = 3,
+                                  double MinTotalSeconds = 0.2) {
   BenchResult R;
   R.Op = Op;
   double Total = 0;
@@ -160,15 +180,13 @@ inline BenchResult measure(const std::string &Op, FnT &&Fn,
   double Max = 0;
   size_t Iters = 0;
   while (Iters < MinIters || Total < MinTotalSeconds) {
-    eva::Timer T;
-    Fn();
-    double S = T.seconds();
+    double S = Fn();
     Total += S;
     Min = Iters == 0 ? S : std::min(Min, S);
     Max = Iters == 0 ? S : std::max(Max, S);
     ++Iters;
     if (Iters >= 1000000)
-      break; // paranoia against a mis-reported clock
+      break;
   }
   R.Iterations = Iters;
   R.SamplesInMean = Iters >= 3 ? Iters - 1 : Iters;
@@ -176,6 +194,21 @@ inline BenchResult measure(const std::string &Op, FnT &&Fn,
                              : Total / static_cast<double>(Iters);
   R.MinSeconds = Min;
   return R;
+}
+
+/// Wall-clock flavour: times each call of \p Fn itself. Same sampling and
+/// outlier trimming as measureSeconds.
+template <typename FnT>
+inline BenchResult measure(const std::string &Op, FnT &&Fn,
+                           size_t MinIters = 3, double MinTotalSeconds = 0.2) {
+  return measureSeconds(
+      Op,
+      [&Fn] {
+        eva::Timer T;
+        Fn();
+        return T.seconds();
+      },
+      MinIters, MinTotalSeconds);
 }
 
 /// Accumulates BenchResults and serializes them as a schema-stable JSON

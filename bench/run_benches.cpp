@@ -3,7 +3,7 @@
 // Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
 //
 // Times the core primitives (NTT / encode / multiply / relinearize / rotate)
-// and the Figure 7 thread-scaling point (ParallelCkksExecutor at 1 and 2
+// and the Figure 7 thread-scaling point (the parallel-DAG Runner at 1 and 2
 // threads on LeNet-5-small) and writes machine-readable baselines:
 //
 //   BENCH_micro.json     per-op wall-clock timings of the CKKS substrate
@@ -130,7 +130,7 @@ JsonReport microBaseline() {
   return Report;
 }
 
-/// The fig7 scaling sweep: ParallelCkksExecutor latency on LeNet-5-small at
+/// The fig7 scaling sweep: parallel-DAG Runner latency on LeNet-5-small at
 /// {1, 2, 4, 8} threads (EVA_BENCH_THREADS changes the sweep ceiling like
 /// the full fig7_scaling bench). Each point records its speedup over the
 /// 1-thread mean, which is what CI's scaling sanity gate checks.
@@ -152,18 +152,28 @@ JsonReport scalingBaseline() {
   // One untimed warmup run: the first inference pays first-touch faults on
   // the shared keys and evaluator tables, which would otherwise be billed
   // entirely to the 1-thread point and skew every speedup in the sweep.
+  Valuation Inputs = Valuation().set("image", Slots);
   {
-    ParallelCkksExecutor Warm(PN.Compiled, PN.Workspace, 1);
-    SealedInputs Sealed = Warm.encryptInputs({{"image", Slots}});
-    Warm.run(Sealed);
+    std::unique_ptr<Runner> Warm =
+        makeLocalRunner(PN, LocalStyle::ParallelDag, 1);
+    if (Expected<Valuation> Out = Warm->run(Inputs); !Out)
+      fatalError("bench: " + Out.message());
   }
 
   double OneThreadMean = 0;
   for (size_t T : Threads) {
-    ParallelCkksExecutor Exec(PN.Compiled, PN.Workspace, T);
-    SealedInputs Sealed = Exec.encryptInputs({{"image", Slots}});
-    BenchResult R = measure(
-        "lenet5_small_eva", [&] { Exec.run(Sealed); }, /*MinIters=*/3,
+    std::unique_ptr<Runner> Exec =
+        makeLocalRunner(PN, LocalStyle::ParallelDag, T);
+    // measureSeconds bills only the compute phase (the Sealed-inputs reuse
+    // of the executor era), not per-iteration encrypt/decrypt.
+    BenchResult R = measureSeconds(
+        "lenet5_small_eva",
+        [&] {
+          if (Expected<Valuation> Out = Exec->run(Inputs); !Out)
+            fatalError("bench: " + Out.message());
+          return Exec->lastTiming().ComputeSeconds;
+        },
+        /*MinIters=*/3,
         /*MinTotalSeconds=*/0.0);
     R.Threads = T;
     if (T == 1)

@@ -4,10 +4,13 @@
 //
 // Measures the encrypted-compute service end to end through the in-process
 // transport (the full serialized-message path — encode, symmetric encrypt,
-// wire encode/decode, validation, scheduling, execution — minus only the
-// socket I/O, so numbers are not confounded by kernel networking): sustained
-// requests/sec and p50/p95 request latency at {1, 4, 16} concurrent tenant
-// sessions submitting back-to-back requests against one small program.
+// wire encode/decode, validation, scheduling, execution, decrypt — minus
+// only the socket I/O, so numbers are not confounded by kernel networking):
+// sustained requests/sec and p50/p95 request latency at {1, 4, 16}
+// concurrent tenant sessions submitting back-to-back requests against one
+// small program. Each tenant drives the unified api/Runner remote backend,
+// so a request is the complete typed client loop (validate, encrypt,
+// submit, decrypt).
 //
 // Writes BENCH_service.json (bench_common.h reporter schema; throughput
 // points carry "requests_per_second").
@@ -18,6 +21,7 @@
 
 #include "bench_common.h"
 
+#include "eva/api/Runner.h"
 #include "eva/frontend/Expr.h"
 #include "eva/service/Client.h"
 #include "eva/support/Random.h"
@@ -59,33 +63,30 @@ SweepResult runSweepPoint(Service &Svc, size_t Sessions,
                           size_t RequestsPerSession) {
   InProcessTransport T(Svc);
 
-  // Set up tenants (sessions + per-tenant sealed requests) outside the
+  // Set up tenants (remote runners + per-tenant inputs) outside the
   // measured region: key generation and upload is a once-per-session cost.
-  std::vector<std::unique_ptr<ServiceClient>> Clients;
-  std::vector<SealedRequest> Requests;
+  std::vector<std::unique_ptr<Runner>> Tenants;
+  std::vector<Valuation> Requests;
   for (size_t S = 0; S < Sessions; ++S) {
-    auto C = std::make_unique<ServiceClient>(T);
-    Expected<std::vector<ParamSignature>> Sigs = C->listPrograms();
-    if (!Sigs || Sigs->empty())
-      eva::fatalError("bench: listPrograms failed");
-    if (Status St = C->openSession((*Sigs)[0], 1000 + S); !St.ok())
-      eva::fatalError("bench: openSession failed: " + St.message());
+    RemoteRunnerOptions Opts;
+    Opts.KeySeed = 1000 + S;
+    Expected<std::unique_ptr<Runner>> R =
+        Runner::remote(T, "svc_bench", Opts);
+    if (!R)
+      eva::fatalError("bench: remote runner failed: " + R.message());
     RandomSource Rng(77 + S);
     std::vector<double> X(64), W(64);
     for (double &V : X)
       V = Rng.uniformReal(-1, 1);
     for (double &V : W)
       V = Rng.uniformReal(-1, 1);
-    Expected<SealedRequest> Req =
-        C->encryptInputs({{"x", X}, {"w", W}});
-    if (!Req)
-      eva::fatalError("bench: encryptInputs failed: " + Req.message());
-    Requests.push_back(std::move(*Req));
-    Clients.push_back(std::move(C));
+    Requests.push_back(Valuation().set("x", std::move(X)).set("w", std::move(W)));
+    Tenants.push_back(std::move(*R));
   }
 
   // Measured region: every tenant submits back-to-back requests
-  // concurrently; per-request latency is wall time of submit().
+  // concurrently; per-request latency is wall time of the full typed call
+  // (validate, encrypt, submit, decrypt).
   std::vector<std::vector<double>> Latencies(Sessions);
   eva::Timer Wall;
   std::vector<std::thread> Threads;
@@ -94,10 +95,9 @@ SweepResult runSweepPoint(Service &Svc, size_t Sessions,
       Latencies[S].reserve(RequestsPerSession);
       for (size_t R = 0; R < RequestsPerSession; ++R) {
         eva::Timer T1;
-        Expected<std::map<std::string, Ciphertext>> Out =
-            Clients[S]->submit(Requests[S]);
+        Expected<Valuation> Out = Tenants[S]->run(Requests[S]);
         if (!Out)
-          eva::fatalError("bench: submit failed: " + Out.message());
+          eva::fatalError("bench: request failed: " + Out.message());
         Latencies[S].push_back(T1.seconds());
       }
     });
@@ -106,8 +106,7 @@ SweepResult runSweepPoint(Service &Svc, size_t Sessions,
     Th.join();
   double WallSeconds = Wall.seconds();
 
-  for (std::unique_ptr<ServiceClient> &C : Clients)
-    (void)C->closeSession();
+  Tenants.clear(); // close the sessions
 
   std::vector<double> All;
   for (const std::vector<double> &L : Latencies)

@@ -30,7 +30,8 @@ struct Fidelity {
 
 Fidelity measure(PreparedNetwork &PN, size_t Images, size_t Threads) {
   Fidelity F;
-  ParallelCkksExecutor Exec(PN.Compiled, PN.Workspace, Threads);
+  std::unique_ptr<Runner> R =
+      makeLocalRunner(PN, LocalStyle::ParallelDag, Threads);
   for (size_t I = 0; I < Images; ++I) {
     RandomSource Rng(1000 + I);
     Tensor Image = Tensor::random({PN.Net.inputChannels(),
@@ -39,14 +40,16 @@ Fidelity measure(PreparedNetwork &PN, size_t Images, size_t Threads) {
                                   Rng);
     std::vector<double> Slots =
         imageSlots(PN.Net, Image, PN.Prog->vecSize());
-    std::map<std::string, std::vector<double>> Out =
-        Exec.runPlain({{"image", Slots}});
+    Expected<Valuation> Res = R->run(Valuation().set("image", Slots));
+    if (!Res)
+      fatalError("bench: " + Res.message());
+    const std::vector<double> &Scores = Res->vector("scores");
     Tensor Want = PN.Net.runPlain(Image);
     size_t ArgEnc = 0, ArgPlain = 0;
     for (size_t C = 0; C < PN.Net.numClasses(); ++C) {
       F.MaxErr = std::max(F.MaxErr,
-                          std::abs(Out.at("scores")[C] - Want.at(C)));
-      if (Out.at("scores")[C] > Out.at("scores")[ArgEnc])
+                          std::abs(Scores[C] - Want.at(C)));
+      if (Scores[C] > Scores[ArgEnc])
         ArgEnc = C;
       if (Want.at(C) > Want.at(ArgPlain))
         ArgPlain = C;

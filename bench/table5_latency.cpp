@@ -26,17 +26,13 @@ double runLatency(PreparedNetwork &PN, bool ChetStyle, size_t Threads) {
                                 Rng);
   std::vector<double> Slots =
       imageSlots(PN.Net, Image, PN.Prog->vecSize());
-  std::unique_ptr<CkksExecutor> Exec;
-  if (ChetStyle)
-    Exec = std::make_unique<KernelBulkCkksExecutor>(PN.Compiled,
-                                                    PN.Workspace, Threads);
-  else
-    Exec = std::make_unique<ParallelCkksExecutor>(PN.Compiled, PN.Workspace,
-                                                  Threads);
-  SealedInputs Sealed = Exec->encryptInputs({{"image", Slots}});
-  Timer T;
-  Exec->run(Sealed);
-  return T.seconds();
+  std::unique_ptr<Runner> R = makeLocalRunner(
+      PN, ChetStyle ? LocalStyle::KernelBulk : LocalStyle::ParallelDag,
+      Threads);
+  Expected<Valuation> Out = R->run(Valuation().set("image", Slots));
+  if (!Out)
+    fatalError("bench: " + Out.message());
+  return R->lastTiming().ComputeSeconds;
 }
 
 } // namespace

@@ -155,31 +155,35 @@ int main() {
       std::printf("%-26s compile error: %s\n", A.Name, CP.message().c_str());
       continue;
     }
-    Expected<std::shared_ptr<CkksWorkspace>> WS =
-        CkksWorkspace::create(*CP, 7);
-    if (!WS) {
-      std::printf("%-26s context error: %s\n", A.Name, WS.message().c_str());
+    size_t ModulusLength = CP->modulusLength();
+    unsigned LogN = 0;
+    for (uint64_t N = CP->PolyDegree; N > 1; N >>= 1)
+      ++LogN;
+    LocalRunnerOptions Opts;
+    Opts.Seed = 7;
+    Expected<std::unique_ptr<Runner>> R =
+        Runner::local(std::move(*CP), Opts);
+    if (!R) {
+      std::printf("%-26s backend error: %s\n", A.Name, R.message().c_str());
       continue;
     }
-    CkksExecutor Exec(*CP, WS.value());
     RandomSource Rng(3);
-    std::map<std::string, std::vector<double>> Inputs;
+    Valuation Inputs;
     for (const Node *I : P->inputs()) {
       std::vector<double> V(P->vecSize());
       for (double &X : V)
         X = Rng.uniformReal(-0.5, 0.5);
-      Inputs.emplace(I->name(), std::move(V));
+      Inputs.set(I->name(), std::move(V));
     }
-    SealedInputs Sealed = Exec.encryptInputs(Inputs);
-    Timer T;
-    Exec.run(Sealed);
-    double Elapsed = T.seconds();
-    unsigned LogN = 0;
-    for (uint64_t N = CP->PolyDegree; N > 1; N >>= 1)
-      ++LogN;
+    Expected<Valuation> Out = (*R)->run(Inputs);
+    if (!Out) {
+      std::printf("%-26s run error: %s\n", A.Name, Out.message().c_str());
+      continue;
+    }
+    double Elapsed = (*R)->lastTiming().ComputeSeconds;
     std::printf("%-26s %10llu %5d %9.3f %5zu %8u\n", A.Name,
                 static_cast<unsigned long long>(P->vecSize()),
-                A.LinesOfCode, Elapsed, CP->modulusLength(), LogN);
+                A.LinesOfCode, Elapsed, ModulusLength, LogN);
   }
   std::printf("\nPaper (1 thread): path 0.394 s, linear 0.027 s, polynomial "
               "0.104 s, multivariate 0.094 s,\nSobel 0.511 s, Harris "

@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "eva/runtime/CkksExecutor.h"
+#include "eva/api/Runner.h"
 #include "eva/support/Timer.h"
 #include "eva/tensor/Network.h"
 
@@ -44,9 +44,12 @@ int main(int Argc, char **Argv) {
               CP->RotationSteps.size());
 
   Timer ContextT;
-  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::create(*CP, Argc > 1 ? std::atoi(Argv[1]) : 0);
-  if (!WS) {
-    std::fprintf(stderr, "context error: %s\n", WS.message().c_str());
+  LocalRunnerOptions Opts;
+  Opts.Threads = 2;
+  Opts.Seed = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 1;
+  Expected<std::unique_ptr<Runner>> R = Runner::local(std::move(*CP), Opts);
+  if (!R) {
+    std::fprintf(stderr, "backend error: %s\n", R.message().c_str());
     return 1;
   }
   std::printf("context (keygen): %.3f s\n", ContextT.seconds());
@@ -61,18 +64,16 @@ int main(int Argc, char **Argv) {
     for (size_t X = 0; X < 28; ++X)
       Slots[L.slotOf(0, Y, X)] = Image.at3(0, Y, X);
 
-  ParallelCkksExecutor Exec(*CP, WS.value(), 2);
-  Timer EncT;
-  SealedInputs Sealed = Exec.encryptInputs({{"image", Slots}});
-  std::printf("encrypt: %.3f s\n", EncT.seconds());
-
-  Timer RunT;
-  std::map<std::string, Ciphertext> Encrypted = Exec.run(Sealed);
-  double Latency = RunT.seconds();
-
-  Timer DecT;
-  std::vector<double> Scores = Exec.decryptOutput(Encrypted.at("scores"));
-  std::printf("decrypt: %.3f s\n", DecT.seconds());
+  Expected<Valuation> Res = (*R)->run(Valuation().set("image", Slots));
+  if (!Res) {
+    std::fprintf(stderr, "run error: %s\n", Res.message().c_str());
+    return 1;
+  }
+  Runner::Timing T = (*R)->lastTiming();
+  std::printf("encrypt: %.3f s\n", T.EncryptSeconds);
+  double Latency = T.ComputeSeconds;
+  const std::vector<double> &Scores = Res->vector("scores");
+  std::printf("decrypt: %.3f s\n", T.DecryptSeconds);
 
   Tensor Want = Net.runPlain(Image);
   size_t ArgEnc = 0, ArgPlain = 0;
@@ -89,7 +90,7 @@ int main(int Argc, char **Argv) {
   std::printf("inference latency: %.3f s (2 threads); argmax %zu vs %zu; "
               "max |error| %.2e; peak live ciphertext memory %.1f MiB\n",
               Latency, ArgEnc, ArgPlain, MaxErr,
-              static_cast<double>(Exec.stats().PeakLiveBytes) /
+              static_cast<double>((*R)->executionStats()->PeakLiveBytes) /
                   (1024.0 * 1024.0));
   // The logit error depends on the key/noise realization: across workspace
   // seeds it ranges roughly 3e-2..1.6e-1 at these parameters (the scores

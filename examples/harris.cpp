@@ -9,8 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "eva/api/Runner.h"
 #include "eva/frontend/Expr.h"
-#include "eva/runtime/CkksExecutor.h"
 #include "eva/support/Timer.h"
 
 #include <cmath>
@@ -71,9 +71,9 @@ int main() {
               CP->modulusLength(), CP->TotalModulusBits,
               CP->Prog->multiplicativeDepth());
 
-  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::create(*CP);
-  if (!WS) {
-    std::fprintf(stderr, "context error: %s\n", WS.message().c_str());
+  Expected<std::unique_ptr<Runner>> Backend = Runner::local(std::move(*CP));
+  if (!Backend) {
+    std::fprintf(stderr, "backend error: %s\n", Backend.message().c_str());
     return 1;
   }
 
@@ -83,10 +83,13 @@ int main() {
     for (int X = 24; X < 40; ++X)
       Img[Y * Width + X] = 0.9;
 
-  CkksExecutor Exec(*CP, WS.value());
   Timer T;
-  std::map<std::string, std::vector<double>> Out =
-      Exec.runPlain({{"image", Img}});
+  Expected<Valuation> Res = (*Backend)->run(Valuation().set("image", Img));
+  if (!Res) {
+    std::fprintf(stderr, "run error: %s\n", Res.message().c_str());
+    return 1;
+  }
+  const std::vector<double> &Resp = Res->vector("response");
   double Elapsed = T.seconds();
 
   // Plaintext reference of the same pipeline.
@@ -119,7 +122,7 @@ int main() {
         }
       double Want =
           Sxx * Syy - Sxy * Sxy - HarrisK * (Sxx + Syy) * (Sxx + Syy);
-      double Got = Out["response"][Y * Width + X];
+      double Got = Resp[Y * Width + X];
       MaxErr = std::max(MaxErr, std::abs(Want - Got));
       if ((Y == 24 || Y == 39) && (X == 24 || X == 39))
         CornerResp = std::max(CornerResp, Got);

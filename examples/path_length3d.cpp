@@ -10,8 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "eva/api/Runner.h"
 #include "eva/frontend/Expr.h"
-#include "eva/runtime/CkksExecutor.h"
 #include "eva/support/Random.h"
 #include "eva/support/Timer.h"
 
@@ -57,9 +57,11 @@ int main() {
     std::fprintf(stderr, "compile error: %s\n", CP.message().c_str());
     return 1;
   }
-  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::create(*CP);
-  if (!WS) {
-    std::fprintf(stderr, "context error: %s\n", WS.message().c_str());
+  uint64_t PolyDegree = CP->PolyDegree;
+  size_t ModulusLength = CP->modulusLength();
+  Expected<std::unique_ptr<Runner>> R = Runner::local(std::move(*CP));
+  if (!R) {
+    std::fprintf(stderr, "backend error: %s\n", R.message().c_str());
     return 1;
   }
 
@@ -77,10 +79,13 @@ int main() {
     Pz += Rng.uniformReal(-0.4, 0.4);
   }
 
-  CkksExecutor Exec(*CP, WS.value());
   Timer T;
-  std::map<std::string, std::vector<double>> Out =
-      Exec.runPlain({{"x", Xs}, {"y", Ys}, {"z", Zs}});
+  Expected<Valuation> Res =
+      (*R)->run(Valuation().set("x", Xs).set("y", Ys).set("z", Zs));
+  if (!Res) {
+    std::fprintf(stderr, "run error: %s\n", Res.message().c_str());
+    return 1;
+  }
   double Elapsed = T.seconds();
 
   // Plaintext truth (with the same polynomial, and exact for reference).
@@ -96,11 +101,10 @@ int main() {
 
   std::printf("3-D path length over %llu encrypted points\n",
               static_cast<unsigned long long>(Points));
-  std::printf("  encrypted result : %.4f\n", Out["length"][0]);
+  std::printf("  encrypted result : %.4f\n", Res->vector("length")[0]);
   std::printf("  plaintext (poly) : %.4f\n", Poly);
   std::printf("  plaintext (sqrt) : %.4f\n", Exact);
   std::printf("  time             : %.3f s  (N = %llu, r = %zu)\n", Elapsed,
-              static_cast<unsigned long long>(CP->PolyDegree),
-              CP->modulusLength());
+              static_cast<unsigned long long>(PolyDegree), ModulusLength);
   return 0;
 }

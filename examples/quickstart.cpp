@@ -2,27 +2,31 @@
 //
 // Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
 //
-// The minimal end-to-end flow: write a program against the Expr frontend,
-// compile it (the compiler inserts RESCALE/MODSWITCH/RELINEARIZE, selects
-// encryption parameters and rotation keys), generate keys, encrypt, run,
-// decrypt.
+// The minimal end-to-end flow on the unified evaluation API: write a
+// program against the Expr frontend, compile it (the compiler inserts
+// RESCALE/MODSWITCH/RELINEARIZE, selects encryption parameters and rotation
+// keys), then hand it to a Runner — one call validates the typed inputs,
+// generates keys, encrypts, executes, and decrypts. Swapping the local
+// backend for the reference semantics or a remote encrypted-compute service
+// is a one-line change (see "Choosing a backend" in the README).
 //
 //===----------------------------------------------------------------------===//
 
+#include "eva/api/Runner.h"
 #include "eva/frontend/Expr.h"
 #include "eva/ir/Printer.h"
-#include "eva/runtime/CkksExecutor.h"
 
 #include <cstdio>
 
 using namespace eva;
 
 int main() {
-  // A tiny encrypted computation: out = x^2 * y + 3.
+  // A tiny encrypted computation: out = x^2 * y + 3. Literals like the 3.0
+  // below are materialized at the builder's default constant scale.
   ProgramBuilder B("quickstart", 1024);
   Expr X = B.inputCipher("x", 30);
   Expr Y = B.inputCipher("y", 30);
-  B.output("out", X * X * Y + B.constant(3.0, 30), 30);
+  B.output("out", X * X * Y + 3.0, 30);
 
   Expected<CompiledProgram> CP = compile(B.program());
   if (!CP) {
@@ -37,24 +41,30 @@ int main() {
   std::printf("--- transformed program ---\n%s",
               printProgram(*CP->Prog).c_str());
 
-  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::create(*CP);
-  if (!WS) {
-    std::fprintf(stderr, "context error: %s\n", WS.message().c_str());
+  // One call builds the whole crypto stack (context, keys, encryptor,
+  // decryptor) for the compiled program.
+  Expected<std::unique_ptr<Runner>> R = Runner::local(std::move(*CP));
+  if (!R) {
+    std::fprintf(stderr, "backend error: %s\n", R.message().c_str());
     return 1;
   }
 
-  CkksExecutor Exec(*CP, WS.value());
-  std::map<std::string, std::vector<double>> Inputs = {
-      {"x", {1.0, 2.0, 3.0, 4.0}}, // replicated across all 1024 slots
-      {"y", {0.5, 0.25, 2.0, 1.0}},
-  };
-  std::map<std::string, std::vector<double>> Out = Exec.runPlain(Inputs);
+  // Typed inputs: short vectors are replicated across all 1024 slots. A
+  // misnamed or missing input comes back as a diagnostic, not an abort.
+  Valuation Inputs;
+  Inputs.set("x", {1.0, 2.0, 3.0, 4.0});
+  Inputs.set("y", {0.5, 0.25, 2.0, 1.0});
+  Expected<Valuation> Out = (*R)->run(Inputs);
+  if (!Out) {
+    std::fprintf(stderr, "run error: %s\n", Out.message().c_str());
+    return 1;
+  }
 
   std::printf("--- results (x^2 * y + 3) ---\n");
   for (int I = 0; I < 4; ++I) {
-    double X = Inputs["x"][I], Y = Inputs["y"][I];
+    double XV = Inputs.vector("x")[I], YV = Inputs.vector("y")[I];
     std::printf("slot %d: encrypted %.6f, expected %.6f\n", I,
-                Out["out"][I], X * X * Y + 3.0);
+                Out->vector("out")[I], XV * XV * YV + 3.0);
   }
   return 0;
 }

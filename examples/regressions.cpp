@@ -10,8 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "eva/api/Runner.h"
 #include "eva/frontend/Expr.h"
-#include "eva/runtime/CkksExecutor.h"
 #include "eva/support/Random.h"
 #include "eva/support/Timer.h"
 
@@ -21,28 +21,33 @@ using namespace eva;
 
 namespace {
 
-double runOne(const char *Name, Program &P,
-              const std::map<std::string, std::vector<double>> &Inputs,
-              std::map<std::string, std::vector<double>> &Out) {
+double runOne(const char *Name, Program &P, const Valuation &Inputs,
+              Valuation &Out) {
   Expected<CompiledProgram> CP = compile(P);
   if (!CP) {
     std::fprintf(stderr, "%s: compile error: %s\n", Name,
                  CP.message().c_str());
     return -1;
   }
-  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::create(*CP);
-  if (!WS) {
-    std::fprintf(stderr, "%s: context error: %s\n", Name,
-                 WS.message().c_str());
+  uint64_t PolyDegree = CP->PolyDegree;
+  size_t ModulusLength = CP->modulusLength();
+  Expected<std::unique_ptr<Runner>> R = Runner::local(std::move(*CP));
+  if (!R) {
+    std::fprintf(stderr, "%s: backend error: %s\n", Name,
+                 R.message().c_str());
     return -1;
   }
-  CkksExecutor Exec(*CP, WS.value());
   Timer T;
-  Out = Exec.runPlain(Inputs);
+  Expected<Valuation> Res = (*R)->run(Inputs);
+  if (!Res) {
+    std::fprintf(stderr, "%s: run error: %s\n", Name, Res.message().c_str());
+    return -1;
+  }
+  Out = std::move(*Res);
   double Elapsed = T.seconds();
   std::printf("%-24s N=%-6llu r=%-2zu time %.3f s\n", Name,
-              static_cast<unsigned long long>(CP->PolyDegree),
-              CP->modulusLength(), Elapsed);
+              static_cast<unsigned long long>(PolyDegree), ModulusLength,
+              Elapsed);
   return Elapsed;
 }
 
@@ -74,11 +79,11 @@ int main() {
       Xs[I] = Rng.uniformReal(-1, 1);
       Ys[I] = TrueA * Xs[I] + TrueB + Rng.uniformReal(-0.05, 0.05);
     }
-    std::map<std::string, std::vector<double>> Out;
-    if (runOne("linear regression", B.program(), {{"x", Xs}, {"y", Ys}},
-               Out) < 0)
+    Valuation Out;
+    if (runOne("linear regression", B.program(),
+               Valuation().set("x", Xs).set("y", Ys), Out) < 0)
       return 1;
-    double Slope = Out["num"][0] / Out["den"][0];
+    double Slope = Out.vector("num")[0] / Out.vector("den")[0];
     std::printf("  fitted slope %.4f (true %.2f)\n", Slope, TrueA);
   }
 
@@ -95,14 +100,15 @@ int main() {
     std::vector<double> Xs(N);
     for (double &V : Xs)
       V = Rng.uniformReal(-1, 1);
-    std::map<std::string, std::vector<double>> Out;
-    if (runOne("polynomial regression", B.program(), {{"x", Xs}}, Out) < 0)
+    Valuation Out;
+    if (runOne("polynomial regression", B.program(),
+               Valuation().set("x", Xs), Out) < 0)
       return 1;
     double Err = 0;
     for (uint64_t I = 0; I < N; ++I) {
       double W = 0.3 * Xs[I] * Xs[I] * Xs[I] - 0.5 * Xs[I] * Xs[I] +
                  1.1 * Xs[I] + 0.25;
-      Err = std::max(Err, std::abs(W - Out["y"][I]));
+      Err = std::max(Err, std::abs(W - Out.vector("y")[I]));
     }
     std::printf("  max prediction error %.2e\n", Err);
   }
@@ -131,15 +137,16 @@ int main() {
     std::vector<double> Xs(Samples * Features);
     for (double &V : Xs)
       V = Rng.uniformReal(-1, 1);
-    std::map<std::string, std::vector<double>> Out;
-    if (runOne("multivariate regression", B.program(), {{"x", Xs}}, Out) < 0)
+    Valuation Out;
+    if (runOne("multivariate regression", B.program(),
+               Valuation().set("x", Xs), Out) < 0)
       return 1;
     double Err = 0;
     for (uint64_t S = 0; S < Samples; ++S) {
       double Want = 0;
       for (uint64_t F = 0; F < Features; ++F)
         Want += TrueW[F] * Xs[F * Samples + S];
-      Err = std::max(Err, std::abs(Want - Out["y"][S]));
+      Err = std::max(Err, std::abs(Want - Out.vector("y")[S]));
     }
     std::printf("  max prediction error %.2e\n", Err);
   }

@@ -8,8 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "eva/api/Runner.h"
 #include "eva/frontend/Expr.h"
-#include "eva/runtime/CkksExecutor.h"
 #include "eva/support/Random.h"
 #include "eva/support/Timer.h"
 
@@ -62,9 +62,9 @@ int main() {
               CP->modulusLength(), CP->TotalModulusBits,
               CP->RotationSteps.size());
 
-  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::create(*CP);
-  if (!WS) {
-    std::fprintf(stderr, "context error: %s\n", WS.message().c_str());
+  Expected<std::unique_ptr<Runner>> R = Runner::local(std::move(*CP));
+  if (!R) {
+    std::fprintf(stderr, "backend error: %s\n", R.message().c_str());
     return 1;
   }
 
@@ -78,10 +78,13 @@ int main() {
       Img[Y * Width + X] = V;
     }
 
-  CkksExecutor Exec(*CP, WS.value());
   Timer T;
-  std::map<std::string, std::vector<double>> Out =
-      Exec.runPlain({{"image", Img}});
+  Expected<Valuation> Result = (*R)->run(Valuation().set("image", Img));
+  if (!Result) {
+    std::fprintf(stderr, "run error: %s\n", Result.message().c_str());
+    return 1;
+  }
+  const std::vector<double> &Edges = Result->vector("edges");
   double Elapsed = T.seconds();
 
   // Reference on plaintext.
@@ -99,7 +102,7 @@ int main() {
         }
       double S = Gx * Gx + Gy * Gy;
       double Want = 2.214 * S - 1.098 * S * S + 0.173 * S * S * S;
-      double Got = Out["edges"][Y * Width + X];
+      double Got = Edges[Y * Width + X];
       MaxErr = std::max(MaxErr, std::abs(Want - Got));
     }
   }
@@ -108,7 +111,7 @@ int main() {
   // Sample the edge response across the square boundary.
   std::printf("  edge response at row 32: ");
   for (int X = 16; X <= 28; X += 2)
-    std::printf("%.2f ", Out["edges"][32 * Width + X]);
+    std::printf("%.2f ", Edges[32 * Width + X]);
   std::printf("\n");
   return MaxErr < 1e-2 ? 0 : 2;
 }

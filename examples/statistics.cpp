@@ -10,8 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "eva/api/Runner.h"
 #include "eva/frontend/Expr.h"
-#include "eva/runtime/CkksExecutor.h"
 #include "eva/support/Random.h"
 #include "eva/support/Timer.h"
 
@@ -56,9 +56,9 @@ int main() {
               static_cast<unsigned long long>(N),
               static_cast<unsigned long long>(CP->PolyDegree),
               CP->modulusLength(), CP->TotalModulusBits);
-  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::create(*CP);
-  if (!WS) {
-    std::fprintf(stderr, "context error: %s\n", WS.message().c_str());
+  Expected<std::unique_ptr<Runner>> R = Runner::local(std::move(*CP));
+  if (!R) {
+    std::fprintf(stderr, "backend error: %s\n", R.message().c_str());
     return 1;
   }
 
@@ -70,10 +70,13 @@ int main() {
     Ys[I] = 0.6 * Xs[I] + 0.4 * Rng.uniformReal(-1, 1);
   }
 
-  CkksExecutor Exec(*CP, WS.value());
   Timer T;
-  std::map<std::string, std::vector<double>> Out =
-      Exec.runPlain({{"x", Xs}, {"y", Ys}});
+  Expected<Valuation> Res = (*R)->run(Valuation().set("x", Xs).set("y", Ys));
+  if (!Res) {
+    std::fprintf(stderr, "run error: %s\n", Res.message().c_str());
+    return 1;
+  }
+  const Valuation &Out = *Res;
   double Elapsed = T.seconds();
 
   // Plaintext reference values (P-prefixed: the Expr handles above still
@@ -94,16 +97,16 @@ int main() {
   PCov /= N;
 
   std::printf("  %-10s %12s %12s\n", "statistic", "encrypted", "plaintext");
-  std::printf("  %-10s %12.6f %12.6f\n", "mean", Out["mean"][0], PMeanX);
-  std::printf("  %-10s %12.6f %12.6f\n", "variance", Out["var"][0], PVarX);
+  std::printf("  %-10s %12.6f %12.6f\n", "mean", Out.vector("mean")[0], PMeanX);
+  std::printf("  %-10s %12.6f %12.6f\n", "variance", Out.vector("var")[0], PVarX);
   std::printf("  %-10s %12.6f %12.6f (sqrt approx: %.6f)\n", "std dev",
-              Out["std"][0], std::sqrt(PVarX),
+              Out.vector("std")[0], std::sqrt(PVarX),
               2.214 * PVarX - 1.098 * PVarX * PVarX +
                   0.173 * PVarX * PVarX * PVarX);
-  std::printf("  %-10s %12.6f %12.6f\n", "covariance", Out["cov"][0], PCov);
+  std::printf("  %-10s %12.6f %12.6f\n", "covariance", Out.vector("cov")[0], PCov);
   std::printf("  time: %.3f s\n", Elapsed);
-  bool Ok = std::abs(Out["mean"][0] - PMeanX) < 1e-3 &&
-            std::abs(Out["var"][0] - PVarX) < 1e-3 &&
-            std::abs(Out["cov"][0] - PCov) < 1e-3;
+  bool Ok = std::abs(Out.vector("mean")[0] - PMeanX) < 1e-3 &&
+            std::abs(Out.vector("var")[0] - PVarX) < 1e-3 &&
+            std::abs(Out.vector("cov")[0] - PCov) < 1e-3;
   return Ok ? 0 : 2;
 }

@@ -28,12 +28,16 @@ namespace eva {
 /// and evaluation treat both forms identically.
 class Encryptor {
 public:
+  /// \p ReproducibleSeeds forwards to the internal sampler's reproducible
+  /// expansion-seed mode (see KeyGenerator): symmetric ciphertexts' c1
+  /// seeds become a pure function of \p Seed instead of OS entropy.
   Encryptor(std::shared_ptr<const CkksContext> Ctx, PublicKey Pk,
-            uint64_t Seed = 0);
+            uint64_t Seed = 0, bool ReproducibleSeeds = false);
 
   /// Symmetric-only encryptor: no public key needed (clients that hold the
   /// secret key and only upload seed-compressed fresh ciphertexts).
-  Encryptor(std::shared_ptr<const CkksContext> Ctx, uint64_t Seed);
+  Encryptor(std::shared_ptr<const CkksContext> Ctx, uint64_t Seed,
+            bool ReproducibleSeeds = false);
 
   Ciphertext encrypt(const Plaintext &Pt);
 

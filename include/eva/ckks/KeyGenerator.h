@@ -18,7 +18,9 @@
 #include "eva/ckks/Keys.h"
 #include "eva/support/Random.h"
 
+#include <array>
 #include <memory>
+#include <optional>
 #include <set>
 
 namespace eva {
@@ -35,8 +37,16 @@ RnsPoly expandUniformNtt(const CkksContext &Ctx, size_t PrimeCount,
 
 class KeyGenerator {
 public:
+  /// \p ReproducibleExpansionSeeds: by default, the expansion seeds
+  /// published on the wire by seed compression come from OS entropy (see
+  /// deriveSeed()). When true — requires a nonzero \p Seed — they are
+  /// instead drawn from a dedicated engine derived from \p Seed, making
+  /// every key and ciphertext bit a pure function of the seed. This is the
+  /// reproducible mode behind cross-backend bit-identity goldens
+  /// (`evac run`, ApiTest); production key generation keeps the default.
   explicit KeyGenerator(std::shared_ptr<const CkksContext> Ctx,
-                        uint64_t Seed = 0);
+                        uint64_t Seed = 0,
+                        bool ReproducibleExpansionSeeds = false);
 
   const SecretKey &secretKey() const { return Secret; }
   PublicKey createPublicKey();
@@ -55,7 +65,8 @@ public:
 
   RandomSource &rng() { return Rng; }
 
-  /// Draws a fresh nonzero expansion seed from the generator's stream.
+  /// Draws a fresh nonzero expansion seed: from OS entropy by default, or
+  /// from the dedicated deterministic seed engine in reproducible mode.
   uint64_t deriveSeed();
 
 private:
@@ -70,6 +81,11 @@ private:
 
   std::shared_ptr<const CkksContext> Ctx;
   RandomSource Rng;
+  /// Reproducible mode's expansion-seed engine. Deliberately a separate
+  /// engine from Rng: published seeds must never expose the stream that
+  /// samples secret material (mt19937_64 state is recoverable from its
+  /// outputs).
+  std::optional<RandomSource> SeedRng;
   SecretKey Secret;
 };
 

@@ -24,6 +24,7 @@
 #define EVA_FRONTEND_EXPR_H
 
 #include "eva/ir/Program.h"
+#include "eva/support/Common.h"
 
 #include <memory>
 #include <string>
@@ -35,12 +36,18 @@ class ProgramBuilder;
 
 /// A handle to a value under construction. Copyable; all Exprs share the
 /// builder's program.
+///
+/// Misuse — arithmetic on a default-constructed (invalid) Expr, mixing
+/// Exprs of two builders, `pow(0)` — is diagnosed with a precise
+/// fatalError message in every build mode, never a compiled-out assert
+/// turning into a null dereference.
 class Expr {
 public:
   Expr() = default;
   Expr(ProgramBuilder *Builder, Node *N) : Builder(Builder), N(N) {}
 
   Node *node() const { return N; }
+  ProgramBuilder *builder() const { return Builder; }
   bool valid() const { return N != nullptr; }
 
   Expr operator+(const Expr &RHS) const;
@@ -52,29 +59,51 @@ public:
   /// Rotate right by \p Steps slots.
   Expr operator>>(int32_t Steps) const;
 
-  /// x^k by square-and-multiply (PyEVA's `x ** k`), k >= 1.
+  /// Mixed arithmetic with a literal: the constant is materialized at the
+  /// builder's default constant log scale (PyEVA's `x * 0.5`).
+  Expr operator+(double RHS) const;
+  Expr operator-(double RHS) const;
+  Expr operator*(double RHS) const;
+
+  /// x^k by square-and-multiply (PyEVA's `x ** k`), k >= 1 (x^0 is the
+  /// plaintext constant 1 — use ProgramBuilder::constant).
   Expr pow(unsigned K) const;
 
 private:
+  friend class ProgramBuilder;
   ProgramBuilder *Builder = nullptr;
   Node *N = nullptr;
 };
 
+Expr operator+(double LHS, const Expr &RHS);
+Expr operator-(double LHS, const Expr &RHS);
+Expr operator*(double LHS, const Expr &RHS);
+
 /// Owns a Program and provides the PyEVA-style construction API.
 class ProgramBuilder {
 public:
-  ProgramBuilder(std::string Name, uint64_t VecSize)
-      : Prog(std::make_unique<Program>(VecSize, std::move(Name))) {}
+  /// \p DefaultConstantLogScale is the scale literals in mixed
+  /// `Expr op double` arithmetic are encoded at.
+  ProgramBuilder(std::string Name, uint64_t VecSize,
+                 double DefaultConstantLogScale = 30)
+      : Prog(std::make_unique<Program>(VecSize, std::move(Name))),
+        DefaultConstScale(DefaultConstantLogScale) {}
 
   Program &program() { return *Prog; }
   uint64_t vecSize() const { return Prog->vecSize(); }
 
-  /// PyEVA's inputEncrypted(scale).
+  /// The log scale constants created from bare literals inherit.
+  double defaultConstantLogScale() const { return DefaultConstScale; }
+  void setDefaultConstantLogScale(double S) { DefaultConstScale = S; }
+
+  /// PyEVA's inputEncrypted(scale). Duplicate input names are diagnosed.
   Expr inputCipher(std::string Name, double LogScale) {
+    checkFreshInputName(Name);
     return wrap(Prog->makeInput(std::move(Name), ValueType::Cipher, LogScale));
   }
   /// A plaintext (unencrypted) vector input.
   Expr inputPlain(std::string Name, double LogScale) {
+    checkFreshInputName(Name);
     return wrap(Prog->makeInput(std::move(Name), ValueType::Vector, LogScale));
   }
   /// PyEVA's constant(scale, value) for scalars.
@@ -87,7 +116,14 @@ public:
   }
 
   /// PyEVA's output(expr, scale): marks an output with a desired scale.
+  /// Duplicate output names and invalid expressions are diagnosed.
   void output(std::string Name, const Expr &E, double DesiredLogScale) {
+    if (!E.valid())
+      fatalError("output '" + Name + "' of an invalid (default-constructed) "
+                 "expression");
+    for (const Node *O : Prog->outputs())
+      if (O->name() == Name)
+        fatalError("duplicate output name '" + Name + "'");
     Node *O = Prog->makeOutput(std::move(Name), E.node());
     O->setLogScale(DesiredLogScale);
   }
@@ -116,7 +152,15 @@ public:
 
 private:
   friend class Expr;
+
+  void checkFreshInputName(const std::string &Name) {
+    for (const Node *In : Prog->inputs())
+      if (In->name() == Name)
+        fatalError("duplicate input name '" + Name + "'");
+  }
+
   std::unique_ptr<Program> Prog;
+  double DefaultConstScale;
   int32_t CurrentKernel = -1;
 };
 

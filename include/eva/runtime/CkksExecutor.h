@@ -83,6 +83,17 @@ public:
                std::shared_ptr<const CkksContext> Ctx, RelinKeys Rk,
                GaloisKeys Gk);
 
+  /// Client-style workspace: exactly the crypto stack ServiceClient builds
+  /// when it opens a session — no public key, a symmetric-only encryptor,
+  /// relinearization keys only if the program relinearizes — with the same
+  /// key/sampler seeding and generation order. A local run over this
+  /// workspace with \p ReproducibleSeeds is therefore bit-identical to the
+  /// remote service loop with the same seed (the cross-backend parity the
+  /// api/Runner goldens pin down).
+  static Expected<std::shared_ptr<CkksWorkspace>>
+  createClient(const CompiledProgram &CP, uint64_t Seed,
+               bool ReproducibleSeeds = false);
+
   std::shared_ptr<const CkksContext> Context;
   std::unique_ptr<CkksEncoder> Encoder;
   std::unique_ptr<KeyGenerator> KeyGen;

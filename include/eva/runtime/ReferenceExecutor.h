@@ -12,12 +12,18 @@
 /// Tests use it both to define expected results for the CKKS executors and
 /// to check that compilation preserves program semantics.
 ///
+/// Like every other backend, run() validates its inputs against the
+/// program's signature first and reports problems through Expected<>
+/// (missing/extra/misnamed inputs, wrong lengths, non-finite values)
+/// instead of aborting.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EVA_RUNTIME_REFERENCEEXECUTOR_H
 #define EVA_RUNTIME_REFERENCEEXECUTOR_H
 
 #include "eva/ir/Program.h"
+#include "eva/support/Error.h"
 
 #include <map>
 #include <string>
@@ -31,8 +37,8 @@ public:
 
   /// Runs the program on \p Inputs (one vec_size-or-shorter vector per input
   /// name; shorter vectors are replicated) and returns one vec_size vector
-  /// per output name.
-  std::map<std::string, std::vector<double>>
+  /// per output name. Fails with a diagnostic on a malformed input set.
+  Expected<std::map<std::string, std::vector<double>>>
   run(const std::map<std::string, std::vector<double>> &Inputs) const;
 
 private:

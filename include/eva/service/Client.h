@@ -89,11 +89,22 @@ public:
 
   /// Builds the client crypto stack for \p Sig (context, keys seeded from
   /// \p KeySeed) and opens a server session with the evaluation keys.
-  Status openSession(const ParamSignature &Sig, uint64_t KeySeed);
+  /// \p ReproducibleSeeds additionally derives the published expansion
+  /// seeds from \p KeySeed (see KeyGenerator) so the whole exchange is a
+  /// pure function of the seed — the mode behind cross-backend goldens.
+  Status openSession(const ParamSignature &Sig, uint64_t KeySeed,
+                     bool ReproducibleSeeds = false);
 
   /// Encodes and encrypts \p Inputs per the program's input schema.
   Expected<SealedRequest>
   encryptInputs(const std::map<std::string, std::vector<double>> &Inputs);
+
+  /// Encodes and symmetrically encrypts one declared cipher input; returns
+  /// the ciphertext and its c1 expansion seed. Used by callers (the remote
+  /// Runner) that assemble a SealedRequest from mixed plain/ciphertext
+  /// values instead of an all-plain map.
+  Expected<std::pair<Ciphertext, uint64_t>>
+  encryptInput(const std::string &Name, const std::vector<double> &Values);
 
   /// Submits a sealed request; returns the encrypted outputs.
   Expected<std::map<std::string, Ciphertext>> submit(const SealedRequest &Req);

@@ -19,6 +19,7 @@
 #ifndef EVA_SERVICE_SESSION_H
 #define EVA_SERVICE_SESSION_H
 
+#include "eva/api/Runner.h"
 #include "eva/runtime/CkksExecutor.h"
 #include "eva/service/ProgramRegistry.h"
 
@@ -30,28 +31,29 @@ namespace eva {
 
 class Session {
 public:
+  /// The session executes through the same api/Runner every other caller
+  /// uses, in cipher-in/cipher-out mode: the evaluation-only workspace has
+  /// no decryptor, so the runner validates the request against the typed
+  /// program signature, schedules it on the parallel executor, and hands
+  /// the output ciphertexts back.
   Session(uint64_t Id, std::shared_ptr<const RegisteredProgram> Prog,
-          std::shared_ptr<CkksWorkspace> WS, size_t ExecThreads)
-      : Id(Id), Prog(std::move(Prog)), WS(std::move(WS)),
-        Exec(this->Prog->CP, this->WS, ExecThreads) {}
+          std::shared_ptr<CkksWorkspace> WS, size_t ExecThreads);
 
   uint64_t id() const { return Id; }
   const RegisteredProgram &program() const { return *Prog; }
   const CkksContext &context() const { return *WS->Context; }
 
-  /// Runs one encrypted request to completion. Requests of the same
-  /// session are serialized (they share the executor); the scheduler
-  /// overlaps requests of different sessions.
-  std::map<std::string, Ciphertext> execute(const SealedInputs &Inputs) {
-    std::lock_guard<std::mutex> Lock(ExecMutex);
-    return Exec.run(Inputs);
-  }
+  /// Runs one encrypted request to completion; malformed requests come
+  /// back as diagnostics, not aborts. Requests of the same session are
+  /// serialized (they share the executor); the scheduler overlaps requests
+  /// of different sessions.
+  Expected<std::map<std::string, Ciphertext>> execute(SealedInputs Inputs);
 
 private:
   uint64_t Id;
   std::shared_ptr<const RegisteredProgram> Prog;
   std::shared_ptr<CkksWorkspace> WS;
-  ParallelCkksExecutor Exec;
+  std::unique_ptr<Runner> Exec;
   std::mutex ExecMutex;
 };
 

@@ -9,12 +9,14 @@
 using namespace eva;
 
 Encryptor::Encryptor(std::shared_ptr<const CkksContext> CtxIn, PublicKey PkIn,
-                     uint64_t Seed)
+                     uint64_t Seed, bool ReproducibleSeeds)
     : Ctx(CtxIn), Pk(std::move(PkIn)),
-      Sampler(CtxIn, Seed == 0 ? 0xE4C947ull : Seed) {}
+      Sampler(CtxIn, Seed == 0 ? 0xE4C947ull : Seed, ReproducibleSeeds) {}
 
-Encryptor::Encryptor(std::shared_ptr<const CkksContext> CtxIn, uint64_t Seed)
-    : Ctx(CtxIn), Sampler(CtxIn, Seed == 0 ? 0xE4C947ull : Seed) {}
+Encryptor::Encryptor(std::shared_ptr<const CkksContext> CtxIn, uint64_t Seed,
+                     bool ReproducibleSeeds)
+    : Ctx(CtxIn), Sampler(CtxIn, Seed == 0 ? 0xE4C947ull : Seed,
+                          ReproducibleSeeds) {}
 
 Ciphertext Encryptor::encryptSymmetric(const Plaintext &Pt,
                                        const SecretKey &Sk,

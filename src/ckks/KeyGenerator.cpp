@@ -41,9 +41,29 @@ RnsPoly eva::expandUniformNtt(const CkksContext &Ctx, size_t PrimeCount,
   return P;
 }
 
+namespace {
+
+/// splitmix64 of \p X: decorrelates the reproducible seed engine's seed
+/// from the secret sampler's without sharing any stream state.
+uint64_t splitMix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
 KeyGenerator::KeyGenerator(std::shared_ptr<const CkksContext> CtxIn,
-                           uint64_t Seed)
+                           uint64_t Seed, bool ReproducibleExpansionSeeds)
     : Ctx(std::move(CtxIn)), Rng(Seed == 0 ? 0x5EA1C0DEull : Seed) {
+  if (ReproducibleExpansionSeeds) {
+    // fatalError, not assert: in a Release build a compiled-out assert
+    // would silently publish the fixed splitMix64(constant) seed stream.
+    if (Seed == 0)
+      fatalError("reproducible expansion seeds require a nonzero seed");
+    SeedRng.emplace(splitMix64(Seed ^ 0x45564153454544ull)); // "EVASEED"
+  }
   Secret.S = sampleTernaryNtt(Ctx->totalPrimeCount());
 }
 
@@ -94,6 +114,12 @@ RnsPoly KeyGenerator::sampleUniform(size_t PrimeCount) {
 }
 
 uint64_t KeyGenerator::deriveSeed() {
+  // Reproducible mode (opt-in, golden tests): a dedicated engine whose
+  // stream is independent of the secret sampler's.
+  if (SeedRng) {
+    uint64_t S = SeedRng->uniform64();
+    return S == 0 ? 0x9E3779B97F4A7C15ull : S;
+  }
   // Expansion seeds are published on the wire (that is the point of seed
   // compression), so they must NOT be drawn from the engine that samples
   // secret material: mt19937_64 state is recoverable from its outputs, and

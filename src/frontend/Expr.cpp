@@ -8,12 +8,26 @@
 
 using namespace eva;
 
+/// Frontend misuse checks run in every build mode: a compiled-out assert
+/// here would turn `Expr{} + x` into a null dereference in Release.
+static void checkOperand(const Expr &E, const char *What) {
+  if (!E.valid())
+    fatalError(std::string(What) +
+               " on an invalid (default-constructed) expression");
+}
+
+static void checkSameBuilder(ProgramBuilder *L, ProgramBuilder *R) {
+  if (L != R)
+    fatalError("mixing expressions of two different ProgramBuilders");
+}
+
 /// Normalizes operand order: Table 2 signatures put the Cipher operand
 /// first, so commutative ops with a plaintext left operand are swapped and
 /// plain - cipher becomes (-cipher) + plain.
 static Expr makeBinary(ProgramBuilder *B, OpCode Op, const Expr &L,
                        const Expr &R) {
-  assert(B && L.valid() && R.valid() && "binary op on invalid expressions");
+  checkOperand(L, "binary op");
+  checkOperand(R, "binary op");
   Node *LN = L.node();
   Node *RN = R.node();
   Program &P = B->program();
@@ -31,37 +45,77 @@ static Expr makeBinary(ProgramBuilder *B, OpCode Op, const Expr &L,
 }
 
 Expr Expr::operator+(const Expr &RHS) const {
+  checkOperand(*this, "addition");
+  checkOperand(RHS, "addition");
+  checkSameBuilder(Builder, RHS.Builder);
   return makeBinary(Builder, OpCode::Add, *this, RHS);
 }
 
 Expr Expr::operator-(const Expr &RHS) const {
+  checkOperand(*this, "subtraction");
+  checkOperand(RHS, "subtraction");
+  checkSameBuilder(Builder, RHS.Builder);
   return makeBinary(Builder, OpCode::Sub, *this, RHS);
 }
 
 Expr Expr::operator*(const Expr &RHS) const {
+  checkOperand(*this, "multiplication");
+  checkOperand(RHS, "multiplication");
+  checkSameBuilder(Builder, RHS.Builder);
   return makeBinary(Builder, OpCode::Multiply, *this, RHS);
 }
 
+/// Literal operands inherit the builder's default constant log scale.
+static Expr literal(const Expr &E, ProgramBuilder *B, double Value) {
+  checkOperand(E, "mixed literal arithmetic");
+  return B->constant(Value, B->defaultConstantLogScale());
+}
+
+Expr Expr::operator+(double RHS) const {
+  return *this + literal(*this, Builder, RHS);
+}
+
+Expr Expr::operator-(double RHS) const {
+  return *this - literal(*this, Builder, RHS);
+}
+
+Expr Expr::operator*(double RHS) const {
+  return *this * literal(*this, Builder, RHS);
+}
+
+Expr eva::operator+(double LHS, const Expr &RHS) { return RHS + LHS; }
+
+Expr eva::operator*(double LHS, const Expr &RHS) { return RHS * LHS; }
+
+Expr eva::operator-(double LHS, const Expr &RHS) {
+  checkOperand(RHS, "mixed literal arithmetic");
+  ProgramBuilder *B = RHS.builder();
+  return B->constant(LHS, B->defaultConstantLogScale()) - RHS;
+}
+
 Expr Expr::operator-() const {
-  assert(valid() && "negating an invalid expression");
+  checkOperand(*this, "negation");
   return Builder->wrap(
       Builder->program().makeInstruction(OpCode::Negate, {N}));
 }
 
 Expr Expr::operator<<(int32_t Steps) const {
-  assert(valid() && "rotating an invalid expression");
+  checkOperand(*this, "rotation");
   return Builder->wrap(
       Builder->program().makeRotation(OpCode::RotateLeft, N, Steps));
 }
 
 Expr Expr::operator>>(int32_t Steps) const {
-  assert(valid() && "rotating an invalid expression");
+  checkOperand(*this, "rotation");
   return Builder->wrap(
       Builder->program().makeRotation(OpCode::RotateRight, N, Steps));
 }
 
 Expr Expr::pow(unsigned K) const {
-  assert(K >= 1 && "x^0 is a plaintext constant; use constant()");
+  checkOperand(*this, "pow");
+  if (K == 0)
+    fatalError("pow(0): x^0 is the plaintext constant 1 — use "
+               "ProgramBuilder::constant(1.0, scale)");
   // Square-and-multiply keeps multiplicative depth logarithmic, which the
   // compiler rewards with a shorter modulus chain.
   Expr Base = *this;

@@ -293,5 +293,16 @@ Status Program::verifyStructure() const {
   // forwardOrder asserts acyclicity; check size here for release builds.
   if (forwardOrder().size() != AllNodes.size())
     return Status::error("term graph contains a cycle");
+  // I/O names are the program's runtime interface (api/ProgramSignature):
+  // duplicates would make a Valuation ambiguous. The frontend diagnoses
+  // them at construction; this covers deserialized programs.
+  for (const std::vector<Node *> *Group : {&Inputs, &Outputs})
+    for (size_t I = 0; I < Group->size(); ++I)
+      for (size_t J = I + 1; J < Group->size(); ++J)
+        if ((*Group)[I]->name() == (*Group)[J]->name())
+          return Status::error(
+              std::string(Group == &Inputs ? "duplicate input name '"
+                                           : "duplicate output name '") +
+              (*Group)[I]->name() + "'");
   return Status::success();
 }

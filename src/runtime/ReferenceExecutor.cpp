@@ -6,6 +6,7 @@
 
 #include "eva/runtime/ReferenceExecutor.h"
 
+#include "eva/api/Valuation.h"
 #include "eva/support/Common.h"
 
 #include <algorithm>
@@ -25,8 +26,18 @@ std::vector<double> replicate(const std::vector<double> &V, uint64_t M) {
 
 } // namespace
 
-std::map<std::string, std::vector<double>> ReferenceExecutor::run(
+Expected<std::map<std::string, std::vector<double>>> ReferenceExecutor::run(
     const std::map<std::string, std::vector<double>> &Inputs) const {
+  // The id scheme has no ciphertexts, but shares the rest of the input
+  // contract with the CKKS backends (finiteness included) so that the
+  // backends stay drop-in interchangeable.
+  ValidationPolicy Policy;
+  Policy.AllowCipherEntries = false;
+  if (Status S = validateInputs(ProgramSignature::of(P),
+                                Valuation::fromMap(Inputs), Policy);
+      !S.ok())
+    return S;
+
   uint64_t M = P.vecSize();
   std::vector<std::vector<double>> Values(P.maxNodeId());
   std::map<std::string, std::vector<double>> Outputs;

@@ -82,19 +82,23 @@ Expected<std::vector<ParamSignature>> ServiceClient::listPrograms() {
 }
 
 Status ServiceClient::openSession(const ParamSignature &SigIn,
-                                  uint64_t KeySeed) {
+                                  uint64_t KeySeed, bool ReproducibleSeeds) {
   if (SessionId != 0)
     return Status::error("client already has an open session");
+  if (ReproducibleSeeds && KeySeed == 0)
+    return Status::error("reproducible seeds require a nonzero key seed");
   Expected<std::shared_ptr<CkksContext>> C = CkksContext::createFromBitSizes(
       SigIn.PolyDegree, SigIn.ContextBitSizes, SigIn.Security);
   if (!C)
     return Status::error("cannot build client context: " + C.message());
 
+  // Mirrored by CkksWorkspace::createClient — keep the stack and the key
+  // generation order in sync or local/remote bit-identity breaks.
   Sig = SigIn;
   Ctx = C.value();
   Encoder = std::make_unique<CkksEncoder>(Ctx);
-  KeyGen = std::make_unique<KeyGenerator>(Ctx, KeySeed);
-  Enc = std::make_unique<Encryptor>(Ctx, KeySeed + 1);
+  KeyGen = std::make_unique<KeyGenerator>(Ctx, KeySeed, ReproducibleSeeds);
+  Enc = std::make_unique<Encryptor>(Ctx, KeySeed + 1, ReproducibleSeeds);
   Dec = std::make_unique<Decryptor>(Ctx, KeyGen->secretKey());
   Rk = Sig.NeedsRelin ? KeyGen->createRelinKeys() : RelinKeys{};
   Gk = KeyGen->createGaloisKeys(std::set<uint64_t>(Sig.RotationSteps.begin(),
@@ -152,6 +156,27 @@ Expected<SealedRequest> ServiceClient::encryptInputs(
                            "' is not declared by the program");
   }
   return Req;
+}
+
+Expected<std::pair<Ciphertext, uint64_t>>
+ServiceClient::encryptInput(const std::string &Name,
+                            const std::vector<double> &Values) {
+  using Result = Expected<std::pair<Ciphertext, uint64_t>>;
+  if (SessionId == 0)
+    return Result::error("no open session");
+  const ServiceInputSpec *Spec = nullptr;
+  for (const ServiceInputSpec &S : Sig.Inputs)
+    if (S.Name == Name)
+      Spec = &S;
+  if (!Spec || !Spec->IsCipher)
+    return Result::error("'" + Name + "' is not a cipher input of program '" +
+                         Sig.ProgramName + "'");
+  Plaintext Pt;
+  Encoder->encode(Values, std::exp2(Spec->LogScale), Ctx->dataPrimeCount(),
+                  Pt);
+  uint64_t Seed = 0;
+  Ciphertext Ct = Enc->encryptSymmetric(Pt, KeyGen->secretKey(), Seed);
+  return Result(std::make_pair(std::move(Ct), Seed));
 }
 
 Expected<std::map<std::string, Ciphertext>>

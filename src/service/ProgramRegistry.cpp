@@ -6,6 +6,7 @@
 
 #include "eva/service/ProgramRegistry.h"
 
+#include "eva/api/ProgramSignature.h"
 #include "eva/ir/Printer.h"
 #include "eva/ir/TextFormat.h"
 #include "eva/serialize/ProtoIO.h"
@@ -24,10 +25,15 @@ ParamSignature eva::signatureOf(const CompiledProgram &CP) {
   Sig.RotationSteps.assign(CP.RotationSteps.begin(), CP.RotationSteps.end());
   Sig.Security = CP.Options.Security;
   Sig.NeedsRelin = countOps(P, OpCode::Relinearize) > 0;
-  for (const Node *N : P.inputs())
-    Sig.Inputs.push_back({N->name(), N->logScale(), N->isCipher()});
-  for (const Node *N : P.outputs())
-    Sig.Outputs.push_back({N->name(), N->logScale()});
+  // The I/O schema is the typed api/ProgramSignature: the wire signature is
+  // its serializable superset (parameters + keys), so a client's
+  // ProgramSignature::of(ParamSignature) round-trips exactly what the
+  // server derived here.
+  ProgramSignature Io = ProgramSignature::of(CP);
+  for (const IoSpec &In : Io.Inputs)
+    Sig.Inputs.push_back({In.Name, In.LogScale, In.isCipher()});
+  for (const IoSpec &Out : Io.Outputs)
+    Sig.Outputs.push_back({Out.Name, Out.LogScale});
   return Sig;
 }
 

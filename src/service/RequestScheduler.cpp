@@ -88,7 +88,7 @@ void RequestScheduler::workerLoop() {
       Result Res = Result::error("unreachable");
       bool Ok = false;
       try {
-        Res = R.S->execute(R.Inputs);
+        Res = R.S->execute(std::move(R.Inputs));
         Ok = true;
       } catch (const std::exception &E) {
         Res = Result::error(std::string("execution failed: ") + E.what());

@@ -8,7 +8,6 @@
 
 #include "eva/serialize/CkksIO.h"
 
-#include <cmath>
 
 using namespace eva;
 
@@ -98,12 +97,15 @@ Service::handleExecute(std::string_view Payload) {
   std::shared_ptr<Session> S = Sessions.find(M->SessionId);
   if (!S)
     return errorFrame("unknown session " + std::to_string(M->SessionId));
-  const RegisteredProgram &Prog = S->program();
   const CkksContext &Ctx = S->context();
 
-  // Validate the request against the program's input schema BEFORE it can
-  // reach the executor: executor invariant violations are process-fatal,
-  // and a hostile tenant must not be able to take the service down.
+  // Deserialize defensively (malformed bytes, duplicate names). The full
+  // schema validation — inputs complete, ciphertexts well-formed at the
+  // declared scale and level, values finite, no undeclared extras — happens
+  // in the session's Runner (api/Valuation), which checks every request
+  // against the typed program signature BEFORE it can reach the executor:
+  // executor invariant violations are process-fatal, and a hostile tenant
+  // must not be able to take the service down.
   SealedInputs Inputs;
   for (const auto &[Name, Bytes] : M->CipherInputs) {
     Expected<Ciphertext> Ct = deserializeCiphertext(Ctx, Bytes);
@@ -115,46 +117,6 @@ Service::handleExecute(std::string_view Payload) {
   for (auto &[Name, Values] : M->PlainInputs)
     if (!Inputs.Plain.emplace(Name, std::move(Values)).second)
       return errorFrame("duplicate plain input '" + Name + "'");
-
-  size_t Matched = 0;
-  for (const ServiceInputSpec &Spec : Prog.Signature.Inputs) {
-    if (Spec.IsCipher) {
-      auto It = Inputs.Cipher.find(Spec.Name);
-      if (It == Inputs.Cipher.end())
-        return errorFrame("missing cipher input '" + Spec.Name + "'");
-      const Ciphertext &Ct = It->second;
-      // Fresh inputs to a compiled program: 2 polynomials over the full
-      // data chain, encoded at the input node's scale (MODSWITCH/RESCALE
-      // instructions consume levels explicitly from there).
-      if (Ct.size() != 2)
-        return errorFrame("cipher input '" + Spec.Name +
-                          "' must have exactly 2 polynomials");
-      if (Ct.primeCount() != Ctx.dataPrimeCount())
-        return errorFrame("cipher input '" + Spec.Name +
-                          "' is not at the full data chain level");
-      if (Ct.Scale != std::exp2(Spec.LogScale))
-        return errorFrame("cipher input '" + Spec.Name +
-                          "' scale does not match the program's 2^" +
-                          std::to_string(Spec.LogScale));
-    } else {
-      auto It = Inputs.Plain.find(Spec.Name);
-      if (It == Inputs.Plain.end())
-        return errorFrame("missing plain input '" + Spec.Name + "'");
-      if (It->second.empty() ||
-          Prog.CP.Prog->vecSize() % It->second.size() != 0)
-        return errorFrame("plain input '" + Spec.Name +
-                          "' size must divide the program vector size");
-      // NaN/Inf would reach the encoder's float->integer rounding, which is
-      // undefined for non-finite values.
-      for (double V : It->second)
-        if (!std::isfinite(V))
-          return errorFrame("plain input '" + Spec.Name +
-                            "' contains a non-finite value");
-    }
-    ++Matched;
-  }
-  if (Inputs.Cipher.size() + Inputs.Plain.size() != Matched)
-    return errorFrame("request carries inputs the program does not declare");
 
   Expected<std::future<RequestScheduler::Result>> F =
       Scheduler.submit(std::move(S), std::move(Inputs));

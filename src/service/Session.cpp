@@ -8,6 +8,47 @@
 
 using namespace eva;
 
+Session::Session(uint64_t IdIn, std::shared_ptr<const RegisteredProgram> ProgIn,
+                 std::shared_ptr<CkksWorkspace> WSIn, size_t ExecThreads)
+    : Id(IdIn), Prog(std::move(ProgIn)), WS(std::move(WSIn)) {
+  LocalRunnerOptions Opts;
+  Opts.Threads = ExecThreads;
+  Opts.Style = LocalStyle::ParallelDag;
+  // The registered program outlives the session (shared_ptr member), and
+  // the workspace was validated by createServer, so this cannot fail.
+  Exec = std::move(Runner::local(Prog->CP, WS, Opts).value());
+}
+
+Expected<std::map<std::string, Ciphertext>>
+Session::execute(SealedInputs Inputs) {
+  using Result = Expected<std::map<std::string, Ciphertext>>;
+  Valuation V;
+  for (auto &[Name, Ct] : Inputs.Cipher)
+    V.set(Name, std::move(Ct));
+  for (auto &[Name, Values] : Inputs.Plain) {
+    // Valuation::set overwrites; a name arriving as both a ciphertext and
+    // a plain vector is a malformed request, not a silent override.
+    if (V.has(Name))
+      return Result::error("input '" + Name +
+                           "' supplied as both ciphertext and plain");
+    V.set(Name, std::move(Values));
+  }
+
+  std::lock_guard<std::mutex> Lock(ExecMutex);
+  Expected<Valuation> Out = Exec->run(V);
+  if (!Out)
+    return Out.takeStatus();
+  std::map<std::string, Ciphertext> Cts;
+  for (const auto &[Name, Val] : *Out) {
+    const Ciphertext *Ct = std::get_if<Ciphertext>(&Val);
+    if (!Ct)
+      return Result::error("internal: output '" + Name +
+                           "' is not a ciphertext");
+    Cts.emplace(Name, *Ct);
+  }
+  return Result(std::move(Cts));
+}
+
 Expected<std::shared_ptr<Session>>
 SessionManager::open(std::shared_ptr<const RegisteredProgram> Prog,
                      RelinKeys Rk, GaloisKeys Gk) {

@@ -205,6 +205,7 @@ CipherTensor eva::fullyConnected(ProgramBuilder &B, const CipherTensor &In,
     const CipherLayout &L = In.Layout;
     size_t NOut = Weights.dims()[0], NIn = Weights.dims()[1];
     assert(NIn == L.logicalSize() && "dense layer input size mismatch");
+    (void)NIn; // assert-only in Release
     size_t M = B.vecSize();
     assert(NOut <= M && "too many outputs for the ciphertext");
 

@@ -86,6 +86,42 @@ TEST(RuntimeGuardDeathTest, RescaleOnExhaustedChainAborts) {
   EXPECT_DEATH(Api.Eval->rescale(A), "exhausted");
 }
 
+// Frontend misuse is diagnosed with a precise message in every build mode
+// (a compiled-out assert would null-deref in Release instead).
+TEST(FrontendMisuseDeathTest, ArithmeticOnInvalidExprIsDiagnosed) {
+  ProgramBuilder B("misuse", 16);
+  Expr X = B.inputCipher("x", 30);
+  Expr Invalid; // default-constructed
+  EXPECT_DEATH(Invalid + X, "invalid");
+  EXPECT_DEATH(X * Invalid, "invalid");
+  EXPECT_DEATH(-Invalid, "invalid");
+  EXPECT_DEATH(Invalid << 3, "invalid");
+  EXPECT_DEATH(Invalid * 2.0, "invalid");
+  EXPECT_DEATH(B.output("out", Invalid, 30), "invalid");
+}
+
+TEST(FrontendMisuseDeathTest, PowZeroIsDiagnosed) {
+  ProgramBuilder B("powzero", 16);
+  Expr X = B.inputCipher("x", 30);
+  EXPECT_DEATH(X.pow(0), "pow\\(0\\)");
+}
+
+TEST(FrontendMisuseDeathTest, DuplicateIoNamesAreDiagnosed) {
+  ProgramBuilder B("dups", 16);
+  Expr X = B.inputCipher("x", 30);
+  EXPECT_DEATH(B.inputCipher("x", 30), "duplicate input name");
+  EXPECT_DEATH(B.inputPlain("x", 20), "duplicate input name");
+  B.output("out", X * X, 30);
+  EXPECT_DEATH(B.output("out", X, 30), "duplicate output name");
+}
+
+TEST(FrontendMisuseDeathTest, MixingBuildersIsDiagnosed) {
+  ProgramBuilder B1("one", 16), B2("two", 16);
+  Expr X = B1.inputCipher("x", 30);
+  Expr Y = B2.inputCipher("y", 30);
+  EXPECT_DEATH(X + Y, "different ProgramBuilders");
+}
+
 TEST(RuntimeGuardDeathTest, CompiledProgramsNeverTripTheGuards) {
   // The positive control: a program exercising all the hazards above
   // (mixed scales, rotations, deep multiplies) compiles and runs without

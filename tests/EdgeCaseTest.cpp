@@ -160,8 +160,8 @@ TEST(CompilerEdge, SharedSubgraphAcrossOutputsKeepsChainsConforming) {
   ReferenceExecutor Ref(B.program()), RefC(*CP->Prog);
   std::map<std::string, std::vector<double>> In = {
       {"x", std::vector<double>(32, 0.9)}};
-  auto A = Ref.run(In);
-  auto C = RefC.run(In);
+  auto A = *Ref.run(In);
+  auto C = *RefC.run(In);
   EXPECT_NEAR(A.at("deep")[0], C.at("deep")[0], 1e-9);
   EXPECT_NEAR(A.at("shallow")[0], C.at("shallow")[0], 1e-9);
 }
@@ -201,7 +201,7 @@ TEST(ReferenceEdge, SumOfReplicatedShortInput) {
   B.output("out", B.sumSlots(X), 30);
   ReferenceExecutor Ref(B.program());
   // A 4-element input replicates 4x; the slot sum covers all 16 slots.
-  auto Out = Ref.run({{"x", {1, 2, 3, 4}}});
+  auto Out = *Ref.run({{"x", {1, 2, 3, 4}}});
   EXPECT_DOUBLE_EQ(Out.at("out")[0], 4 * (1 + 2 + 3 + 4));
 }
 

@@ -134,6 +134,90 @@ TEST(EvacCli, WritesLoadableOutput) {
   std::remove(Out.c_str());
 }
 
+// --- `evac run`: the unified-Runner execution subcommand. ---
+
+// The reference backend is exact double arithmetic (no libm-dependent
+// encoder transforms), so its output is golden-pinned byte for byte.
+TEST(EvacCli, RunReferenceGolden) {
+  expectGolden("run " + shellQuote(fixture("poly3.evabin")) +
+                   " --backend reference --inputs " +
+                   shellQuote(fixture("poly3.inputs.json")) + " --show 4",
+               "poly3.run.reference.golden");
+}
+
+/// Strips the `"backend": ...` line so outputs of two backends can be
+/// compared byte for byte.
+std::string withoutBackendLine(const std::string &S) {
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t End = S.find('\n', Pos);
+    if (End == std::string::npos)
+      End = S.size();
+    std::string Line = S.substr(Pos, End - Pos);
+    if (Line.find("\"backend\"") == std::string::npos)
+      Out += Line + "\n";
+    Pos = End + 1;
+  }
+  return Out;
+}
+
+// The acceptance gate of the unified API: the local CKKS backend and the
+// full service loop (in-process loopback server, wire serialization, key
+// upload, remote execution) produce BIT-IDENTICAL outputs for the same
+// program, seed, and inputs.
+TEST(EvacCli, RunLocalAndServiceBitIdentical) {
+  std::string Args = shellQuote(fixture("poly3.evabin")) + " --inputs " +
+                     shellQuote(fixture("poly3.inputs.json")) +
+                     " --seed 42 --show 0";
+  RunResult Local = runEvac("run " + Args + " --backend local");
+  ASSERT_EQ(Local.ExitCode, 0);
+  RunResult Service = runEvac("run " + Args + " --backend service");
+  ASSERT_EQ(Service.ExitCode, 0);
+  EXPECT_EQ(withoutBackendLine(Local.Stdout),
+            withoutBackendLine(Service.Stdout))
+      << "local and service backends must be bit-identical";
+  // Not an accidental comparison of empty strings: all 1024 slots printed.
+  EXPECT_NE(Local.Stdout.find("\"slots_shown\": 0"), std::string::npos);
+  EXPECT_GT(Local.Stdout.size(), 1024u);
+}
+
+// Runs are reproducible functions of (program, seed, inputs): same seed ->
+// same bytes, different seed -> different noise realization.
+TEST(EvacCli, RunIsSeedReproducible) {
+  std::string Args = shellQuote(fixture("poly3.evabin")) + " --inputs " +
+                     shellQuote(fixture("poly3.inputs.json")) +
+                     " --backend local --show 0";
+  RunResult A = runEvac("run " + Args + " --seed 7");
+  RunResult B = runEvac("run " + Args + " --seed 7");
+  RunResult C = runEvac("run " + Args + " --seed 8");
+  ASSERT_EQ(A.ExitCode, 0);
+  EXPECT_EQ(A.Stdout, B.Stdout);
+  EXPECT_NE(A.Stdout, C.Stdout);
+}
+
+TEST(EvacCli, RunDiagnosesBadInputs) {
+  // Missing input: precise diagnostic, nonzero exit, nothing on stdout.
+  RunResult R = runEvac("run " + shellQuote(fixture("poly3.evabin")) +
+                        " --backend reference --in x=0.5 2>/dev/null");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_TRUE(R.Stdout.empty());
+  // Malformed JSON inputs file.
+  std::string Bad = ::testing::TempDir() + "evac_run_bad.json";
+  {
+    std::ofstream O(Bad, std::ios::binary);
+    O << "{\"x\": [1, 2";
+  }
+  RunResult R2 = runEvac("run " + shellQuote(fixture("poly3.evabin")) +
+                         " --inputs " + shellQuote(Bad) + " 2>/dev/null");
+  EXPECT_EQ(R2.ExitCode, 1);
+  std::remove(Bad.c_str());
+  // Unknown backend.
+  RunResult R3 = runEvac("run " + shellQuote(fixture("poly3.evabin")) +
+                         " --backend quantum 2>/dev/null");
+  EXPECT_EQ(R3.ExitCode, 1);
+}
+
 TEST(EvacCli, MissingFileFails) {
   RunResult R = runEvac(shellQuote(fixture("does_not_exist.evabin")) + " 2>/dev/null");
   EXPECT_EQ(R.ExitCode, 1);

@@ -94,7 +94,7 @@ TEST(NoiseEstimate, BoundsObservedErrorOnRealExecution) {
   std::map<std::string, std::vector<double>> Got =
       Exec.runPlain({{"x", In}});
   std::map<std::string, std::vector<double>> Want =
-      ReferenceExecutor(P).run({{"x", In}});
+      *ReferenceExecutor(P).run({{"x", In}});
   double MaxErr = 0;
   for (size_t I = 0; I < 256; ++I)
     MaxErr = std::max(MaxErr,

@@ -122,11 +122,11 @@ TEST(Cse, PreservesSemanticsOnRandomPrograms) {
       Inputs.emplace(I->name(), V);
     }
     std::map<std::string, std::vector<double>> Before =
-        ReferenceExecutor(P).run(Inputs);
+        *ReferenceExecutor(P).run(Inputs);
     cseAndSimplifyPass(P);
     EXPECT_TRUE(P.verifyStructure().ok()) << "seed " << Seed;
     std::map<std::string, std::vector<double>> After =
-        ReferenceExecutor(P).run(Inputs);
+        *ReferenceExecutor(P).run(Inputs);
     for (size_t I = 0; I < 32; ++I)
       EXPECT_DOUBLE_EQ(Before.at("out")[I], After.at("out")[I])
           << "seed " << Seed;

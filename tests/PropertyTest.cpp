@@ -127,7 +127,7 @@ TEST_P(CompileFuzz, AllModesValidateAndPreserveSemantics) {
   std::map<std::string, std::vector<double>> Inputs =
       randomInputs(*P, Seed + 1);
   ReferenceExecutor Ref(*P);
-  std::map<std::string, std::vector<double>> Want = Ref.run(Inputs);
+  std::map<std::string, std::vector<double>> Want = *Ref.run(Inputs);
 
   for (int Mode = 0; Mode < 3; ++Mode) {
     CompilerOptions O = Mode == 0   ? CompilerOptions::eva()
@@ -145,7 +145,7 @@ TEST_P(CompileFuzz, AllModesValidateAndPreserveSemantics) {
     EXPECT_TRUE(CP->Prog->verifyStructure().ok());
     // Semantics preserved under the id scheme.
     ReferenceExecutor RefC(*CP->Prog);
-    std::map<std::string, std::vector<double>> Got = RefC.run(Inputs);
+    std::map<std::string, std::vector<double>> Got = *RefC.run(Inputs);
     ASSERT_EQ(Got.size(), Want.size());
     for (const auto &[Name, V] : Want) {
       const std::vector<double> &G = Got.at(Name);

@@ -68,7 +68,7 @@ double compileAndCompare(const Program &P, const CompilerOptions &Options,
   std::map<std::string, std::vector<double>> Inputs =
       randomInputs(P, Seed, InputLo, InputHi);
   ReferenceExecutor Ref(P);
-  std::map<std::string, std::vector<double>> Want = Ref.run(Inputs);
+  std::map<std::string, std::vector<double>> Want = *Ref.run(Inputs);
 
   Expected<std::shared_ptr<CkksWorkspace>> WS =
       CkksWorkspace::create(*CP, Seed + 7);
@@ -175,7 +175,7 @@ TEST_P(AllExecutors, AgreeOnSobelLikeProgram) {
   ASSERT_TRUE(CP.ok()) << (CP.ok() ? "" : CP.message());
   std::map<std::string, std::vector<double>> Inputs = randomInputs(P, 71);
   ReferenceExecutor Ref(P);
-  std::map<std::string, std::vector<double>> Want = Ref.run(Inputs);
+  std::map<std::string, std::vector<double>> Want = *Ref.run(Inputs);
 
   Expected<std::shared_ptr<CkksWorkspace>> WS =
       CkksWorkspace::create(*CP, 1000);
@@ -294,7 +294,7 @@ TEST(Reference, MatchesHandComputedValues) {
   B.output("out", Y, 30);
   ReferenceExecutor Ref(B.program());
   std::map<std::string, std::vector<double>> Out =
-      Ref.run({{"x", {1, 2, 3, 4}}});
+      *Ref.run({{"x", {1, 2, 3, 4}}});
   // (rot left by 1 of [1,2,3,4]) * [1,2,3,4] + 1 = [2*1+1, 3*2+1, 4*3+1,
   // 1*4+1].
   std::vector<double> Want = {3, 7, 13, 5};
@@ -320,7 +320,7 @@ TEST(Reference, TransformationPreservesSemantics) {
           randomInputs(P, Seed);
       ReferenceExecutor Ref(P), RefCompiled(*CP->Prog);
       double Err =
-          maxOutputError(Ref.run(Inputs), RefCompiled.run(Inputs));
+          maxOutputError(*Ref.run(Inputs), *RefCompiled.run(Inputs));
       EXPECT_LT(Err, 1e-9);
     }
   }

@@ -194,8 +194,8 @@ TEST(ProtoIO, RoundTripPreservesSemantics) {
     Inputs.emplace(I->name(), V);
   }
   ReferenceExecutor RP(*P), RQ(**Q);
-  auto A = RP.run(Inputs);
-  auto B = RQ.run(Inputs);
+  auto A = *RP.run(Inputs);
+  auto B = *RQ.run(Inputs);
   ASSERT_EQ(A.size(), B.size());
   for (const auto &[Name, VA] : A) {
     const std::vector<double> &VB = B.at(Name);

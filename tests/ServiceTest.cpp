@@ -672,6 +672,17 @@ TEST(Service, RejectsMalformedAndMismatchedRequests) {
   F.expectError(MessageType::Execute, serializeExecute(BadPlain),
                 "non-finite");
 
+  // The same name as both a ciphertext and a plain vector must be rejected,
+  // not silently collapsed to one of the two.
+  ExecuteMsg Both;
+  Both.SessionId = Sid;
+  Both.CipherInputs = {
+      {"x", serializeCiphertext(Req->Inputs.Cipher.at("x"))}};
+  Both.PlainInputs = {{"x", {1, 2, 3, 4}},
+                      {"w", Req->Inputs.Plain.at("w")}};
+  F.expectError(MessageType::Execute, serializeExecute(Both),
+                "both ciphertext and plain");
+
   // Undeclared extra input.
   ExecuteMsg Extra;
   Extra.SessionId = Sid;
@@ -680,7 +691,7 @@ TEST(Service, RejectsMalformedAndMismatchedRequests) {
       {"y", serializeCiphertext(Req->Inputs.Cipher.at("x"))}};
   Extra.PlainInputs = {{"w", Req->Inputs.Plain.at("w")}};
   F.expectError(MessageType::Execute, serializeExecute(Extra),
-                "does not declare");
+                "is not an input");
 
   // The session survives all of the above abuse and still works.
   Expected<std::map<std::string, std::vector<double>>> Out =

@@ -28,7 +28,7 @@ Tensor runKernelPlain(ProgramBuilder &B, const CipherTensor &Out,
       for (size_t X = 0; X < InLayout.W; ++X)
         Slots[InLayout.slotOf(C, Y, X)] = Image.at3(C, Y, X);
   std::map<std::string, std::vector<double>> R =
-      Ref.run({{"image", Slots}});
+      *Ref.run({{"image", Slots}});
   const std::vector<double> &V = R.at("out");
   const CipherLayout &L = Out.Layout;
   Tensor T({L.C, L.H, L.W});
@@ -118,7 +118,7 @@ TEST(FcKernel, MatchesPlainReference) {
   std::vector<double> Slots(64, 0.0);
   std::copy(Image.data().begin(), Image.data().end(), Slots.begin());
   std::map<std::string, std::vector<double>> R =
-      Ref.run({{"image", Slots}});
+      *Ref.run({{"image", Slots}});
   Tensor Flat({32});
   Flat.data() = Image.data();
   Tensor Want = plain::fullyConnected(Flat, W, Bias);
@@ -217,7 +217,7 @@ TEST(Networks, ProgramsMatchPlainInference) {
         for (size_t X = 0; X < L.W; ++X)
           Slots[L.slotOf(C, Y, X)] = Image.at3(C, Y, X);
     std::map<std::string, std::vector<double>> R =
-        Ref.run({{"image", Slots}});
+        *Ref.run({{"image", Slots}});
     Tensor Want = N.runPlain(Image);
     for (size_t O = 0; O < N.numClasses(); ++O)
       EXPECT_NEAR(R.at("scores")[O], Want.at(O), 1e-7)

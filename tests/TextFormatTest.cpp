@@ -45,8 +45,8 @@ TEST(TextFormat, RoundTripPreservesStructureAndSemantics) {
       X = Rng.uniformReal(-1, 1);
     Inputs.emplace(I->name(), V);
   }
-  auto A = ReferenceExecutor(*P).run(Inputs);
-  auto B = ReferenceExecutor(**Q).run(Inputs);
+  auto A = *ReferenceExecutor(*P).run(Inputs);
+  auto B = *ReferenceExecutor(**Q).run(Inputs);
   for (size_t I = 0; I < 64; ++I)
     EXPECT_DOUBLE_EQ(A.at("out")[I], B.at("out")[I]);
 }

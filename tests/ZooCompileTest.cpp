@@ -82,7 +82,7 @@ TEST_P(ZooCompile, CompiledProgramMatchesPlainInferenceUnderIdScheme) {
       for (size_t X = 0; X < L.W; ++X)
         Slots[L.slotOf(C, Y, X)] = Image.at3(C, Y, X);
   std::map<std::string, std::vector<double>> Out =
-      ReferenceExecutor(*CP->Prog).run({{"image", Slots}});
+      *ReferenceExecutor(*CP->Prog).run({{"image", Slots}});
   Tensor Want = Net.runPlain(Image);
   for (size_t C = 0; C < Net.numClasses(); ++C)
     EXPECT_NEAR(Out.at("scores")[C], Want.at(C),

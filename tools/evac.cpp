@@ -7,18 +7,33 @@
 // transformation and validation passes, and reports the selected encryption
 // parameters and rotation steps. Optionally writes the transformed program.
 //
+// `evac run` additionally executes the compiled program end to end through
+// the unified api/Runner surface, so every program file is a CLI-drivable
+// workload on any backend — the reference semantics, the local CKKS
+// executors, or the encrypted-compute service (in-process loopback by
+// default, or a remote evaserve via --port).
+//
 // Usage:
 //   evac <input.evabin> [-o <output.evabin>] [--chet] [--lazy] [--dump]
 //        [--dot] [--params-json]
+//   evac run <input.evabin> [--backend reference|local|service]
+//        [--inputs file.json] [--in name=v1,v2,...] [--threads N]
+//        [--seed S] [--port P] [--show K] [--chet] [--lazy]
 //
 //===----------------------------------------------------------------------===//
 
+#include "eva/api/Runner.h"
 #include "eva/core/Compiler.h"
 #include "eva/ir/Printer.h"
 #include "eva/ir/TextFormat.h"
 #include "eva/serialize/ProtoIO.h"
+#include "eva/service/Client.h"
+#include "eva/service/Server.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -28,13 +43,34 @@ static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s <input.evabin> [-o <output.evabin>] [--chet] "
                "[--lazy] [--dump] [--dot] [--params-json]\n"
+               "       %s run <input.evabin> [--backend "
+               "reference|local|service] [--inputs file.json]\n"
+               "                [--in name=v1,v2,...] [--threads N] [--seed "
+               "S] [--port P] [--show K]\n"
                "  --chet        use the CHET-baseline insertion policies\n"
                "  --lazy        use LAZY-MODSWITCH instead of EAGER\n"
                "  --dump        print the transformed program\n"
                "  --dot         print the transformed term graph as Graphviz\n"
                "  --params-json print the selected encryption parameters as "
-               "JSON (for deploy tooling)\n",
-               Prog);
+               "JSON (for deploy tooling)\n"
+               "run subcommand:\n"
+               "  --backend B   reference (plaintext semantics), local\n"
+               "                (encrypt/execute/decrypt in-process; "
+               "--threads picks\n"
+               "                the serial or parallel executor), or service "
+               "(the full\n"
+               "                client loop; in-process loopback server "
+               "unless --port)\n"
+               "  --inputs F    JSON object file: {\"name\": [v, ...] | v, "
+               "...}\n"
+               "  --in name=vs  one input as comma-separated values\n"
+               "  --seed S      key/encryption seed; runs are reproducible "
+               "functions\n"
+               "                of (program, seed, inputs) (default 1)\n"
+               "  --show K      print only the first K slots per output "
+               "(default 8,\n"
+               "                0 = all)\n",
+               Prog, Prog);
   return 1;
 }
 
@@ -105,7 +141,350 @@ static void printParamsJson(const Program &P, const CompiledProgram &CP) {
   std::printf("}\n");
 }
 
+//===----------------------------------------------------------------------===//
+// `evac run`: execute a program through the unified Runner API
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Minimal JSON reader for the input format `{"name": [v, ...] | v, ...}`.
+/// Anything outside that shape is a diagnostic, not UB.
+class JsonInputParser {
+public:
+  explicit JsonInputParser(std::string_view Text) : Text(Text) {}
+
+  Expected<Valuation> parse() {
+    using Result = Expected<Valuation>;
+    Valuation V;
+    skipSpace();
+    if (!consume('{'))
+      return Result::error(err("expected '{'"));
+    skipSpace();
+    if (consume('}'))
+      return finishAtEnd(std::move(V));
+    for (;;) {
+      std::string Name;
+      if (!parseString(Name))
+        return Result::error(err("expected a string input name"));
+      skipSpace();
+      if (!consume(':'))
+        return Result::error(err("expected ':' after \"" + Name + "\""));
+      skipSpace();
+      if (consume('[')) {
+        std::vector<double> Values;
+        skipSpace();
+        if (!consume(']')) {
+          for (;;) {
+            double D;
+            if (!parseNumber(D))
+              return Result::error(err("expected a number in \"" + Name +
+                                       "\""));
+            Values.push_back(D);
+            skipSpace();
+            if (consume(']'))
+              break;
+            if (!consume(','))
+              return Result::error(err("expected ',' or ']' in \"" + Name +
+                                       "\""));
+            skipSpace();
+          }
+        }
+        V.set(Name, std::move(Values));
+      } else {
+        double D;
+        if (!parseNumber(D))
+          return Result::error(err("expected a number or array for \"" +
+                                   Name + "\""));
+        V.set(Name, D);
+      }
+      skipSpace();
+      if (consume('}'))
+        return finishAtEnd(std::move(V));
+      if (!consume(','))
+        return Result::error(err("expected ',' or '}'"));
+      skipSpace();
+    }
+  }
+
+private:
+  Expected<Valuation> finishAtEnd(Valuation V) {
+    skipSpace();
+    if (Pos != Text.size())
+      return Expected<Valuation>::error(err("trailing characters"));
+    return V;
+  }
+
+  std::string err(const std::string &What) const {
+    return "inputs JSON: " + What + " at offset " + std::to_string(Pos);
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\' && Pos + 1 < Text.size()) {
+        ++Pos; // keep the escaped byte verbatim ("\"" and "\\")
+        if (Text[Pos] != '"' && Text[Pos] != '\\')
+          return false; // no \n/\u escapes in input names
+      }
+      Out += Text[Pos++];
+    }
+    return consume('"');
+  }
+
+  bool parseNumber(double &Out) {
+    // strtod needs a NUL-terminated buffer; numbers are short.
+    size_t End = Pos;
+    while (End < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[End])) ||
+            Text[End] == '-' || Text[End] == '+' || Text[End] == '.' ||
+            Text[End] == 'e' || Text[End] == 'E'))
+      ++End;
+    if (End == Pos)
+      return false;
+    std::string Buf(Text.substr(Pos, End - Pos));
+    char *Parsed = nullptr;
+    Out = std::strtod(Buf.c_str(), &Parsed);
+    if (Parsed != Buf.c_str() + Buf.size())
+      return false;
+    Pos = End;
+    return true;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+/// Parses `name=v1,v2,...` (the evacall --in syntax).
+bool parseInlineInput(const char *Spec, std::string &Name,
+                      std::vector<double> &Values) {
+  const char *Eq = std::strchr(Spec, '=');
+  if (!Eq || Eq == Spec)
+    return false;
+  Name.assign(Spec, Eq - Spec);
+  Values.clear();
+  const char *P = Eq + 1;
+  while (*P) {
+    char *End = nullptr;
+    double V = std::strtod(P, &End);
+    if (End == P)
+      return false;
+    Values.push_back(V);
+    P = End;
+    if (*P == ',')
+      ++P;
+    else if (*P)
+      return false;
+  }
+  return !Values.empty();
+}
+
+/// Prints the run result as a JSON document (full double precision, so two
+/// backends' outputs are byte-comparable).
+void printRunJson(const std::string &Program, const char *Backend,
+                  uint64_t VecSize, const Valuation &Outputs, size_t Show) {
+  std::printf("{\n");
+  std::printf("  \"program\": \"%s\",\n", jsonEscape(Program).c_str());
+  std::printf("  \"backend\": \"%s\",\n", Backend);
+  std::printf("  \"vec_size\": %llu,\n",
+              static_cast<unsigned long long>(VecSize));
+  std::printf("  \"slots_shown\": %zu,\n", Show);
+  std::printf("  \"outputs\": {");
+  bool FirstOut = true;
+  for (const auto &[Name, Val] : Outputs) {
+    (void)Val;
+    std::printf("%s\n    \"%s\": [", FirstOut ? "" : ",",
+                jsonEscape(Name).c_str());
+    const std::vector<double> &Values = Outputs.vector(Name);
+    size_t Count = Show == 0 ? Values.size() : std::min(Show, Values.size());
+    for (size_t I = 0; I < Count; ++I)
+      std::printf("%s%.17g", I ? ", " : "", Values[I]);
+    std::printf("]");
+    FirstOut = false;
+  }
+  std::printf("\n  }\n}\n");
+}
+
+int runCommand(int Argc, char **Argv) {
+  const char *InputPath = nullptr;
+  const char *InputsJsonPath = nullptr;
+  const char *BackendName = "local";
+  size_t Threads = 1;
+  uint64_t Seed = 1;
+  int Port = 0;
+  size_t Show = 8;
+  CompilerOptions Options = CompilerOptions::eva();
+  Valuation Inputs;
+
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--backend") == 0 && I + 1 < Argc) {
+      BackendName = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--inputs") == 0 && I + 1 < Argc) {
+      InputsJsonPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--in") == 0 && I + 1 < Argc) {
+      std::string Name;
+      std::vector<double> Values;
+      if (!parseInlineInput(Argv[++I], Name, Values)) {
+        std::fprintf(stderr, "evac: error: bad --in spec '%s'\n", Argv[I]);
+        return 1;
+      }
+      Inputs.set(Name, std::move(Values));
+    } else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
+      Threads = static_cast<size_t>(std::max(1, std::atoi(Argv[++I])));
+    } else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc) {
+      Seed = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (std::strcmp(Argv[I], "--port") == 0 && I + 1 < Argc) {
+      Port = std::atoi(Argv[++I]);
+    } else if (std::strcmp(Argv[I], "--show") == 0 && I + 1 < Argc) {
+      Show = static_cast<size_t>(std::max(0, std::atoi(Argv[++I])));
+    } else if (std::strcmp(Argv[I], "--chet") == 0) {
+      Options = CompilerOptions::chet();
+    } else if (std::strcmp(Argv[I], "--lazy") == 0) {
+      Options.ModSwitch = ModSwitchPolicy::Lazy;
+    } else if (Argv[I][0] != '-' && !InputPath) {
+      InputPath = Argv[I];
+    } else {
+      return usage("evac");
+    }
+  }
+  if (!InputPath || Seed == 0)
+    return usage("evac");
+
+  if (InputsJsonPath) {
+    std::ifstream In(InputsJsonPath, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "evac: error: cannot open %s\n", InputsJsonPath);
+      return 1;
+    }
+    std::string Data((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+    Expected<Valuation> FromJson = JsonInputParser(Data).parse();
+    if (!FromJson) {
+      std::fprintf(stderr, "evac: error: %s: %s\n", InputsJsonPath,
+                   FromJson.message().c_str());
+      return 1;
+    }
+    for (const auto &[Name, Val] : *FromJson)
+      if (!Inputs.has(Name)) { // --in overrides the file
+        if (const auto *Vec = std::get_if<std::vector<double>>(&Val))
+          Inputs.set(Name, *Vec);
+        else
+          Inputs.set(Name, std::get<double>(Val));
+      }
+  }
+
+  std::ifstream In(InputPath, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "evac: error: cannot open %s\n", InputPath);
+    return 1;
+  }
+  std::string Data((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  Expected<std::unique_ptr<Program>> P =
+      Data.rfind("program ", 0) == 0 ? parseProgramText(Data)
+                                     : deserializeProgram(Data);
+  if (!P) {
+    std::fprintf(stderr, "evac: error: %s\n", P.message().c_str());
+    return 1;
+  }
+
+  // Build the requested backend. Runs are reproducible functions of
+  // (program, seed, inputs): local and service use the same client-style
+  // crypto stack with deterministic expansion seeds, so their outputs are
+  // bit-identical — the interchangeability contract the golden tests pin.
+  std::unique_ptr<Runner> R;
+  Service Svc;               // in-process service backend state
+  ServiceServer Server(Svc); // (unused unless --backend service)
+  if (std::strcmp(BackendName, "reference") == 0) {
+    R = Runner::reference(**P);
+  } else if (std::strcmp(BackendName, "local") == 0) {
+    Expected<CompiledProgram> CP = compile(**P, Options);
+    if (!CP) {
+      std::fprintf(stderr, "evac: compile error: %s\n", CP.message().c_str());
+      return 1;
+    }
+    LocalRunnerOptions LO;
+    LO.Threads = Threads;
+    LO.Seed = Seed;
+    LO.ReproducibleSeeds = true;
+    Expected<std::unique_ptr<Runner>> L = Runner::local(std::move(*CP), LO);
+    if (!L) {
+      std::fprintf(stderr, "evac: error: %s\n", L.message().c_str());
+      return 1;
+    }
+    R = std::move(*L);
+  } else if (std::strcmp(BackendName, "service") == 0) {
+    uint16_t ConnectPort;
+    if (Port > 0 && Port <= 65535) {
+      ConnectPort = static_cast<uint16_t>(Port);
+    } else {
+      // No --port: serve the program from an in-process loopback server so
+      // the full wire path (framing, key upload, seed-compressed
+      // ciphertexts) runs self-contained.
+      if (Status S = Svc.registry().registerSource(**P, Options); !S.ok()) {
+        std::fprintf(stderr, "evac: error: %s\n", S.message().c_str());
+        return 1;
+      }
+      if (Status S = Server.start(0); !S.ok()) {
+        std::fprintf(stderr, "evac: error: %s\n", S.message().c_str());
+        return 1;
+      }
+      ConnectPort = Server.port();
+    }
+    Expected<std::unique_ptr<SocketTransport>> T =
+        SocketTransport::connectLoopback(ConnectPort);
+    if (!T) {
+      std::fprintf(stderr, "evac: error: %s\n", T.message().c_str());
+      return 1;
+    }
+    RemoteRunnerOptions RO;
+    RO.KeySeed = Seed;
+    RO.ReproducibleSeeds = true;
+    Expected<std::unique_ptr<Runner>> Rem =
+        Runner::remote(std::move(*T), (*P)->name(), RO);
+    if (!Rem) {
+      std::fprintf(stderr, "evac: error: %s\n", Rem.message().c_str());
+      return 1;
+    }
+    R = std::move(*Rem);
+  } else {
+    std::fprintf(stderr, "evac: error: unknown backend '%s'\n", BackendName);
+    return 1;
+  }
+
+  Expected<Valuation> Out = R->run(Inputs);
+  if (!Out) {
+    std::fprintf(stderr, "evac: error: %s\n", Out.message().c_str());
+    R.reset(); // close the service session before the server stops
+    return 1;
+  }
+  printRunJson((*P)->name(), BackendName, R->signature().VecSize, *Out,
+               Show);
+  R.reset();
+  return 0;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::strcmp(Argv[1], "run") == 0)
+    return runCommand(Argc - 2, Argv + 2);
+
   const char *InputPath = nullptr;
   const char *OutputPath = nullptr;
   bool Dump = false, Dot = false, ParamsJson = false;

@@ -3,18 +3,20 @@
 // Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
 //
 // Drives a running evaserve from the command line: lists served programs,
-// or runs the full client loop — fetch the program's parameter signature,
-// derive the matching context, generate keys, upload the evaluation keys
-// (seed-compressed), encrypt the inputs symmetrically, submit, and decrypt
-// the results. The secret key never leaves this process.
+// or runs the full client loop through the unified api/Runner surface —
+// fetch the program's parameter signature, derive the matching context,
+// generate keys, upload the evaluation keys (seed-compressed), encrypt the
+// inputs symmetrically, submit, and decrypt the results. The secret key
+// never leaves this process.
 //
 // Usage:
 //   evacall --port N --list
 //   evacall --port N --program NAME [--in name=v1,v2,...]... [--seed S]
-//           [--show K]
+//           [--show K] [--reproducible]
 //
 //===----------------------------------------------------------------------===//
 
+#include "eva/api/Runner.h"
 #include "eva/service/Client.h"
 #include "eva/support/Random.h"
 
@@ -31,7 +33,7 @@ int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s --port N --list\n"
                "       %s --port N --program NAME [--in name=v1,v2,...]... "
-               "[--seed S] [--show K]\n"
+               "[--seed S] [--show K] [--reproducible]\n"
                "  --list           print the served programs and their "
                "parameters\n"
                "  --program NAME   open a session and run NAME\n"
@@ -39,7 +41,9 @@ int usage(const char *Prog) {
                "(default: uniform random in [-1,1])\n"
                "  --seed S         key/input RNG seed (default 1)\n"
                "  --show K         print only the first K slots of each "
-               "output (default 8)\n",
+               "output (default 8)\n"
+               "  --reproducible   derive all encryption randomness from "
+               "--seed (bit-reproducible runs)\n",
                Prog, Prog);
   return 1;
 }
@@ -72,10 +76,11 @@ bool parseValues(const char *Spec, std::string &Name,
 int main(int Argc, char **Argv) {
   int Port = -1;
   bool List = false;
+  bool Reproducible = false;
   const char *ProgramName = nullptr;
   uint64_t Seed = 1;
   size_t Show = 8;
-  std::map<std::string, std::vector<double>> GivenInputs;
+  Valuation GivenInputs;
 
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--port") == 0 && I + 1 < Argc) {
@@ -89,11 +94,13 @@ int main(int Argc, char **Argv) {
       std::vector<double> Values;
       if (!parseValues(Argv[++I], Name, Values))
         return usage(Argv[0]);
-      GivenInputs[Name] = std::move(Values);
+      GivenInputs.set(Name, std::move(Values));
     } else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc) {
       Seed = static_cast<uint64_t>(std::strtoull(Argv[++I], nullptr, 10));
     } else if (std::strcmp(Argv[I], "--show") == 0 && I + 1 < Argc) {
       Show = static_cast<size_t>(std::max(1, std::atoi(Argv[++I])));
+    } else if (std::strcmp(Argv[I], "--reproducible") == 0) {
+      Reproducible = true;
     } else {
       return usage(Argv[0]);
     }
@@ -107,15 +114,14 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "evacall: error: %s\n", T.message().c_str());
     return 1;
   }
-  ServiceClient Client(**T);
-
-  Expected<std::vector<ParamSignature>> Sigs = Client.listPrograms();
-  if (!Sigs) {
-    std::fprintf(stderr, "evacall: error: %s\n", Sigs.message().c_str());
-    return 1;
-  }
 
   if (List) {
+    ServiceClient Client(**T);
+    Expected<std::vector<ParamSignature>> Sigs = Client.listPrograms();
+    if (!Sigs) {
+      std::fprintf(stderr, "evacall: error: %s\n", Sigs.message().c_str());
+      return 1;
+    }
     for (const ParamSignature &Sig : *Sigs) {
       std::printf("%s: N=%llu vec_size=%llu primes=%zu security=%s%s\n",
                   Sig.ProgramName.c_str(),
@@ -134,43 +140,40 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  const ParamSignature *Sig = nullptr;
-  for (const ParamSignature &S : *Sigs)
-    if (S.ProgramName == ProgramName)
-      Sig = &S;
-  if (!Sig) {
-    std::fprintf(stderr, "evacall: error: server does not serve '%s'\n",
-                 ProgramName);
+  // The full client loop behind one typed call: Runner::remote fetches the
+  // signature, derives the context, generates keys, and opens the session.
+  RemoteRunnerOptions Opts;
+  Opts.KeySeed = Seed;
+  Opts.ReproducibleSeeds = Reproducible;
+  Expected<std::unique_ptr<Runner>> R =
+      Runner::remote(std::move(*T), ProgramName, Opts);
+  if (!R) {
+    std::fprintf(stderr, "evacall: error: %s\n", R.message().c_str());
     return 1;
   }
-
-  if (Status S = Client.openSession(*Sig, Seed); !S.ok()) {
-    std::fprintf(stderr, "evacall: error: %s\n", S.message().c_str());
-    return 1;
-  }
-  std::printf("session %llu opened for '%s'\n",
-              static_cast<unsigned long long>(Client.sessionId()),
-              ProgramName);
+  const ProgramSignature &Sig = (*R)->signature();
+  std::printf("session opened for '%s'\n", ProgramName);
 
   // Fill unspecified inputs with reproducible uniform noise.
   RandomSource Rng(Seed * 7919 + 1);
-  std::map<std::string, std::vector<double>> Inputs = GivenInputs;
-  for (const ServiceInputSpec &In : Sig->Inputs) {
-    if (Inputs.count(In.Name))
+  Valuation Inputs = GivenInputs;
+  for (const IoSpec &In : Sig.Inputs) {
+    if (Inputs.has(In.Name))
       continue;
-    std::vector<double> V(Sig->VecSize);
+    std::vector<double> V(Sig.VecSize);
     for (double &X : V)
       X = Rng.uniformReal(-1, 1);
-    Inputs.emplace(In.Name, std::move(V));
+    Inputs.set(In.Name, std::move(V));
   }
 
-  Expected<std::map<std::string, std::vector<double>>> Out =
-      Client.call(Inputs);
+  Expected<Valuation> Out = (*R)->run(Inputs);
   if (!Out) {
     std::fprintf(stderr, "evacall: error: %s\n", Out.message().c_str());
     return 1;
   }
-  for (const auto &[Name, Values] : *Out) {
+  for (const auto &[Name, Val] : *Out) {
+    (void)Val;
+    const std::vector<double> &Values = Out->vector(Name);
     std::printf("output @%s:", Name.c_str());
     for (size_t I = 0; I < Values.size() && I < Show; ++I)
       std::printf(" %.6g", Values[I]);
@@ -178,6 +181,5 @@ int main(int Argc, char **Argv) {
       std::printf(" ... (%zu slots)", Values.size());
     std::printf("\n");
   }
-  Client.closeSession();
   return 0;
 }
