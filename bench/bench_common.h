@@ -158,6 +158,12 @@ struct BenchResult {
   /// Throughput results (the service bench) also carry requests/second
   /// (0 means "not a throughput result" and is omitted from the JSON).
   double Rps = 0;
+  /// Size results (the rotation bench's key-upload payloads) carry a byte
+  /// count; 0 omits the field.
+  double Bytes = 0;
+  /// Rotation-cost results carry the run's key-switch decomposition count
+  /// (ExecutionStats::KeySwitchDecompositions); 0 omits the field.
+  double Decompositions = 0;
 };
 
 /// Samples \p Fn — a callable reporting its own per-iteration duration in
@@ -266,6 +272,15 @@ public:
       if (R.Rps > 0) {
         std::snprintf(Buf, sizeof(Buf), ", \"requests_per_second\": %.4g",
                       R.Rps);
+        Out += Buf;
+      }
+      if (R.Bytes > 0) {
+        std::snprintf(Buf, sizeof(Buf), ", \"bytes\": %.0f", R.Bytes);
+        Out += Buf;
+      }
+      if (R.Decompositions > 0) {
+        std::snprintf(Buf, sizeof(Buf), ", \"decompositions\": %.0f",
+                      R.Decompositions);
         Out += Buf;
       }
       Out += I + 1 == Results.size() ? "}\n" : "},\n";

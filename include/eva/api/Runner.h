@@ -55,6 +55,11 @@ struct LocalRunnerOptions {
   /// Total execution contexts (the calling thread participates).
   size_t Threads = 1;
   LocalStyle Style = LocalStyle::Auto;
+  /// Consume the compiled RotationPlan: rotations sharing a source share
+  /// one key-switch decomposition (bit-identical outputs; see
+  /// executionStats() for the decomposition counts). Off reproduces the
+  /// one-decomposition-per-rotation baseline.
+  bool Hoisting = true;
   /// Key/encryption RNG seed (the secret key is a function of it).
   uint64_t Seed = 1;
   /// When true, ciphertext/key expansion seeds are also derived

@@ -36,12 +36,27 @@
 #include "eva/ckks/Plaintext.h"
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace eva {
 
 class ThreadPool;
+
+/// Snapshot of the evaluator's operation counters. Key-switch
+/// decompositions are the dominant rotation cost (one inverse NTT per limb
+/// plus the full RNS re-extension of every digit); the hoisted rotation
+/// path shares one decomposition across a whole batch of rotations of the
+/// same ciphertext, which these counters make observable to benches and
+/// tests (via ExecutionStats).
+struct EvaluatorCounters {
+  uint64_t KeySwitchDecompositions = 0; ///< relinearize + every rotation path
+  uint64_t Rotations = 0;               ///< rotations evaluated (serial + hoisted)
+  uint64_t HoistedRotations = 0;        ///< rotations served from a shared decomposition
+  uint64_t HoistBatches = 0;            ///< rotateHoisted batches executed
+};
 
 class Evaluator {
 public:
@@ -80,7 +95,44 @@ public:
   Ciphertext rotateLeft(const Ciphertext &A, uint64_t Steps,
                         const GaloisKeys &Keys) const;
 
+  /// Hoisted rotation (Halevi–Shoup): performs the key-switch decomposition
+  /// of \p A's c1 component ONCE — the per-limb inverse NTTs that dominate
+  /// each rotation's fixed cost — and applies every Galois automorphism in
+  /// \p Steps against the shared coefficient-domain digits. Because the
+  /// automorphism is applied to exactly the digits the serial path would
+  /// recover (an NTT round trip is exact), each output is bit-identical to
+  /// rotateLeft(A, Steps[K], Keys). A zero step returns a copy of \p A;
+  /// duplicate steps each get their own output. Limb work runs on the
+  /// evaluator's ThreadPool when one is attached.
+  std::vector<Ciphertext> rotateHoisted(const Ciphertext &A,
+                                        const std::vector<uint64_t> &Steps,
+                                        const GaloisKeys &Keys) const;
+
+  /// Zeroes the operation counters (executors call this at run start).
+  void resetCounters() const;
+  /// Snapshot of the operation counters since the last reset.
+  EvaluatorCounters counters() const;
+
 private:
+  /// Coefficient-domain key-switch decomposition digits: digit I is the
+  /// inverse NTT of Target's component I (a representative of Target mod
+  /// q_I). Counted as one decomposition.
+  std::vector<std::vector<uint64_t>>
+  keySwitchDecompose(const RnsPoly &Target) const;
+
+  /// The inner-product half of key switching: extends each digit to every
+  /// output prime (+ the special prime), accumulates against \p Key, and
+  /// divides the special prime back out.
+  std::array<RnsPoly, 2>
+  keySwitchAccumulate(const std::vector<std::vector<uint64_t>> &Digits,
+                      const KSwitchKey &Key) const;
+
+  /// Assembles the rotated ciphertext from the automorphed c0 and the
+  /// key-switched (c0', c1') contribution — shared by the serial and the
+  /// hoisted rotation paths so they stay bit-identical by construction.
+  Ciphertext assembleRotation(RnsPoly C0, std::array<RnsPoly, 2> Ks,
+                              double Scale) const;
+
   Ciphertext addSub(const Ciphertext &A, const Ciphertext &B,
                     bool Subtract) const;
   void checkBinaryOperands(const Ciphertext &A, const Ciphertext &B) const;
@@ -102,6 +154,14 @@ private:
 
   std::shared_ptr<const CkksContext> Ctx;
   ThreadPool *Pool = nullptr;
+
+  /// Operation counters. Mutable atomics: computeNode dispatches through a
+  /// const Evaluator from many threads at once, and the counts are
+  /// observability, not semantics.
+  mutable std::atomic<uint64_t> NumDecompositions{0};
+  mutable std::atomic<uint64_t> NumRotations{0};
+  mutable std::atomic<uint64_t> NumHoistedRotations{0};
+  mutable std::atomic<uint64_t> NumHoistBatches{0};
 };
 
 } // namespace eva

@@ -51,8 +51,10 @@ public:
   const SecretKey &secretKey() const { return Secret; }
   PublicKey createPublicKey();
   RelinKeys createRelinKeys();
-  /// One Galois key per left-rotation step in \p Steps (steps are slot
-  /// counts in [1, N/2)).
+  /// One Galois key per distinct left-rotation step in \p Steps. Steps are
+  /// normalized modulo the slot count N/2 first (slot rotation is cyclic),
+  /// so step 0 and any multiple of the slot count are identities that need
+  /// no key; an empty set yields an empty key map.
   GaloisKeys createGaloisKeys(const std::set<uint64_t> &Steps);
 
   /// Samples a fresh ternary polynomial in NTT form over \p PrimeCount

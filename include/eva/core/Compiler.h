@@ -52,6 +52,13 @@ struct CompilerOptions {
   SecurityLevel Security = SecurityLevel::TC128;
   /// Run CSE + simplification before insertion (open-source EVA default).
   bool Optimize = true;
+  /// Galois-key budget: when nonzero and the program uses more distinct
+  /// rotation steps than this, rotations are rewritten into compositions
+  /// over the power-of-two key basis (galoisBudgetPass) so at most
+  /// log2(vec_size) Galois keys — and therefore a proportionally smaller
+  /// client key upload in the service deployment — are needed. 0 keeps one
+  /// key per distinct step (the paper's DetermineRotationSteps).
+  size_t GaloisKeyBudget = 0;
 
   /// The paper's EVA configuration (default).
   static CompilerOptions eva() { return CompilerOptions(); }
@@ -71,6 +78,9 @@ struct CompiledProgram {
   std::unique_ptr<Program> Prog;
   std::vector<int> BitSizes;
   std::set<uint64_t> RotationSteps;
+  /// Hoist batches (rotations sharing a source) the executors consume; the
+  /// node pointers refer into Prog and survive moves of this struct.
+  RotationPlan RotPlan;
   uint64_t PolyDegree = 0;
   int TotalModulusBits = 0;
   CompilerOptions Options;

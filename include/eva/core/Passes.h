@@ -26,6 +26,7 @@
 #include "eva/ir/Program.h"
 #include "eva/support/Error.h"
 
+#include <map>
 #include <set>
 #include <vector>
 
@@ -40,11 +41,51 @@ namespace eva {
 void lowerFrontendOps(Program &P);
 
 /// Common-subexpression elimination plus local simplification (zero-step
-/// rotations, double negations, duplicate constants) over the frontend-op
-/// subset. Returns the number of eliminated nodes. An optimization the
-/// open-source EVA ships beyond the paper's core pipeline; every merged
-/// node saves a homomorphic operation.
+/// rotations, chained-rotation folding rotate(rotate(x,a),b) -> rotate(x,
+/// a+b) mod vec_size, double negations, duplicate constants) over the
+/// frontend-op subset. Returns the number of applied simplifications. An
+/// optimization the open-source EVA ships beyond the paper's core pipeline;
+/// every merged node saves a homomorphic operation.
 size_t cseAndSimplifyPass(Program &P);
+
+//===----------------------------------------------------------------------===
+// Rotation cost (hoisting analysis and Galois-key budgeting)
+//===----------------------------------------------------------------------===
+
+/// Batches of rotations that share a source ciphertext. The runtime
+/// performs the key-switch decomposition of the source once per batch and
+/// applies every member's Galois automorphism against the shared digits
+/// (Evaluator::rotateHoisted), which is bit-identical to rotating serially.
+/// Node pointers refer into the compiled program's graph and stay valid for
+/// the CompiledProgram's lifetime (Program is held behind a unique_ptr, so
+/// moving the CompiledProgram does not move the nodes).
+struct RotationPlan {
+  struct HoistGroup {
+    const Node *Source = nullptr;     ///< the shared rotated operand
+    std::vector<const Node *> Members; ///< >= 2 ROTATE nodes of Source
+  };
+  std::vector<HoistGroup> Groups;
+  /// Rotation-node id -> index into Groups.
+  std::map<uint64_t, size_t> GroupOf;
+  bool empty() const { return Groups.empty(); }
+};
+
+/// Analysis: groups cipher ROTATELEFT/ROTATERIGHT nodes by their source
+/// operand; every source with at least two non-identity rotations becomes a
+/// hoist group. Runs after all transformation passes so the grouped nodes
+/// are exactly the ones the executor will dispatch.
+RotationPlan planRotationHoisting(const Program &P);
+
+/// Galois-key budgeting: when the program's distinct (normalized) rotation
+/// step set exceeds \p Budget, rewrites every cipher rotation into an
+/// ascending chain of power-of-two left rotations (the binary expansion of
+/// its step), sharing chain prefixes between rotations of the same source.
+/// The surviving step set is the power-of-two basis actually used — at most
+/// log2(vec_size) keys — which shrinks the client's serialized Galois-key
+/// upload proportionally. A \p Budget of 0 disables budgeting; a budget
+/// below log2(vec_size) still bottoms out at the binary basis (documented
+/// floor). Returns the number of rotations rewritten.
+size_t galoisBudgetPass(Program &P, size_t Budget);
 
 //===----------------------------------------------------------------------===
 // Rescale insertion (Section 5.3)

@@ -96,6 +96,14 @@ private:
   std::string Name;
 };
 
+/// Left-rotation step of rotation node \p N normalized into [0, VecSize):
+/// ROTATERIGHT negates, and any step congruent modulo the vector size is
+/// equivalent under the replication contract. The single source of truth
+/// shared by the executors, the rotation-hoisting plan, and the
+/// simplification/budgeting passes — these must agree bit for bit (the
+/// executor matches hoist-batch results against the plan by this value).
+uint64_t normalizedLeftSteps(const Node *N, uint64_t VecSize);
+
 } // namespace eva
 
 #endif // EVA_IR_NODE_H

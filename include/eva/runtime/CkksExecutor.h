@@ -112,18 +112,34 @@ struct SealedInputs {
   std::map<std::string, std::vector<double>> Plain;
 };
 
-/// Execution statistics (memory reuse, Section 6.1).
+/// Execution statistics: memory reuse (Section 6.1) plus the rotation-cost
+/// counters of the most recent run (key-switch decompositions are the
+/// dominant rotation cost; hoisting shares one across a batch).
 struct ExecutionStats {
   size_t PeakLiveBytes = 0;
   size_t TotalNodeCount = 0;
   size_t PeakLiveNodes = 0;
+  /// Key-switch decompositions performed (relinearize + rotations; a
+  /// hoisted batch counts once).
+  size_t KeySwitchDecompositions = 0;
+  /// Non-identity rotations evaluated.
+  size_t Rotations = 0;
+  /// Rotations served from a shared (hoisted) decomposition.
+  size_t HoistedRotations = 0;
+  /// Hoist batches executed.
+  size_t HoistBatches = 0;
 };
 
 class CkksExecutor {
 public:
-  CkksExecutor(const CompiledProgram &CP, std::shared_ptr<CkksWorkspace> WS)
+  /// \p UseHoisting consumes the compiled program's RotationPlan: rotations
+  /// sharing a source are evaluated as one rotateHoisted batch (bit-identical
+  /// to the serial path). Off reproduces the one-decomposition-per-rotation
+  /// baseline for A/B measurement.
+  CkksExecutor(const CompiledProgram &CP, std::shared_ptr<CkksWorkspace> WS,
+               bool UseHoisting = true)
       : CP(CP), P(*CP.Prog), WS(std::move(WS)),
-        ActiveEval(this->WS->Eval.get()) {}
+        ActiveEval(this->WS->Eval.get()), UseHoisting(UseHoisting) {}
   virtual ~CkksExecutor() = default;
 
   /// Encrypts the Cipher inputs (at each input node's scale, over the full
@@ -169,6 +185,22 @@ protected:
 
   uint64_t normalizedLeftSteps(const Node *N) const;
 
+  /// Per-run state of one hoist batch. The first member to execute computes
+  /// the whole batch under the group mutex (all members are ready the moment
+  /// the shared source is, so in the parallel executors several may race
+  /// here); the rest collect their precomputed ciphertexts.
+  struct HoistGroupState {
+    std::mutex M;
+    bool Done = false;
+    std::map<uint64_t, Ciphertext> Results; // member node id -> rotated ct
+  };
+
+  /// Resets statistics and evaluator counters and materializes the hoist
+  /// state; every run() implementation calls this first.
+  void beginRun();
+  /// Folds the evaluator counters of this run into Stats.
+  void finishRun();
+
   const CompiledProgram &CP;
   const Program &P;
   std::shared_ptr<CkksWorkspace> WS;
@@ -176,6 +208,17 @@ protected:
   /// evaluator by default; parallel executors point it at their own
   /// limb-parallel instance.
   const Evaluator *ActiveEval;
+  bool UseHoisting = true;
+  /// One entry per RotationPlan group, rebuilt by beginRun(); mutable
+  /// because computeNode (const, called concurrently for distinct nodes)
+  /// drains the per-group results.
+  mutable std::vector<std::unique_ptr<HoistGroupState>> HoistState;
+  /// Bytes/nodes currently parked in HoistGroupState::Results — rotated
+  /// ciphertexts a batch produced that their member nodes have not yet
+  /// collected. Folded into the PeakLiveBytes/PeakLiveNodes accounting so
+  /// the memory-reuse stats stay honest under hoisting.
+  mutable std::atomic<size_t> HoistStashBytes{0};
+  mutable std::atomic<size_t> HoistStashNodes{0};
   ExecutionStats Stats;
   mutable std::mutex OutputMutex;
 };
@@ -187,8 +230,9 @@ protected:
 class ParallelCkksExecutor : public CkksExecutor {
 public:
   ParallelCkksExecutor(const CompiledProgram &CP,
-                       std::shared_ptr<CkksWorkspace> WS, size_t NumThreads)
-      : CkksExecutor(CP, std::move(WS)), Pool(NumThreads),
+                       std::shared_ptr<CkksWorkspace> WS, size_t NumThreads,
+                       bool UseHoisting = true)
+      : CkksExecutor(CP, std::move(WS), UseHoisting), Pool(NumThreads),
         LimbEval(this->WS->Context, &Pool) {
     ActiveEval = &LimbEval;
   }
@@ -206,8 +250,9 @@ private:
 class KernelBulkCkksExecutor : public CkksExecutor {
 public:
   KernelBulkCkksExecutor(const CompiledProgram &CP,
-                         std::shared_ptr<CkksWorkspace> WS, size_t NumThreads)
-      : CkksExecutor(CP, std::move(WS)), Pool(NumThreads),
+                         std::shared_ptr<CkksWorkspace> WS, size_t NumThreads,
+                         bool UseHoisting = true)
+      : CkksExecutor(CP, std::move(WS), UseHoisting), Pool(NumThreads),
         LimbEval(this->WS->Context, &Pool) {
     ActiveEval = &LimbEval;
   }

@@ -88,8 +88,30 @@ CipherTensor squareActivation(ProgramBuilder &B, const CipherTensor &In);
 CipherTensor polyActivation(ProgramBuilder &B, const CipherTensor &In,
                             double A2, double A1, const TensorScales &Scales);
 
+/// Rotation-tree reduction: returns an expression whose every slot k holds
+/// the cyclic sum of \p Span consecutive slots of \p V starting at k
+/// (Span is rounded up to a power of two; Span >= vec_size sums the whole
+/// vector into every slot). Emits log2(Span) rotations, all by powers of
+/// two — the log-depth tree the SUM lowering and the dense-layer kernels
+/// share, using only the program-wide power-of-two Galois keys.
+Expr rotationTreeSum(ProgramBuilder &B, Expr V, size_t Span);
+
+/// Baby-step–giant-step diagonal matvec y = Wx + b over a *dense* layout
+/// (logical element j at slot j): the matrix is consumed as cyclic
+/// diagonals, the O(sqrt) baby rotations all rotate the input ciphertext
+/// itself — one hoist batch sharing a single key-switch decomposition —
+/// and only the O(sqrt) giant steps pay their own decompositions. Compare
+/// the per-output mask-and-reduce path: O(Out * log vec_size) rotations,
+/// each with its own decomposition. Weights: (Out, In); In must equal the
+/// layout's logical size. Output layout is dense.
+CipherTensor matVecBsgs(ProgramBuilder &B, const CipherTensor &In,
+                        const Tensor &Weights, const Tensor &Bias,
+                        const TensorScales &Scales);
+
 /// Dense layer y = Wx + b; Weights: (Out, In) over the flattened logical
-/// CHW input. Output layout is dense: element j at slot j.
+/// CHW input. Output layout is dense: element j at slot j. Dense inputs
+/// dispatch to the BSGS diagonal kernel (matVecBsgs); strided layouts fall
+/// back to the per-output mask + rotation-tree reduction.
 CipherTensor fullyConnected(ProgramBuilder &B, const CipherTensor &In,
                             const Tensor &Weights, const Tensor &Bias,
                             const TensorScales &Scales);

@@ -161,12 +161,13 @@ makeExecutor(const CompiledProgram &CP, std::shared_ptr<CkksWorkspace> WS,
   size_t Threads = std::max<size_t>(1, Opts.Threads);
   switch (Style) {
   case LocalStyle::Serial:
-    return std::make_unique<CkksExecutor>(CP, std::move(WS));
+    return std::make_unique<CkksExecutor>(CP, std::move(WS), Opts.Hoisting);
   case LocalStyle::KernelBulk:
     return std::make_unique<KernelBulkCkksExecutor>(CP, std::move(WS),
-                                                    Threads);
+                                                    Threads, Opts.Hoisting);
   default:
-    return std::make_unique<ParallelCkksExecutor>(CP, std::move(WS), Threads);
+    return std::make_unique<ParallelCkksExecutor>(CP, std::move(WS), Threads,
+                                                  Opts.Hoisting);
   }
 }
 

@@ -175,20 +175,29 @@ Ciphertext Evaluator::multiplyPlain(const Ciphertext &A,
   return Out;
 }
 
-std::array<RnsPoly, 2> Evaluator::keySwitch(const RnsPoly &Target,
-                                            const KSwitchKey &Key) const {
+std::vector<std::vector<uint64_t>>
+Evaluator::keySwitchDecompose(const RnsPoly &Target) const {
   size_t Count = Target.primeCount();
-  size_t SpecialIdx = Ctx->specialPrimeIndex();
-  uint64_t N = Ctx->polyDegree();
-  assert(Count <= Key.Keys.size() && "not enough key components");
-
   // Decompose: coefficient-domain copy of each component. One inverse NTT
-  // per limb, each independent.
+  // per limb, each independent. This is the shareable half of a key switch:
+  // the digits depend only on the input polynomial, not on the key, so a
+  // batch of rotations of one ciphertext can reuse them (hoisting).
   std::vector<std::vector<uint64_t>> TCoeff(Count);
   forEachLimb(Count, [&](size_t I) {
     TCoeff[I] = Target.Comps[I];
     Ctx->ntt(I).inverse(TCoeff[I]);
   });
+  NumDecompositions.fetch_add(1, std::memory_order_relaxed);
+  return TCoeff;
+}
+
+std::array<RnsPoly, 2> Evaluator::keySwitchAccumulate(
+    const std::vector<std::vector<uint64_t>> &TCoeff,
+    const KSwitchKey &Key) const {
+  size_t Count = TCoeff.size();
+  size_t SpecialIdx = Ctx->specialPrimeIndex();
+  uint64_t N = Ctx->polyDegree();
+  assert(Count <= Key.Keys.size() && "not enough key components");
 
   // Output prime indices: current data primes plus the special prime.
   std::vector<size_t> OutIdx(Count + 1);
@@ -230,6 +239,11 @@ std::array<RnsPoly, 2> Evaluator::keySwitch(const RnsPoly &Target,
   divideRoundDropLast(Acc[0].Comps, DownIdx);
   divideRoundDropLast(Acc[1].Comps, DownIdx);
   return Acc;
+}
+
+std::array<RnsPoly, 2> Evaluator::keySwitch(const RnsPoly &Target,
+                                            const KSwitchKey &Key) const {
+  return keySwitchAccumulate(keySwitchDecompose(Target), Key);
 }
 
 void Evaluator::divideRoundDropLast(
@@ -316,6 +330,17 @@ Ciphertext Evaluator::modSwitch(const Ciphertext &A) const {
   return Out;
 }
 
+Ciphertext Evaluator::assembleRotation(RnsPoly C0, std::array<RnsPoly, 2> Ks,
+                                       double Scale) const {
+  Ciphertext Out;
+  Out.Scale = Scale;
+  Out.Polys = {std::move(C0), std::move(Ks[1])};
+  for (size_t C = 0; C < Out.primeCount(); ++C)
+    addPolyComp(Out.Polys[0].Comps[C], Ks[0].Comps[C], Out.Polys[0].Comps[C],
+                Ctx->prime(C));
+  return Out;
+}
+
 Ciphertext Evaluator::rotateLeft(const Ciphertext &A, uint64_t Steps,
                                  const GaloisKeys &Keys) const {
   assert(A.size() == 2 && "rotation requires a relinearized ciphertext");
@@ -330,11 +355,73 @@ Ciphertext Evaluator::rotateLeft(const Ciphertext &A, uint64_t Steps,
   RnsPoly C1 = applyGaloisNttPoly(*Ctx, A.Polys[1], G,
                                   /*SpansSpecialPrime=*/false, Pool);
   std::array<RnsPoly, 2> Ks = keySwitch(C1, Keys.at(G));
-  Ciphertext Out;
-  Out.Scale = A.Scale;
-  Out.Polys = {std::move(C0), std::move(Ks[1])};
-  for (size_t C = 0; C < Out.primeCount(); ++C)
-    addPolyComp(Out.Polys[0].Comps[C], Ks[0].Comps[C], Out.Polys[0].Comps[C],
-                Ctx->prime(C));
+  NumRotations.fetch_add(1, std::memory_order_relaxed);
+  return assembleRotation(std::move(C0), std::move(Ks), A.Scale);
+}
+
+std::vector<Ciphertext>
+Evaluator::rotateHoisted(const Ciphertext &A,
+                         const std::vector<uint64_t> &Steps,
+                         const GaloisKeys &Keys) const {
+  assert(A.size() == 2 && "rotation requires a relinearized ciphertext");
+  std::vector<Ciphertext> Out(Steps.size());
+  if (Steps.empty())
+    return Out;
+
+  // One shared decomposition for the whole batch. The serial path's digits
+  // for rotation g are galois_g(invNTT(c1_i)) — applyGaloisNttPoly permutes
+  // in coefficient form and the executor's keySwitch immediately inverts
+  // the forward NTT it applied, both exactly. Permuting these shared digits
+  // therefore reproduces the serial digits bit for bit; only the redundant
+  // NTT round trips are skipped.
+  size_t Count = A.primeCount();
+  uint64_t N = Ctx->polyDegree();
+  std::vector<std::vector<uint64_t>> Digits = keySwitchDecompose(A.Polys[1]);
+  NumHoistBatches.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<std::vector<uint64_t>> Permuted(Count);
+  for (size_t K = 0; K < Steps.size(); ++K) {
+    uint64_t S = Steps[K];
+    if (S == 0) { // identity rotation: the compiler normalizes these away,
+      Out[K] = A; // but a caller-supplied batch may still contain one
+      continue;
+    }
+    if (S >= Ctx->slotCount())
+      fatalError("hoisted rotation step " + std::to_string(S) +
+                 " out of range [0, " + std::to_string(Ctx->slotCount()) +
+                 ")");
+    uint64_t G = galoisEltFromStep(S, Ctx->polyDegree());
+    if (!Keys.has(G))
+      fatalError("missing Galois key for hoisted rotation by " +
+                 std::to_string(S));
+
+    RnsPoly C0 = applyGaloisNttPoly(*Ctx, A.Polys[0], G,
+                                    /*SpansSpecialPrime=*/false, Pool);
+    forEachLimb(Count, [&](size_t I) {
+      Permuted[I].resize(N);
+      applyGaloisComp(Digits[I], Permuted[I], G, N, Ctx->prime(I));
+    });
+    std::array<RnsPoly, 2> Ks = keySwitchAccumulate(Permuted, Keys.at(G));
+    Out[K] = assembleRotation(std::move(C0), std::move(Ks), A.Scale);
+    NumRotations.fetch_add(1, std::memory_order_relaxed);
+    NumHoistedRotations.fetch_add(1, std::memory_order_relaxed);
+  }
   return Out;
+}
+
+void Evaluator::resetCounters() const {
+  NumDecompositions.store(0, std::memory_order_relaxed);
+  NumRotations.store(0, std::memory_order_relaxed);
+  NumHoistedRotations.store(0, std::memory_order_relaxed);
+  NumHoistBatches.store(0, std::memory_order_relaxed);
+}
+
+EvaluatorCounters Evaluator::counters() const {
+  EvaluatorCounters C;
+  C.KeySwitchDecompositions =
+      NumDecompositions.load(std::memory_order_relaxed);
+  C.Rotations = NumRotations.load(std::memory_order_relaxed);
+  C.HoistedRotations = NumHoistedRotations.load(std::memory_order_relaxed);
+  C.HoistBatches = NumHoistBatches.load(std::memory_order_relaxed);
+  return C;
 }

@@ -201,7 +201,13 @@ RelinKeys KeyGenerator::createRelinKeys() {
 
 GaloisKeys KeyGenerator::createGaloisKeys(const std::set<uint64_t> &Steps) {
   GaloisKeys Gk;
+  uint64_t Slots = Ctx->slotCount();
   for (uint64_t Step : Steps) {
+    // Slot rotation is cyclic with period N/2, so normalize before mapping
+    // to a Galois element: step 0 (and any multiple of the slot count, e.g.
+    // a program vec_size that equals the slot count) is the identity and
+    // needs no key. An empty step set yields an empty key map.
+    Step %= Slots;
     if (Step == 0)
       continue;
     uint64_t G = galoisEltFromStep(Step, Ctx->polyDegree());

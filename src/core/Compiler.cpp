@@ -33,6 +33,11 @@ Expected<CompiledProgram> eva::compile(const Program &Input,
   lowerFrontendOps(P);
   if (Options.Optimize)
     cseAndSimplifyPass(P);
+  // Galois-key budgeting runs after CSE (which first folds rotation chains
+  // into single steps) and before the FHE-insertion passes, so the rewritten
+  // power-of-two chains flow through rescale/modswitch/scale matching like
+  // any other rotations.
+  galoisBudgetPass(P, Options.GaloisKeyBudget);
   switch (Options.Rescale) {
   case RescalePolicy::Waterline:
     waterlineRescalePass(P, Options.SfBits);
@@ -77,5 +82,8 @@ Expected<CompiledProgram> eva::compile(const Program &Input,
 
   // --- DetermineRotationSteps (line 5) ---
   Out.RotationSteps = selectRotationSteps(P);
+
+  // --- Rotation hoisting analysis (runtime consumes the batches) ---
+  Out.RotPlan = planRotationHoisting(P);
   return Out;
 }

@@ -69,11 +69,33 @@ size_t eva::cseAndSimplifyPass(Program &P) {
       continue;
     case OpCode::RotateLeft:
     case OpCode::RotateRight: {
-      int64_t Steps = ((N->rotation() % M) + M) % M;
+      // Fold chains: rotate(rotate(x, a), b) == rotate(x, (a+b) mod M), so
+      // walk to the chain root and retarget N there. Intermediate links with
+      // other uses survive; orphaned ones are erased at the end. Parents
+      // were visited first (forward order), so each chain collapses in one
+      // visit.
+      int64_t Steps =
+          static_cast<int64_t>(normalizedLeftSteps(N, P.vecSize()));
+      Node *Root = N->parm(0);
+      bool Folded = false;
+      while (isRotation(Root->op())) {
+        Steps = (Steps +
+                 static_cast<int64_t>(normalizedLeftSteps(Root, P.vecSize()))) %
+                M;
+        Root = Root->parm(0);
+        Folded = true;
+      }
       if (Steps == 0) {
-        P.replaceAllUses(N, N->parm(0));
+        P.replaceAllUses(N, Root);
         ++Eliminated;
         continue;
+      }
+      if (Folded) {
+        P.setParm(N, 0, Root);
+        // Keep N's opcode; express the combined count in its direction.
+        N->setRotation(static_cast<int32_t>(
+            N->op() == OpCode::RotateLeft ? Steps : M - Steps));
+        ++Eliminated;
       }
       break;
     }

@@ -14,6 +14,15 @@
 
 using namespace eva;
 
+uint64_t eva::normalizedLeftSteps(const Node *N, uint64_t VecSize) {
+  assert(isRotation(N->op()) && "not a rotation node");
+  int64_t M = static_cast<int64_t>(VecSize);
+  int64_t Left = N->rotation() % M;
+  if (N->op() == OpCode::RotateRight)
+    Left = -Left;
+  return static_cast<uint64_t>(((Left % M) + M) % M);
+}
+
 Program::Program(uint64_t VecSizeIn, std::string Name)
     : VecSize(VecSizeIn), ProgName(std::move(Name)) {
   assert(isPowerOfTwo(VecSize) && "vector size must be a power of two");

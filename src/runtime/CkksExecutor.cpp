@@ -164,11 +164,28 @@ Plaintext CkksExecutor::encodeOperand(const Node *PlainNode,
 }
 
 uint64_t CkksExecutor::normalizedLeftSteps(const Node *N) const {
-  int64_t M = static_cast<int64_t>(P.vecSize());
-  int64_t Left = N->rotation() % M;
-  if (N->op() == OpCode::RotateRight)
-    Left = -Left;
-  return static_cast<uint64_t>(((Left % M) + M) % M);
+  return eva::normalizedLeftSteps(N, P.vecSize());
+}
+
+void CkksExecutor::beginRun() {
+  Stats = ExecutionStats();
+  Stats.TotalNodeCount = P.nodeCount();
+  ActiveEval->resetCounters();
+  HoistStashBytes.store(0);
+  HoistStashNodes.store(0);
+  HoistState.clear();
+  if (UseHoisting)
+    for (size_t I = 0; I < CP.RotPlan.Groups.size(); ++I)
+      HoistState.push_back(std::make_unique<HoistGroupState>());
+}
+
+void CkksExecutor::finishRun() {
+  EvaluatorCounters C = ActiveEval->counters();
+  Stats.KeySwitchDecompositions = C.KeySwitchDecompositions;
+  Stats.Rotations = C.Rotations;
+  Stats.HoistedRotations = C.HoistedRotations;
+  Stats.HoistBatches = C.HoistBatches;
+  HoistState.clear();
 }
 
 void CkksExecutor::computeNode(const Node *N, std::vector<Value> &Values,
@@ -258,10 +275,51 @@ void CkksExecutor::computeNode(const Node *N, std::vector<Value> &Values,
   case OpCode::RotateRight: {
     uint64_t Steps = normalizedLeftSteps(N);
     const Ciphertext &CA = CipherOf(N->parm(0));
-    if (Steps == 0)
+    if (Steps == 0) {
       Slot.Ct = CA;
-    else
+      break;
+    }
+    auto GIt = UseHoisting && !HoistState.empty()
+                   ? CP.RotPlan.GroupOf.find(N->id())
+                   : CP.RotPlan.GroupOf.end();
+    if (GIt == CP.RotPlan.GroupOf.end()) {
       Slot.Ct = E.rotateLeft(CA, Steps, WS->Gk);
+      break;
+    }
+    // Hoist batch: whichever member executes first computes every rotation
+    // of the shared source against one key-switch decomposition; the others
+    // pick up their precomputed ciphertexts. Results are bit-identical to
+    // the serial path (see Evaluator::rotateHoisted), so schedules with and
+    // without hoisting decrypt to the same bits.
+    const RotationPlan::HoistGroup &G = CP.RotPlan.Groups[GIt->second];
+    HoistGroupState &St = *HoistState[GIt->second];
+    std::lock_guard<std::mutex> Lock(St.M);
+    if (!St.Done) {
+      std::vector<uint64_t> StepList(G.Members.size());
+      for (size_t I = 0; I < G.Members.size(); ++I)
+        StepList[I] = normalizedLeftSteps(G.Members[I]);
+      std::vector<Ciphertext> Outs = E.rotateHoisted(CA, StepList, WS->Gk);
+      size_t StashBytes = 0;
+      for (size_t I = 0; I < G.Members.size(); ++I) {
+        StashBytes += Outs[I].memoryBytes();
+        St.Results.emplace(G.Members[I]->id(), std::move(Outs[I]));
+      }
+      // The whole batch is live from this moment; members that have not
+      // executed yet hold their results here, outside the Values table, so
+      // the peak-memory accounting must see them too.
+      HoistStashBytes.fetch_add(StashBytes);
+      HoistStashNodes.fetch_add(G.Members.size());
+      St.Done = true;
+    }
+    auto RIt = St.Results.find(N->id());
+    if (RIt == St.Results.end())
+      fatalError("hoist batch has no result for node @" +
+                 std::to_string(N->id()) + ": node executed twice or the "
+                 "rotation plan does not match the program");
+    HoistStashBytes.fetch_sub(RIt->second.memoryBytes());
+    HoistStashNodes.fetch_sub(1);
+    Slot.Ct = std::move(RIt->second);
+    St.Results.erase(RIt);
     break;
   }
   case OpCode::Relinearize:
@@ -289,8 +347,7 @@ CkksExecutor::run(const SealedInputs &Inputs) {
   std::vector<Value> Values(P.maxNodeId());
   std::vector<size_t> PendingUses(P.maxNodeId(), 0);
   std::map<std::string, Ciphertext> Outputs;
-  Stats = ExecutionStats();
-  Stats.TotalNodeCount = P.nodeCount();
+  beginRun();
 
   size_t LiveBytes = 0;
   size_t LiveNodes = 0;
@@ -300,8 +357,11 @@ CkksExecutor::run(const SealedInputs &Inputs) {
     if (Values[N->id()].isCipher()) {
       LiveBytes += Values[N->id()].Ct->memoryBytes();
       ++LiveNodes;
-      Stats.PeakLiveBytes = std::max(Stats.PeakLiveBytes, LiveBytes);
-      Stats.PeakLiveNodes = std::max(Stats.PeakLiveNodes, LiveNodes);
+      // Hoist-batch results still parked in HoistState count as live.
+      Stats.PeakLiveBytes = std::max(Stats.PeakLiveBytes,
+                                     LiveBytes + HoistStashBytes.load());
+      Stats.PeakLiveNodes = std::max(Stats.PeakLiveNodes,
+                                     LiveNodes + HoistStashNodes.load());
     }
     // Retire parents whose last child just consumed them (Section 6.1's
     // memory reuse).
@@ -313,6 +373,7 @@ CkksExecutor::run(const SealedInputs &Inputs) {
       }
     }
   }
+  finishRun();
   return Outputs;
 }
 
@@ -330,8 +391,7 @@ std::map<std::string, Ciphertext>
 ParallelCkksExecutor::run(const SealedInputs &Inputs) {
   std::vector<Value> Values(P.maxNodeId());
   std::map<std::string, Ciphertext> Outputs;
-  Stats = ExecutionStats();
-  Stats.TotalNodeCount = P.nodeCount();
+  beginRun();
 
   std::vector<Node *> Order = P.forwardOrder();
   std::vector<std::atomic<int>> Deps(P.maxNodeId());
@@ -360,8 +420,11 @@ ParallelCkksExecutor::run(const SealedInputs &Inputs) {
     computeNode(N, Values, Inputs, Outputs);
     if (Values[N->id()].isCipher()) {
       size_t Bytes = Values[N->id()].Ct->memoryBytes();
-      RaiseToAtLeast(PeakBytes, LiveBytes.fetch_add(Bytes) + Bytes);
-      RaiseToAtLeast(PeakNodes, LiveNodes.fetch_add(1) + 1);
+      // Hoist-batch results still parked in HoistState count as live.
+      RaiseToAtLeast(PeakBytes, LiveBytes.fetch_add(Bytes) + Bytes +
+                                    HoistStashBytes.load());
+      RaiseToAtLeast(PeakNodes,
+                     LiveNodes.fetch_add(1) + 1 + HoistStashNodes.load());
     }
     for (const Node *Parm : N->parms()) {
       if (Pending[Parm->id()].fetch_sub(1) == 1 &&
@@ -391,6 +454,7 @@ ParallelCkksExecutor::run(const SealedInputs &Inputs) {
   Pool.waitIdle();
   Stats.PeakLiveBytes = PeakBytes.load();
   Stats.PeakLiveNodes = PeakNodes.load();
+  finishRun();
   return Outputs;
 }
 
@@ -398,8 +462,7 @@ std::map<std::string, Ciphertext>
 KernelBulkCkksExecutor::run(const SealedInputs &Inputs) {
   std::vector<Value> Values(P.maxNodeId());
   std::map<std::string, Ciphertext> Outputs;
-  Stats = ExecutionStats();
-  Stats.TotalNodeCount = P.nodeCount();
+  beginRun();
 
   // Chunk the topological order at kernel boundaries; each chunk executes
   // bulk-synchronously (wavefronts with barriers), chunks run in sequence.
@@ -438,5 +501,6 @@ KernelBulkCkksExecutor::run(const SealedInputs &Inputs) {
     }
     I = J;
   }
+  finishRun();
   return Outputs;
 }

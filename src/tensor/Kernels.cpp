@@ -8,6 +8,7 @@
 
 #include "eva/support/BitOps.h"
 
+#include <algorithm>
 #include <map>
 
 using namespace eva;
@@ -198,9 +199,104 @@ CipherTensor eva::polyActivation(ProgramBuilder &B, const CipherTensor &In,
   });
 }
 
+Expr eva::rotationTreeSum(ProgramBuilder &B, Expr V, size_t Span) {
+  size_t M = B.vecSize();
+  Span = std::min(Span, static_cast<size_t>(M));
+  Expr T = V;
+  for (size_t Step = 1; Step < Span; Step <<= 1)
+    T = T + (T << static_cast<int32_t>(Step));
+  return T;
+}
+
+CipherTensor eva::matVecBsgs(ProgramBuilder &B, const CipherTensor &In,
+                             const Tensor &Weights, const Tensor &Bias,
+                             const TensorScales &Scales) {
+  return B.inKernel([&]() -> CipherTensor {
+    const CipherLayout &L = In.Layout;
+    size_t NOut = Weights.dims()[0], NIn = Weights.dims()[1];
+    assert(L.GridH == L.H && L.GridW == L.W && L.StrideY == 1 &&
+           L.StrideX == 1 && "BSGS matvec needs a dense layout");
+    assert(NIn == L.logicalSize() && "dense layer input size mismatch");
+    (void)NIn; // assert-only in Release
+    size_t M = B.vecSize();
+    assert(NOut <= M && "too many outputs for the ciphertext");
+
+    // The matrix as cyclic diagonals over the full vector:
+    //   y[k] = sum_d diag_d[k] * x[(k+d) mod M],
+    //   diag_d[k] = W[k][(k+d) mod M]  (zero-padded outside Out x In).
+    // Columns >= NIn carry zero weight, so garbage slots of x never leak.
+    auto Diag = [&](size_t D) {
+      std::vector<double> V(M, 0.0);
+      for (size_t K = 0; K < NOut; ++K) {
+        size_t C = (K + D) % M;
+        if (C < NIn)
+          V[K] = Weights.at2(K, C);
+      }
+      return V;
+    };
+
+    // Baby-step–giant-step split d = GJ + I (BS ~ sqrt(M)): the BS baby
+    // rotations all rotate the input ciphertext itself — one hoist batch
+    // sharing a single key-switch decomposition at run time — while the
+    // giant steps rotate each block's partial sum:
+    //   y = sum_j rot_{GJ}( sum_i rot_{-GJ}(diag_{GJ+i}) o rot_i(x) )
+    // where the giant-step pre-rotation of the diagonal is free (plaintext).
+    size_t BS = 1;
+    while (BS * BS < M)
+      BS <<= 1;
+    RotationCache Rot(B, In.Value);
+    Expr Acc;
+    for (size_t GJ = 0; GJ < M; GJ += BS) {
+      Expr Inner;
+      for (size_t I = 0; I < BS && GJ + I < M; ++I) {
+        std::vector<double> DV = Diag(GJ + I);
+        std::vector<double> Mask(M, 0.0);
+        bool Zero = true;
+        for (size_t K = 0; K < M; ++K) {
+          if (DV[K] == 0.0)
+            continue;
+          Zero = false;
+          Mask[(K + GJ) % M] = DV[K]; // rot_{-GJ}(diag)
+        }
+        if (Zero)
+          continue;
+        accumulate(Inner, Rot.get(static_cast<int64_t>(I)) *
+                              B.constantVector(Mask, Scales.Vector));
+      }
+      if (!Inner.valid())
+        continue;
+      accumulate(Acc, GJ == 0 ? Inner
+                              : (Inner << static_cast<int32_t>(GJ)));
+    }
+    assert(Acc.valid() && "dense layer with all-zero weights");
+
+    if (Bias.size() > 0) {
+      std::vector<double> BiasVec(M, 0.0);
+      for (size_t O = 0; O < NOut; ++O)
+        BiasVec[O] = Bias.at(O);
+      Acc = Acc + B.constantVector(BiasVec, Scales.Vector);
+    }
+
+    CipherLayout Out;
+    Out.C = NOut;
+    Out.H = Out.W = 1;
+    Out.GridH = Out.GridW = 1;
+    Out.StrideY = Out.StrideX = 1;
+    return CipherTensor{Acc, Out};
+  });
+}
+
 CipherTensor eva::fullyConnected(ProgramBuilder &B, const CipherTensor &In,
                                  const Tensor &Weights, const Tensor &Bias,
                                  const TensorScales &Scales) {
+  // Dense inputs (logical element j at slot j) take the BSGS diagonal
+  // kernel: O(sqrt(M)) hoistable rotations instead of O(Out * log M)
+  // unshared ones.
+  const CipherLayout &Lin = In.Layout;
+  if (Lin.GridH == Lin.H && Lin.GridW == Lin.W && Lin.StrideY == 1 &&
+      Lin.StrideX == 1)
+    return matVecBsgs(B, In, Weights, Bias, Scales);
+
   return B.inKernel([&]() -> CipherTensor {
     const CipherLayout &L = In.Layout;
     size_t NOut = Weights.dims()[0], NIn = Weights.dims()[1];
@@ -220,12 +316,11 @@ CipherTensor eva::fullyConnected(ProgramBuilder &B, const CipherTensor &In,
             WMask[L.slotOf(C, Y, X)] += Weights.at2(O, Flat++);
       if (allZero(WMask))
         continue;
-      Expr T = In.Value * B.constantVector(WMask, Scales.Vector);
       // Full rotate-and-add tree: every slot ends up holding the complete
       // dot product, so no placement rotation is needed and the only Galois
       // keys are the log2(M) powers of two (shared program-wide).
-      for (size_t Step = 1; Step < M; Step <<= 1)
-        T = T + (T << static_cast<int32_t>(Step));
+      Expr T = rotationTreeSum(
+          B, In.Value * B.constantVector(WMask, Scales.Vector), M);
       std::vector<double> Sel(M, 0.0);
       Sel[O] = 1.0;
       accumulate(Acc, T * B.constantVector(Sel, Scales.Vector));

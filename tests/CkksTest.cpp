@@ -323,6 +323,51 @@ TEST_P(RotationSteps, RotateLeftMatchesCyclicShift) {
 INSTANTIATE_TEST_SUITE_P(Steps, RotationSteps,
                          ::testing::Values(1, 2, 3, 64, 512, 1023));
 
+TEST_F(CkksFixture, RotateHoistedBitIdenticalToSerialRotations) {
+  // The hoisted batch shares one key-switch decomposition; every output
+  // must still be bit-for-bit the serial rotateLeft result — including a
+  // duplicate step and an embedded identity (step 0).
+  std::vector<uint64_t> Steps = {1, 5, 37, 5, 0, 2047};
+  std::set<uint64_t> KeySteps(Steps.begin(), Steps.end());
+  GaloisKeys Gk = Gen->createGaloisKeys(KeySteps);
+
+  std::vector<double> In = randomVector(2048, -1.0, 1.0, 29);
+  Ciphertext Ct = encryptVec(In, std::ldexp(1.0, 40), 3);
+
+  Eval->resetCounters();
+  std::vector<Ciphertext> Hoisted = Eval->rotateHoisted(Ct, Steps, Gk);
+  EvaluatorCounters C = Eval->counters();
+  EXPECT_EQ(C.KeySwitchDecompositions, 1u);
+  EXPECT_EQ(C.HoistBatches, 1u);
+  EXPECT_EQ(C.HoistedRotations, 5u); // step 0 is a copy, not a rotation
+
+  ASSERT_EQ(Hoisted.size(), Steps.size());
+  for (size_t K = 0; K < Steps.size(); ++K) {
+    Ciphertext Want =
+        Steps[K] == 0 ? Ct : Eval->rotateLeft(Ct, Steps[K], Gk);
+    ASSERT_EQ(Hoisted[K].size(), Want.size()) << "step " << Steps[K];
+    EXPECT_EQ(Hoisted[K].Scale, Want.Scale);
+    for (size_t P = 0; P < Want.size(); ++P)
+      EXPECT_EQ(Hoisted[K].Polys[P].Comps, Want.Polys[P].Comps)
+          << "step " << Steps[K] << " poly " << P;
+  }
+}
+
+TEST_F(CkksFixture, RotateHoistedMatchesCyclicShiftAtLowerLevel) {
+  // Hoisting after rescale (fewer limbs) still decrypts to the rotation.
+  GaloisKeys Gk = Gen->createGaloisKeys({3, 300});
+  std::vector<double> In = randomVector(2048, -1.0, 1.0, 31);
+  Ciphertext Ct = Eval->rescale(
+      encryptVec(In, std::ldexp(1.0, 80), 3)); // drop one prime
+  std::vector<Ciphertext> R = Eval->rotateHoisted(Ct, {3, 300}, Gk);
+  std::vector<double> A = decryptVec(R[0]);
+  std::vector<double> B = decryptVec(R[1]);
+  for (size_t I = 0; I < 2048; ++I) {
+    EXPECT_NEAR(A[I], In[(I + 3) % 2048], 1e-5) << "slot " << I;
+    EXPECT_NEAR(B[I], In[(I + 300) % 2048], 1e-5) << "slot " << I;
+  }
+}
+
 TEST(Galois, EltFromStepMatchesPowersOfFive) {
   EXPECT_EQ(galoisEltFromStep(1, 2048), 5u);
   EXPECT_EQ(galoisEltFromStep(2, 2048), 25u);

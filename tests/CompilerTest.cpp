@@ -342,6 +342,88 @@ TEST(Compiler, LowersSumToRotateTree) {
   EXPECT_EQ(CP->RotationSteps, (std::set<uint64_t>{1, 2, 4, 8}));
 }
 
+//===----------------------------------------------------------------------===
+// Rotation hoisting plan + Galois-key budgeting
+//===----------------------------------------------------------------------===
+
+TEST(RotationPlan, GroupsRotationsBySharedSource) {
+  ProgramBuilder B("fan", 32);
+  Expr X = B.inputCipher("x", 30);
+  Expr Y = B.inputCipher("y", 30);
+  // Four rotations of x (one hoist group), one lone rotation of y (none).
+  B.output("o", ((X << 1) + (X << 3) + (X << 5) + (X << 7)) * (Y << 2), 30);
+  Expected<CompiledProgram> CP = compile(B.program());
+  ASSERT_TRUE(CP.ok()) << CP.message();
+  ASSERT_EQ(CP->RotPlan.Groups.size(), 1u);
+  EXPECT_EQ(CP->RotPlan.Groups[0].Members.size(), 4u);
+  EXPECT_EQ(CP->RotPlan.GroupOf.size(), 4u);
+  for (const Node *M : CP->RotPlan.Groups[0].Members)
+    EXPECT_EQ(M->parm(0), CP->RotPlan.Groups[0].Source);
+}
+
+TEST(RotationPlan, IdentityRotationsAreNotGrouped) {
+  ProgramBuilder B("ident", 16);
+  Expr X = B.inputCipher("x", 30);
+  B.output("o", ((X << 16) + (X << 1) + X) * X, 30);
+  Expected<CompiledProgram> CP = compile(B.program());
+  ASSERT_TRUE(CP.ok()) << CP.message();
+  // Only one real rotation survives CSE; no group of one.
+  EXPECT_TRUE(CP->RotPlan.empty());
+}
+
+TEST(GaloisBudget, RewritesToPowerOfTwoBasisUnderBudget) {
+  ProgramBuilder B("budget", 64);
+  Expr X = B.inputCipher("x", 30);
+  // Steps {3, 7, 13, 21}: 4 distinct steps, bits {1,2,4,8,16}.
+  B.output("o", ((X << 3) + (X << 7) + (X << 13) + (X << 21)) * X, 30);
+  CompilerOptions O;
+  O.GaloisKeyBudget = 3;
+  Expected<CompiledProgram> CP = compile(B.program(), O);
+  ASSERT_TRUE(CP.ok()) << CP.message();
+  for (uint64_t S : CP->RotationSteps)
+    EXPECT_EQ(S & (S - 1), 0u) << "step " << S << " is not a power of two";
+  EXPECT_EQ(CP->RotationSteps, (std::set<uint64_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(GaloisBudget, NoRewriteWhenUnderBudget) {
+  ProgramBuilder B("under", 64);
+  Expr X = B.inputCipher("x", 30);
+  B.output("o", ((X << 3) + (X << 7)) * X, 30);
+  CompilerOptions O;
+  O.GaloisKeyBudget = 2;
+  Expected<CompiledProgram> CP = compile(B.program(), O);
+  ASSERT_TRUE(CP.ok()) << CP.message();
+  EXPECT_EQ(CP->RotationSteps, (std::set<uint64_t>{3, 7}));
+}
+
+TEST(GaloisBudget, ChainPrefixesAreShared) {
+  // 3 = 1+2 and 7 = 1+2+4 share the rotate-by-1 and rotate-by-3 prefix, so
+  // the rewrite emits exactly three rotations, not five.
+  ProgramBuilder B("prefix", 64);
+  Expr X = B.inputCipher("x", 30);
+  B.output("o", ((X << 3) + (X << 7)) * X, 30);
+  Program &P = B.program();
+  lowerFrontendOps(P);
+  size_t Rewritten = galoisBudgetPass(P, 1);
+  EXPECT_EQ(Rewritten, 2u);
+  EXPECT_EQ(countOps(P, OpCode::RotateLeft), 3u); // by 1, by 2, by 4
+  EXPECT_EQ(selectRotationSteps(P), (std::set<uint64_t>{1, 2, 4}));
+  EXPECT_TRUE(P.verifyStructure().ok());
+}
+
+TEST(GaloisBudget, RightRotationsAndWraparoundNormalize) {
+  // Right 5 on vec 64 is left 59 = 32+16+8+2+1.
+  ProgramBuilder B("right", 64);
+  Expr X = B.inputCipher("x", 30);
+  B.output("o", ((X >> 5) + (X << 3)) * X, 30);
+  CompilerOptions O;
+  O.GaloisKeyBudget = 1;
+  Expected<CompiledProgram> CP = compile(B.program(), O);
+  ASSERT_TRUE(CP.ok()) << CP.message();
+  EXPECT_EQ(CP->RotationSteps, (std::set<uint64_t>{1, 2, 8, 16, 32}));
+  EXPECT_EQ(countOps(*CP->Prog, OpCode::RotateRight), 0u);
+}
+
 TEST(Compiler, CompiledProgramContextBitOrder) {
   std::unique_ptr<Program> P = makeX2Y3();
   Expected<CompiledProgram> CP = compile(*P);

@@ -118,6 +118,55 @@ TEST(CkksEdge, RescaleAfterRelinearizeMatchesRelinearizeAfterRescale) {
   }
 }
 
+TEST(CkksEdge, GaloisKeyEdgeSteps) {
+  Raw R; // degree 2048 -> 1024 slots
+  uint64_t Slots = R.Ctx->slotCount();
+
+  // Empty step set, step 0, and any multiple of the slot count (identity
+  // rotations) produce no keys — and must not crash or assert.
+  EXPECT_TRUE(R.Gen->createGaloisKeys({}).Keys.empty());
+  EXPECT_TRUE(R.Gen->createGaloisKeys({0}).Keys.empty());
+  EXPECT_TRUE(R.Gen->createGaloisKeys({Slots}).Keys.empty());
+  EXPECT_TRUE(R.Gen->createGaloisKeys({0, Slots, 2 * Slots}).Keys.empty());
+
+  // Steps congruent modulo the slot count share one key.
+  GaloisKeys Gk = R.Gen->createGaloisKeys({16, Slots + 16, 0});
+  EXPECT_EQ(Gk.Keys.size(), 1u);
+
+  // A step equal to a program's vec_size (16 < slot count) is a real slot
+  // rotation at the scheme level and the generated key works.
+  std::vector<double> In(Slots);
+  for (size_t I = 0; I < Slots; ++I)
+    In[I] = 0.001 * static_cast<double>(I % 97) - 0.05;
+  std::vector<double> Out = R.dec(R.Eval->rotateLeft(R.enc(In), 16, Gk));
+  for (size_t I = 0; I < Slots; ++I)
+    EXPECT_NEAR(Out[I], In[(I + 16) % Slots], 1e-4) << "slot " << I;
+}
+
+TEST(CompilerEdge, RotationByVecSizeIsIdentityAndNeedsNoKey) {
+  // vec_size-step (and multiple-of-vec_size) rotations normalize to the
+  // identity: no Galois key is requested and execution works without any.
+  ProgramBuilder B("rotvs", 16);
+  Expr X = B.inputCipher("x", 30);
+  B.output("out", ((X << 16) + (X >> 32)) * X, 30);
+  Expected<CompiledProgram> CP = compile(B.program());
+  ASSERT_TRUE(CP.ok()) << CP.message();
+  EXPECT_TRUE(CP->RotationSteps.empty());
+
+  Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::create(*CP, 3);
+  ASSERT_TRUE(WS.ok()) << WS.message();
+  EXPECT_TRUE(WS.value()->Gk.Keys.empty());
+  CkksExecutor Exec(*CP, WS.value());
+  std::map<std::string, std::vector<double>> In;
+  In.emplace("x", std::vector<double>{0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7,
+                                      -0.8, 0.9, 0.1, 0.2, -0.3, 0.4, 0.5,
+                                      -0.6, 0.7});
+  std::map<std::string, std::vector<double>> Got = Exec.runPlain(In);
+  const std::vector<double> &X2 = In.at("x");
+  for (size_t I = 0; I < 16; ++I)
+    EXPECT_NEAR(Got.at("out")[I], 2 * X2[I] * X2[I], 1e-4) << "slot " << I;
+}
+
 TEST(CompilerEdge, VectorSizeOne) {
   ProgramBuilder B("one", 1);
   Expr X = B.inputCipher("x", 30);

@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "eva/api/Runner.h"
 #include "eva/ckks/Decryptor.h"
 #include "eva/ckks/Encoder.h"
 #include "eva/ckks/Encryptor.h"
@@ -232,6 +233,153 @@ TEST_P(ExecutorAgreement, ParallelAndBulkMatchSerial) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorAgreement,
                          ::testing::Range<uint64_t>(1, 6));
+
+//===----------------------------------------------------------------------===
+// Differential rotation battery: hoisting on/off x every local backend
+//===----------------------------------------------------------------------===
+
+/// Rotation-dominated random DAGs: long fans of rotations off shared
+/// sources (hoist batches), chained rotations (the CSE fold), occasional
+/// adds and depth-bounded multiplies.
+std::unique_ptr<Program> randomRotationProgram(uint64_t Seed,
+                                               uint64_t VecSize,
+                                               size_t Ops = 35) {
+  RandomSource Rng(Seed * 104729 + 17);
+  ProgramBuilder B("rotfuzz" + std::to_string(Seed), VecSize);
+  struct Entry {
+    Expr E;
+    int Depth;
+  };
+  std::vector<Entry> Pool;
+  Pool.push_back({B.inputCipher("x", 30), 0});
+  Pool.push_back({B.inputCipher("y", 30), 0});
+  for (size_t I = 0; I < Ops; ++I) {
+    Entry A = Pool[Rng.uniformBelow(Pool.size())];
+    switch (Rng.uniformBelow(8)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3: { // rotations dominate; signed and wrapping steps included
+      int32_t S = static_cast<int32_t>(Rng.uniformBelow(3 * VecSize)) -
+                  static_cast<int32_t>(VecSize);
+      Pool.push_back({S >= 0 ? A.E << S : A.E >> -S, A.Depth});
+      break;
+    }
+    case 4:
+    case 5: {
+      Entry C = Pool[Rng.uniformBelow(Pool.size())];
+      Pool.push_back({Rng.uniformBelow(2) ? A.E + C.E : A.E - C.E,
+                      std::max(A.Depth, C.Depth)});
+      break;
+    }
+    case 6: {
+      if (A.Depth >= 2)
+        break;
+      Pool.push_back(
+          {A.E * B.constant(0.25 + 0.5 * Rng.uniformReal(0, 1), 20),
+           A.Depth + 1});
+      break;
+    }
+    default: {
+      Entry C = Pool[Rng.uniformBelow(Pool.size())];
+      if (A.Depth + C.Depth >= 2)
+        break;
+      Pool.push_back({A.E * C.E, std::max(A.Depth, C.Depth) + 1});
+      break;
+    }
+    }
+  }
+  B.output("o0", Pool.back().E, 25);
+  B.output("o1", Pool[Pool.size() / 2].E, 25);
+  return B.take();
+}
+
+class RotationDifferential
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(RotationDifferential, HoistingAndBackendsAreBitIdentical) {
+  auto [Seed, VecSize] = GetParam();
+  std::unique_ptr<Program> P = randomRotationProgram(Seed, VecSize);
+  std::map<std::string, std::vector<double>> Inputs =
+      randomInputs(*P, Seed + 5);
+
+  Expected<CompiledProgram> Compiled = compile(*P);
+  ASSERT_TRUE(Compiled.ok()) << Compiled.message();
+  CompiledProgram CP = std::move(Compiled.value());
+  Expected<std::shared_ptr<CkksWorkspace>> WS =
+      CkksWorkspace::create(CP, Seed);
+  ASSERT_TRUE(WS.ok()) << WS.message();
+
+  // Seal once so every backend consumes identical ciphertext bits.
+  CkksExecutor Sealer(CP, WS.value());
+  SealedInputs Sealed = Sealer.encryptInputs(Inputs);
+  Valuation V;
+  for (const auto &[Name, Ct] : Sealed.Cipher)
+    V.set(Name, Ct);
+  for (const auto &[Name, Pl] : Sealed.Plain)
+    V.set(Name, Pl);
+
+  struct Cfg {
+    const char *Name;
+    LocalStyle Style;
+    size_t Threads;
+    bool Hoist;
+  };
+  const Cfg Cfgs[] = {
+      {"serial+hoist", LocalStyle::Serial, 1, true},
+      {"serial", LocalStyle::Serial, 1, false},
+      {"parallel+hoist", LocalStyle::ParallelDag, 3, true},
+      {"parallel", LocalStyle::ParallelDag, 3, false},
+      {"bulk+hoist", LocalStyle::KernelBulk, 2, true},
+      {"bulk", LocalStyle::KernelBulk, 2, false},
+  };
+  std::map<std::string, std::vector<double>> First;
+  for (const Cfg &C : Cfgs) {
+    LocalRunnerOptions O;
+    O.Style = C.Style;
+    O.Threads = C.Threads;
+    O.Hoisting = C.Hoist;
+    Expected<std::unique_ptr<Runner>> R = Runner::local(CP, WS.value(), O);
+    ASSERT_TRUE(R.ok()) << C.Name << ": " << R.message();
+    Expected<Valuation> Out = (*R)->run(V);
+    ASSERT_TRUE(Out.ok()) << C.Name << ": " << Out.message();
+    const ExecutionStats *S = (*R)->executionStats();
+    ASSERT_NE(S, nullptr);
+    if (!C.Hoist)
+      EXPECT_EQ(S->HoistedRotations, 0u) << C.Name;
+    for (const Node *ON : CP.Prog->outputs()) {
+      std::vector<double> Got = Out->plainVec(ON->name());
+      if (First.count(ON->name()) == 0) {
+        First.emplace(ON->name(), Got);
+        continue;
+      }
+      const std::vector<double> &Want = First.at(ON->name());
+      ASSERT_EQ(Got.size(), Want.size());
+      for (size_t I = 0; I < Got.size(); ++I)
+        EXPECT_EQ(Got[I], Want[I]) // bit-identical, not just close
+            << C.Name << " seed " << Seed << " vec " << VecSize << " out "
+            << ON->name() << " slot " << I;
+    }
+  }
+
+  // Reference closeness: the CKKS result approximates the exact semantics.
+  std::map<std::string, std::vector<double>> Want =
+      *ReferenceExecutor(*P).run(Inputs);
+  for (const auto &[Name, W] : Want) {
+    const std::vector<double> &G = First.at(Name);
+    // Each rotation in a chain adds key-switch noise, so rotation-heavy
+    // programs sit a little above the usual 1e-3 CKKS closeness.
+    for (size_t I = 0; I < W.size(); ++I)
+      EXPECT_NEAR(G[I], W[I], 5e-3 * std::max(1.0, std::abs(W[I])))
+          << "seed " << Seed << " vec " << VecSize << " out " << Name
+          << " slot " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, RotationDifferential,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 9),
+                       ::testing::Values<uint64_t>(16, 64, 256)));
 
 //===----------------------------------------------------------------------===
 // CKKS algebraic laws

@@ -4,15 +4,19 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "eva/ckks/KeyGenerator.h"
 #include "eva/core/Compiler.h"
 #include "eva/frontend/Expr.h"
 #include "eva/ir/Printer.h"
 #include "eva/runtime/ReferenceExecutor.h"
+#include "eva/serialize/CkksIO.h"
 #include "eva/serialize/ProtoIO.h"
 #include "eva/serialize/Wire.h"
 #include "eva/support/Random.h"
 
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 using namespace eva;
 
@@ -254,6 +258,137 @@ TEST(ProtoIO, RejectsNonPowerOfTwoVecSize) {
   WireWriter W;
   W.varintField(1, 12);
   EXPECT_FALSE(deserializeProgram(W.str()).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Hostile bytes against the evaluation-key loaders (the session-open
+// attack surface: a tenant uploads these before any cryptographic checks)
+//===----------------------------------------------------------------------===//
+
+struct KeyWire {
+  KeyWire() {
+    Ctx = CkksContext::createFromBitSizes(1024, {36, 36, 40},
+                                          SecurityLevel::None)
+              .value();
+    Gen = std::make_unique<KeyGenerator>(Ctx, 7);
+  }
+  std::shared_ptr<CkksContext> Ctx;
+  std::unique_ptr<KeyGenerator> Gen;
+};
+
+TEST(KeyWireHostile, TruncatedRelinKeysAlwaysError) {
+  KeyWire K;
+  std::string Data = serializeRelinKeys(K.Gen->createRelinKeys());
+  // Every strict prefix must fail cleanly: either a malformed field or a
+  // decomposition-count mismatch — never a crash or a silently short key.
+  for (size_t Len = 0; Len < Data.size();
+       Len += 1 + Data.size() / 97) {
+    Expected<RelinKeys> Q =
+        deserializeRelinKeys(*K.Ctx, std::string_view(Data).substr(0, Len));
+    EXPECT_FALSE(Q.ok()) << "prefix of " << Len << " bytes parsed";
+  }
+}
+
+TEST(KeyWireHostile, TruncatedGaloisKeysNeverCrashOrInventEntries) {
+  KeyWire K;
+  GaloisKeys Gk = K.Gen->createGaloisKeys({1, 3});
+  std::string Data = serializeGaloisKeys(Gk);
+  for (size_t Len = 0; Len < Data.size();
+       Len += 1 + Data.size() / 97) {
+    Expected<GaloisKeys> Q =
+        deserializeGaloisKeys(*K.Ctx, std::string_view(Data).substr(0, Len));
+    // A cut at an entry boundary legitimately yields the shorter key set;
+    // anything mid-entry must error. Either way: no crash, no new entries.
+    if (Q.ok()) {
+      EXPECT_LT(Q->Keys.size(), Gk.Keys.size());
+      for (const auto &[Elt, Key] : Q->Keys) {
+        EXPECT_TRUE(Gk.has(Elt));
+        EXPECT_EQ(Key.Keys.size(), K.Ctx->dataPrimeCount());
+      }
+    }
+  }
+}
+
+TEST(KeyWireHostile, DuplicateGaloisElementRejected) {
+  KeyWire K;
+  std::string One = serializeGaloisKeys(K.Gen->createGaloisKeys({1}));
+  // The wire format is a sequence of entry fields; doubling the buffer is
+  // a valid encoding of the same element twice.
+  Expected<GaloisKeys> Q = deserializeGaloisKeys(*K.Ctx, One + One);
+  ASSERT_FALSE(Q.ok());
+  EXPECT_NE(Q.message().find("duplicate"), std::string::npos) << Q.message();
+}
+
+TEST(KeyWireHostile, OutOfRangeGaloisElementsRejected) {
+  KeyWire K;
+  GaloisKeys Valid = K.Gen->createGaloisKeys({1});
+  const KSwitchKey &Key = Valid.Keys.begin()->second;
+  uint64_t TwoN = 2 * K.Ctx->polyDegree();
+  for (uint64_t Elt : {uint64_t(0), uint64_t(1), uint64_t(6), TwoN,
+                       TwoN + 1, TwoN + 3}) {
+    GaloisKeys Bad;
+    Bad.Keys.emplace(Elt, Key);
+    Expected<GaloisKeys> Q =
+        deserializeGaloisKeys(*K.Ctx, serializeGaloisKeys(Bad));
+    ASSERT_FALSE(Q.ok()) << "element " << Elt << " accepted";
+    EXPECT_NE(Q.message().find("out of range"), std::string::npos)
+        << Q.message();
+  }
+}
+
+TEST(KeyWireHostile, WrongDegreeAndChainRejected) {
+  KeyWire K;
+  // Keys serialized for a different degree must not load.
+  auto Other = CkksContext::createFromBitSizes(2048, {36, 36, 40},
+                                               SecurityLevel::None)
+                   .value();
+  KeyGenerator OtherGen(Other, 9);
+  EXPECT_FALSE(
+      deserializeRelinKeys(*K.Ctx, serializeRelinKeys(OtherGen.createRelinKeys()))
+          .ok());
+  EXPECT_FALSE(deserializeGaloisKeys(
+                   *K.Ctx, serializeGaloisKeys(OtherGen.createGaloisKeys({1})))
+                   .ok());
+  // Same degree, different chain length: decomposition count mismatch.
+  auto Longer = CkksContext::createFromBitSizes(1024, {30, 30, 30, 36},
+                                                SecurityLevel::None)
+                    .value();
+  KeyGenerator LongerGen(Longer, 11);
+  EXPECT_FALSE(deserializeRelinKeys(
+                   *K.Ctx, serializeRelinKeys(LongerGen.createRelinKeys()))
+                   .ok());
+}
+
+TEST(KeyWireHostile, CorruptedResidueBytesRejected) {
+  KeyWire K;
+  std::string Data = serializeGaloisKeys(K.Gen->createGaloisKeys({1}));
+  // Overwrite eight bytes deep inside a component with 0xFF: the residue
+  // exceeds its prime (or a length field goes inconsistent) — both must be
+  // diagnosed, never computed with.
+  std::string Corrupt = Data;
+  std::memset(Corrupt.data() + Corrupt.size() / 2, 0xFF, 8);
+  EXPECT_FALSE(deserializeGaloisKeys(*K.Ctx, Corrupt).ok());
+}
+
+TEST(KeyWireHostile, RandomByteFlipsNeverCrashTheLoaders) {
+  KeyWire K;
+  std::string Galois = serializeGaloisKeys(K.Gen->createGaloisKeys({1, 5}));
+  std::string Relin = serializeRelinKeys(K.Gen->createRelinKeys());
+  RandomSource Rng(0xBADBEEF);
+  for (int I = 0; I < 200; ++I) {
+    std::string G = Galois;
+    std::string R = Relin;
+    for (int F = 0; F < 3; ++F) {
+      G[Rng.uniformBelow(G.size())] =
+          static_cast<char>(Rng.uniformBelow(256));
+      R[Rng.uniformBelow(R.size())] =
+          static_cast<char>(Rng.uniformBelow(256));
+    }
+    // ok() or error are both acceptable; crashing or hanging is not (the
+    // ASan+UBSan CI job runs this suite).
+    (void)deserializeGaloisKeys(*K.Ctx, G);
+    (void)deserializeRelinKeys(*K.Ctx, R);
+  }
 }
 
 TEST(ProtoIO, FileSaveAndLoad) {

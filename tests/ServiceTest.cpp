@@ -630,6 +630,51 @@ TEST(Service, RejectsSessionWithoutRequiredKeys) {
                 "relin");
 }
 
+TEST(Service, RejectsSessionMissingAPlannedGaloisStep) {
+  ServiceFixture F;
+  // A budgeted rotation-heavy program: its plan needs the power-of-two
+  // basis steps, and a session whose uploaded keys withhold one of them
+  // must be rejected at open, not crash mid-execution.
+  ProgramBuilder B("budgeted", 16);
+  Expr X = B.inputCipher("x", 30);
+  B.output("out", ((X << 3) + (X << 7) + (X << 11) + (X << 13)) * X, 30);
+  CompilerOptions O;
+  O.GaloisKeyBudget = 2;
+  ASSERT_TRUE(F.Svc.registry().registerSource(B.program(), O).ok());
+  std::shared_ptr<const RegisteredProgram> Prog =
+      F.Svc.registry().find("budgeted");
+  ASSERT_NE(Prog, nullptr);
+  const ParamSignature &Sig = Prog->Signature;
+  // The budget rewrote the four odd steps into the power-of-two basis.
+  ASSERT_EQ(std::set<uint64_t>(Sig.RotationSteps.begin(),
+                               Sig.RotationSteps.end()),
+            (std::set<uint64_t>{1, 2, 4, 8}));
+
+  Expected<std::shared_ptr<CkksContext>> Ctx =
+      CkksContext::createFromBitSizes(Sig.PolyDegree, Sig.ContextBitSizes,
+                                      Sig.Security);
+  ASSERT_TRUE(Ctx.ok());
+  KeyGenerator Gen(Ctx.value(), 99);
+  OpenSessionMsg Open;
+  Open.ProgramName = "budgeted";
+  Open.RelinKeyBytes = serializeRelinKeys(Gen.createRelinKeys());
+
+  // All basis steps but the largest: rejected with a precise message.
+  std::set<uint64_t> Partial(Sig.RotationSteps.begin(),
+                             Sig.RotationSteps.end());
+  Partial.erase(*Partial.rbegin());
+  Open.GaloisKeyBytes = serializeGaloisKeys(Gen.createGaloisKeys(Partial));
+  F.expectError(MessageType::OpenSession, serializeOpenSession(Open),
+                "missing galois key");
+
+  // The full basis opens fine.
+  Open.GaloisKeyBytes = serializeGaloisKeys(Gen.createGaloisKeys(
+      std::set<uint64_t>(Sig.RotationSteps.begin(), Sig.RotationSteps.end())));
+  std::pair<MessageType, std::string> R =
+      F.Svc.dispatch(MessageType::OpenSession, serializeOpenSession(Open));
+  EXPECT_EQ(R.first, MessageType::SessionOpened);
+}
+
 TEST(Service, RejectsMalformedAndMismatchedRequests) {
   ServiceFixture F;
   ServiceClient Client(F.T);
