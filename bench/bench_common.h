@@ -164,6 +164,12 @@ struct BenchResult {
   /// Rotation-cost results carry the run's key-switch decomposition count
   /// (ExecutionStats::KeySwitchDecompositions); 0 omits the field.
   double Decompositions = 0;
+  /// EVA_PROFILE per-iteration counter deltas (NTT invocations, modular
+  /// multiplies, arena heap bytes); 0 — including every non-profile build —
+  /// omits the fields.
+  double Ntts = 0;
+  double MulMods = 0;
+  double ArenaHeapBytes = 0;
 };
 
 /// Samples \p Fn — a callable reporting its own per-iteration duration in
@@ -242,7 +248,17 @@ public:
   JsonReport(std::string Suite, std::string GitSha)
       : Suite(std::move(Suite)), GitSha(std::move(GitSha)) {}
 
-  void add(BenchResult R) { Results.push_back(std::move(R)); }
+  /// Rejects statistically impossible rows at the source: a minimum taken
+  /// over the same sample population as the mean can never exceed it, so a
+  /// violating row means two different populations were mixed (the bug that
+  /// once shipped min > mean rows in BENCH_service.json).
+  void add(BenchResult R) {
+    if (R.MinSeconds > R.MeanSeconds)
+      eva::fatalError("bench: impossible result for op '" + R.Op +
+                      "': min_seconds " + std::to_string(R.MinSeconds) +
+                      " > mean_seconds " + std::to_string(R.MeanSeconds));
+    Results.push_back(std::move(R));
+  }
 
   bool empty() const { return Results.empty(); }
 
@@ -281,6 +297,19 @@ public:
       if (R.Decompositions > 0) {
         std::snprintf(Buf, sizeof(Buf), ", \"decompositions\": %.0f",
                       R.Decompositions);
+        Out += Buf;
+      }
+      if (R.Ntts > 0) {
+        std::snprintf(Buf, sizeof(Buf), ", \"ntts\": %.0f", R.Ntts);
+        Out += Buf;
+      }
+      if (R.MulMods > 0) {
+        std::snprintf(Buf, sizeof(Buf), ", \"mulmods\": %.0f", R.MulMods);
+        Out += Buf;
+      }
+      if (R.ArenaHeapBytes > 0) {
+        std::snprintf(Buf, sizeof(Buf), ", \"arena_heap_bytes\": %.0f",
+                      R.ArenaHeapBytes);
         Out += Buf;
       }
       Out += I + 1 == Results.size() ? "}\n" : "},\n";

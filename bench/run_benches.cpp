@@ -27,6 +27,8 @@
 #include "eva/ckks/KeyGenerator.h"
 #include "eva/math/NTT.h"
 #include "eva/math/Primes.h"
+#include "eva/math/Simd.h"
+#include "eva/support/Profile.h"
 #include "eva/support/Random.h"
 
 #ifndef EVA_GIT_SHA
@@ -37,6 +39,20 @@ using namespace eva;
 using namespace evabench;
 
 namespace {
+
+/// Attaches the EVA_PROFILE counter deltas of ONE extra invocation of
+/// \p Fn to \p R — per-iteration NTT/mulmod/arena-byte counts alongside the
+/// timing. No-op (fields stay 0 and are omitted) in non-profile builds.
+template <typename FnT> void annotateProfile(BenchResult &R, FnT &&Fn) {
+  if (!profileEnabled())
+    return;
+  ProfileCounters Before = profileSnapshot();
+  Fn();
+  ProfileCounters D = profileDelta(Before, profileSnapshot());
+  R.Ntts = static_cast<double>(D.Ntts);
+  R.MulMods = static_cast<double>(D.MulMods);
+  R.ArenaHeapBytes = static_cast<double>(D.ArenaHeapBytes);
+}
 
 void report(const BenchResult &R) {
   std::printf("  %-28s threads=%zu iters=%-4zu mean=%10.6fs min=%10.6fs",
@@ -61,7 +77,9 @@ JsonReport microBaseline() {
     std::vector<uint64_t> X(N);
     for (uint64_t &V : X)
       V = Rng.uniformBelow(Prime);
-    BenchResult R = measure("ntt_forward_n8192", [&] { T.forward(X); });
+    auto Body = [&] { T.forward(X); };
+    BenchResult R = measure("ntt_forward_n8192", Body);
+    annotateProfile(R, Body);
     report(R);
     Report.add(std::move(R));
   }
@@ -89,41 +107,49 @@ JsonReport microBaseline() {
 
   {
     Plaintext Tmp;
-    BenchResult R = measure("encode_n8192", [&] {
-      Enc.encode(V, std::ldexp(1.0, 40), 4, Tmp);
-    });
+    auto Body = [&] { Enc.encode(V, std::ldexp(1.0, 40), 4, Tmp); };
+    BenchResult R = measure("encode_n8192", Body);
+    annotateProfile(R, Body);
     report(R);
     Report.add(std::move(R));
   }
   {
-    BenchResult R = measure("encrypt_n8192", [&] {
+    auto Body = [&] {
       Ciphertext C = Encryptor_.encrypt(P);
       (void)C;
-    });
+    };
+    BenchResult R = measure("encrypt_n8192", Body);
+    annotateProfile(R, Body);
     report(R);
     Report.add(std::move(R));
   }
   {
-    BenchResult R = measure("multiply_n8192", [&] {
+    auto Body = [&] {
       Ciphertext C = Eval.multiply(A, B);
       (void)C;
-    });
+    };
+    BenchResult R = measure("multiply_n8192", Body);
+    annotateProfile(R, Body);
     report(R);
     Report.add(std::move(R));
   }
   {
-    BenchResult R = measure("multiply_relinearize_n8192", [&] {
+    auto Body = [&] {
       Ciphertext C = Eval.relinearize(Eval.multiply(A, B), Rk);
       (void)C;
-    });
+    };
+    BenchResult R = measure("multiply_relinearize_n8192", Body);
+    annotateProfile(R, Body);
     report(R);
     Report.add(std::move(R));
   }
   {
-    BenchResult R = measure("rotate_n8192", [&] {
+    auto Body = [&] {
       Ciphertext C = Eval.rotateLeft(A, 1, Gk);
       (void)C;
-    });
+    };
+    BenchResult R = measure("rotate_n8192", Body);
+    annotateProfile(R, Body);
     report(R);
     Report.add(std::move(R));
   }
@@ -191,7 +217,9 @@ JsonReport scalingBaseline() {
 int main(int Argc, char **Argv) {
   std::string OutDir = Argc > 1 ? Argv[1] : ".";
 
-  std::printf("micro baseline (N=8192):\n");
+  std::printf("micro baseline (N=8192, simd=%s%s):\n",
+              simdLevelName(activeSimdLevel()),
+              profileEnabled() ? ", profiled" : "");
   JsonReport Micro = microBaseline();
   std::printf("\nfig7 scaling baseline (LeNet-5-small, EVA executor):\n");
   JsonReport Scaling = scalingBaseline();

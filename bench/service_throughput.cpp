@@ -57,6 +57,7 @@ struct SweepResult {
   double P50 = 0;
   double P95 = 0;
   double MeanLatency = 0;
+  double MinLatency = 0;
 };
 
 SweepResult runSweepPoint(Service &Svc, size_t Sessions,
@@ -120,6 +121,7 @@ SweepResult runSweepPoint(Service &Svc, size_t Sessions,
   R.P50 = All[All.size() / 2];
   R.P95 = All[std::min(All.size() - 1,
                        static_cast<size_t>(All.size() * 0.95))];
+  R.MinLatency = All.front();
   double Sum = 0;
   for (double L : All)
     Sum += L;
@@ -163,8 +165,12 @@ int main(int Argc, char **Argv) {
     Mean.Threads = Sessions;
     Mean.Iterations = R.Requests;
     Mean.SamplesInMean = R.Requests;
+    // min_seconds is the true minimum over the SAME latency population the
+    // mean is computed from. (This row once reported P50 here "as a robust
+    // central point", which produced impossible min > mean rows whenever the
+    // latency distribution was left-skewed; the emitter now rejects that.)
     Mean.MeanSeconds = R.MeanLatency;
-    Mean.MinSeconds = R.P50; // robust central point for trend lines
+    Mean.MinSeconds = R.MinLatency;
     Mean.Rps = Rps;
     Report.add(Mean);
 
@@ -174,7 +180,7 @@ int main(int Argc, char **Argv) {
     P95.Iterations = R.Requests;
     P95.SamplesInMean = R.Requests;
     P95.MeanSeconds = R.P95;
-    P95.MinSeconds = R.P50;
+    P95.MinSeconds = R.MinLatency;
     Report.add(P95);
   }
 

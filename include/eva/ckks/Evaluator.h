@@ -56,6 +56,17 @@ struct EvaluatorCounters {
   uint64_t Rotations = 0;               ///< rotations evaluated (serial + hoisted)
   uint64_t HoistedRotations = 0;        ///< rotations served from a shared decomposition
   uint64_t HoistBatches = 0;            ///< rotateHoisted batches executed
+  // Per-op invocation counts (one per EVA instruction opcode the evaluator
+  // executed); together with the EVA_PROFILE NTT/mulmod totals these locate
+  // the next hot spot by measurement instead of inference.
+  uint64_t Adds = 0;             ///< add + addPlain
+  uint64_t Subs = 0;             ///< sub + subPlain + subFromPlain
+  uint64_t Negates = 0;          ///< negate (standalone, not inside sub)
+  uint64_t Multiplies = 0;       ///< ciphertext-ciphertext multiplies
+  uint64_t PlainMultiplies = 0;  ///< ciphertext-plaintext multiplies
+  uint64_t Relinearizations = 0; ///< relinearize calls that key-switched
+  uint64_t Rescales = 0;         ///< rescale invocations
+  uint64_t ModSwitches = 0;      ///< modSwitch invocations
 };
 
 class Evaluator {
@@ -162,6 +173,14 @@ private:
   mutable std::atomic<uint64_t> NumRotations{0};
   mutable std::atomic<uint64_t> NumHoistedRotations{0};
   mutable std::atomic<uint64_t> NumHoistBatches{0};
+  mutable std::atomic<uint64_t> NumAdds{0};
+  mutable std::atomic<uint64_t> NumSubs{0};
+  mutable std::atomic<uint64_t> NumNegates{0};
+  mutable std::atomic<uint64_t> NumMultiplies{0};
+  mutable std::atomic<uint64_t> NumPlainMultiplies{0};
+  mutable std::atomic<uint64_t> NumRelinearizations{0};
+  mutable std::atomic<uint64_t> NumRescales{0};
+  mutable std::atomic<uint64_t> NumModSwitches{0};
 };
 
 } // namespace eva

@@ -26,6 +26,20 @@ namespace eva {
 
 using Uint128 = unsigned __int128;
 
+// Operand-range preconditions below are normally `assert`s, so Release
+// builds silently wrap on unreduced operands. Building with -DEVA_CHECKED_MATH
+// (the EVA_CHECKED_MATH CMake option) turns them into fatalError calls that
+// fire in every build type. One CI tier-1 leg runs with this on.
+#if defined(EVA_CHECKED_MATH)
+#define EVA_MATH_CHECK(Cond, Msg)                                             \
+  do {                                                                        \
+    if (!(Cond))                                                              \
+      ::eva::fatalError("checked math: " Msg);                                \
+  } while (false)
+#else
+#define EVA_MATH_CHECK(Cond, Msg) assert((Cond) && Msg)
+#endif
+
 /// Maximum bit size of a coefficient modulus prime (the paper's log2 s_f).
 inline constexpr unsigned MaxModulusBits = 60;
 
@@ -83,18 +97,18 @@ private:
 };
 
 inline uint64_t addMod(uint64_t A, uint64_t B, const Modulus &Q) {
-  assert(A < Q.value() && B < Q.value() && "operands not reduced");
+  EVA_MATH_CHECK(A < Q.value() && B < Q.value(), "addMod operands not reduced");
   uint64_t S = A + B;
   return S >= Q.value() ? S - Q.value() : S;
 }
 
 inline uint64_t subMod(uint64_t A, uint64_t B, const Modulus &Q) {
-  assert(A < Q.value() && B < Q.value() && "operands not reduced");
+  EVA_MATH_CHECK(A < Q.value() && B < Q.value(), "subMod operands not reduced");
   return A >= B ? A - B : A + Q.value() - B;
 }
 
 inline uint64_t negateMod(uint64_t A, const Modulus &Q) {
-  assert(A < Q.value() && "operand not reduced");
+  EVA_MATH_CHECK(A < Q.value(), "negateMod operand not reduced");
   return A == 0 ? 0 : Q.value() - A;
 }
 
@@ -128,13 +142,16 @@ struct ShoupMul {
 
   ShoupMul() = default;
   ShoupMul(uint64_t Op, const Modulus &Q) : Operand(Op) {
-    assert(Op < Q.value() && "operand not reduced");
+    EVA_MATH_CHECK(Op < Q.value(), "ShoupMul operand not reduced");
     Quotient = static_cast<uint64_t>((Uint128(Op) << 64) / Q.value());
   }
 };
 
 /// Computes X * W.Operand mod q given Shoup precomputation; result in [0,q).
+/// Correct for any 64-bit X provided W.Operand < q (the ShoupMul invariant):
+/// the uncorrected residue lands in [0, 2q) and one subtraction reduces it.
 inline uint64_t mulModShoup(uint64_t X, const ShoupMul &W, const Modulus &Q) {
+  EVA_MATH_CHECK(W.Operand < Q.value(), "mulModShoup operand not reduced");
   uint64_t Hi = static_cast<uint64_t>((Uint128(X) * W.Quotient) >> 64);
   uint64_t R = X * W.Operand - Hi * Q.value();
   return R >= Q.value() ? R - Q.value() : R;

@@ -38,11 +38,18 @@ public:
 
   /// In-place forward negacyclic NTT. Input in standard coefficient order;
   /// output in bit-reversed evaluation order (the internal format used by
-  /// all pointwise operations).
+  /// all pointwise operations). Dispatches to the AVX2 Harvey lazy-reduction
+  /// kernel when activeSimdLevel() selects it; output is bit-identical to
+  /// forwardScalar() either way.
   void forward(std::span<uint64_t> Values) const;
 
   /// In-place inverse transform; output in standard coefficient order.
   void inverse(std::span<uint64_t> Values) const;
+
+  /// The scalar mulModShoup reference path — kept as the oracle the
+  /// differential battery compares the dispatched path against.
+  void forwardScalar(std::span<uint64_t> Values) const;
+  void inverseScalar(std::span<uint64_t> Values) const;
 
 private:
   uint64_t N;
@@ -51,6 +58,11 @@ private:
   std::vector<ShoupMul> RootPowers;
   std::vector<ShoupMul> InvRootPowers;
   ShoupMul InvDegree; // N^{-1} mod q
+  // Structure-of-arrays copies of the tables above for the vector kernels
+  // (operands and Shoup quotients in separate contiguous arrays), built once
+  // in the constructor alongside the AoS tables.
+  std::vector<uint64_t> RootOp, RootQuot;
+  std::vector<uint64_t> InvRootOp, InvRootQuot;
 };
 
 /// Finds a primitive \p Order-th root of unity mod prime \p Q (Order a power

@@ -45,6 +45,7 @@
 #include "eva/ckks/Evaluator.h"
 #include "eva/ckks/KeyGenerator.h"
 #include "eva/core/Compiler.h"
+#include "eva/support/Profile.h"
 #include "eva/support/ThreadPool.h"
 
 #include <map>
@@ -128,6 +129,22 @@ struct ExecutionStats {
   size_t HoistedRotations = 0;
   /// Hoist batches executed.
   size_t HoistBatches = 0;
+  /// Per-op invocation counts of this run (mirrors EvaluatorCounters).
+  size_t Adds = 0;
+  size_t Subs = 0;
+  size_t Negates = 0;
+  size_t Multiplies = 0;
+  size_t PlainMultiplies = 0;
+  size_t Relinearizations = 0;
+  size_t Rescales = 0;
+  size_t ModSwitches = 0;
+  /// EVA_PROFILE deltas over this run (all zero in non-profile builds).
+  /// Process-global counters snapshotted in beginRun/finishRun, so
+  /// concurrent runs in one process fold into whichever finishes last.
+  uint64_t ProfNtts = 0;
+  uint64_t ProfMulMods = 0;
+  uint64_t ProfArenaAcquires = 0;
+  uint64_t ProfArenaHeapBytes = 0;
 };
 
 class CkksExecutor {
@@ -220,6 +237,8 @@ protected:
   mutable std::atomic<size_t> HoistStashBytes{0};
   mutable std::atomic<size_t> HoistStashNodes{0};
   ExecutionStats Stats;
+  /// EVA_PROFILE snapshot taken by beginRun(); finishRun() reports deltas.
+  ProfileCounters ProfileStart;
   mutable std::mutex OutputMutex;
 };
 

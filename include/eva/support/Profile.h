@@ -1,0 +1,92 @@
+//===- eva/support/Profile.h - EVA_PROFILE hot-path counters ----*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-global counters for the modular-arithmetic hot path: NTT
+/// invocations, modular multiplies, and limb-arena traffic. They answer
+/// "where did the time go" with measured counts instead of guesses — the
+/// next optimization target should be read off these numbers, not inferred
+/// from BENCH deltas alone.
+///
+/// The counters only exist when the library is built with the EVA_PROFILE
+/// CMake option (a PUBLIC compile definition): the EVA_PROF_ADD macro
+/// compiles to nothing otherwise, so release hot loops carry zero
+/// instrumentation cost. Counts are process-global relaxed atomics, not
+/// per-evaluator — the NTT tables and the arena have no evaluator to hang
+/// state off — so concurrent runs fold into one total. Executors snapshot
+/// before/after a run to report per-run deltas in ExecutionStats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SUPPORT_PROFILE_H
+#define EVA_SUPPORT_PROFILE_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace eva {
+
+/// A snapshot of the profile counters (all zero unless built with
+/// EVA_PROFILE).
+struct ProfileCounters {
+  uint64_t Ntts = 0;        ///< forward + inverse NTT invocations
+  uint64_t MulMods = 0;     ///< modular multiplies in the hot kernels
+  uint64_t ArenaAcquires = 0;  ///< limb-scratch acquisitions served
+  uint64_t ArenaHeapBytes = 0; ///< bytes the arena had to heap-allocate
+};
+
+/// True when the library was compiled with EVA_PROFILE.
+bool profileEnabled();
+
+/// Current totals since process start or the last profileReset().
+ProfileCounters profileSnapshot();
+
+/// Zeroes all counters.
+void profileReset();
+
+/// Per-field difference After - Before (wrap-free: counters only grow).
+inline ProfileCounters profileDelta(const ProfileCounters &Before,
+                                    const ProfileCounters &After) {
+  ProfileCounters D;
+  D.Ntts = After.Ntts - Before.Ntts;
+  D.MulMods = After.MulMods - Before.MulMods;
+  D.ArenaAcquires = After.ArenaAcquires - Before.ArenaAcquires;
+  D.ArenaHeapBytes = After.ArenaHeapBytes - Before.ArenaHeapBytes;
+  return D;
+}
+
+#if defined(EVA_PROFILE)
+
+namespace detail {
+
+struct ProfileState {
+  std::atomic<uint64_t> Ntts{0};
+  std::atomic<uint64_t> MulMods{0};
+  std::atomic<uint64_t> ArenaAcquires{0};
+  std::atomic<uint64_t> ArenaHeapBytes{0};
+};
+
+ProfileState &profileState();
+
+} // namespace detail
+
+/// Adds \p Amount to counter \p Field. Batch at call sites (one add per
+/// kernel call, not per element) — relaxed atomics are cheap, not free.
+#define EVA_PROF_ADD(Field, Amount)                                           \
+  ::eva::detail::profileState().Field.fetch_add(                              \
+      static_cast<uint64_t>(Amount), std::memory_order_relaxed)
+
+#else
+
+#define EVA_PROF_ADD(Field, Amount)                                           \
+  do {                                                                        \
+  } while (false)
+
+#endif // EVA_PROFILE
+
+} // namespace eva
+
+#endif // EVA_SUPPORT_PROFILE_H

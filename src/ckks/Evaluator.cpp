@@ -7,33 +7,22 @@
 #include "eva/ckks/Evaluator.h"
 
 #include "eva/ckks/Galois.h"
+#include "eva/math/Simd.h"
+#include "eva/support/Arena.h"
+#include "eva/support/Profile.h"
 #include "eva/support/ThreadPool.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
 using namespace eva;
 
-namespace {
-
-/// Per-thread scratch for limb bodies. Limb work runs on whichever pool
-/// thread claims the chunk, so per-op locals would be allocated once per
-/// limb; thread-local buffers are allocated once per thread and reused.
-/// Safe because a limb body never nests another scratch user on the same
-/// thread (leaf bodies contain no parallel regions).
-std::vector<uint64_t> &u64Scratch(size_t N) {
-  thread_local std::vector<uint64_t> V;
-  V.resize(N);
-  return V;
-}
-
-std::vector<Uint128> &u128Scratch(size_t N, size_t Which) {
-  thread_local std::vector<Uint128> V[2];
-  V[Which].assign(N, Uint128(0));
-  return V[Which];
-}
-
-} // namespace
+// Limb scratch comes from the thread-local free-list arena (Arena.h): limb
+// bodies run on whichever pool thread claims the chunk, and after the first
+// few operations every acquisition is a free-list hit, so the hot paths
+// perform no heap allocation in steady state. Safe because a limb body never
+// nests another parallel region on the same thread.
 
 void Evaluator::forEachLimb(size_t Count,
                             const std::function<void(size_t)> &Fn) const {
@@ -64,6 +53,7 @@ void Evaluator::checkScaleMatch(double SA, double SB) const {
 }
 
 Ciphertext Evaluator::negate(const Ciphertext &A) const {
+  NumNegates.fetch_add(1, std::memory_order_relaxed);
   Ciphertext Out = A;
   for (RnsPoly &P : Out.Polys)
     for (size_t C = 0; C < P.primeCount(); ++C)
@@ -73,6 +63,7 @@ Ciphertext Evaluator::negate(const Ciphertext &A) const {
 
 Ciphertext Evaluator::addSub(const Ciphertext &A, const Ciphertext &B,
                              bool Subtract) const {
+  (Subtract ? NumSubs : NumAdds).fetch_add(1, std::memory_order_relaxed);
   checkBinaryOperands(A, B);
   checkScaleMatch(A.Scale, B.Scale);
   const Ciphertext &Big = A.size() >= B.size() ? A : B;
@@ -114,6 +105,7 @@ Ciphertext Evaluator::sub(const Ciphertext &A, const Ciphertext &B) const {
 }
 
 Ciphertext Evaluator::addPlain(const Ciphertext &A, const Plaintext &B) const {
+  NumAdds.fetch_add(1, std::memory_order_relaxed);
   assert(A.primeCount() == B.primeCount() && "plaintext level mismatch");
   checkScaleMatch(A.Scale, B.Scale);
   Ciphertext Out = A;
@@ -124,6 +116,7 @@ Ciphertext Evaluator::addPlain(const Ciphertext &A, const Plaintext &B) const {
 }
 
 Ciphertext Evaluator::subPlain(const Ciphertext &A, const Plaintext &B) const {
+  NumSubs.fetch_add(1, std::memory_order_relaxed);
   assert(A.primeCount() == B.primeCount() && "plaintext level mismatch");
   checkScaleMatch(A.Scale, B.Scale);
   Ciphertext Out = A;
@@ -152,20 +145,22 @@ Ciphertext Evaluator::multiply(const Ciphertext &A,
   // different worker. The scratch vector lives per limb for that reason.
   forEachLimb(Count, [&](size_t C) {
     const Modulus &Q = Ctx->prime(C);
-    std::vector<uint64_t> &Tmp = u64Scratch(N);
+    LimbScratch Tmp = acquireLimbScratch(N);
     for (size_t I = 0; I < K; ++I) {
       for (size_t J = 0; J < L; ++J) {
-        mulPolyComp(A.Polys[I].Comps[C], B.Polys[J].Comps[C], Tmp, Q);
-        addPolyComp(Out.Polys[I + J].Comps[C], Tmp,
+        mulPolyComp(A.Polys[I].Comps[C], B.Polys[J].Comps[C], Tmp.span(), Q);
+        addPolyComp(Out.Polys[I + J].Comps[C], Tmp.span(),
                     Out.Polys[I + J].Comps[C], Q);
       }
     }
   });
+  NumMultiplies.fetch_add(1, std::memory_order_relaxed);
   return Out;
 }
 
 Ciphertext Evaluator::multiplyPlain(const Ciphertext &A,
                                     const Plaintext &B) const {
+  NumPlainMultiplies.fetch_add(1, std::memory_order_relaxed);
   assert(A.primeCount() == B.primeCount() && "plaintext level mismatch");
   Ciphertext Out = A;
   Out.Scale = A.Scale * B.Scale;
@@ -212,26 +207,33 @@ std::array<RnsPoly, 2> Evaluator::keySwitchAccumulate(
   forEachLimb(OutIdx.size(), [&](size_t R) {
     size_t PrimeIdx = OutIdx[R];
     const Modulus &Qr = Ctx->prime(PrimeIdx);
-    std::vector<uint64_t> &Tmp = u64Scratch(N);
-    std::vector<Uint128> &Lazy0 = u128Scratch(N, 0);
-    std::vector<Uint128> &Lazy1 = u128Scratch(N, 1);
+    LimbScratch Tmp = acquireLimbScratch(N);
+    // 128-bit accumulators split into lo/hi word arrays so the fused
+    // multiply-accumulate kernel (scalar or AVX2; identical sums mod 2^128)
+    // can run over plain uint64_t lanes.
+    LimbScratch Lo0 = acquireLimbScratchZeroed(N);
+    LimbScratch Hi0 = acquireLimbScratchZeroed(N);
+    LimbScratch Lo1 = acquireLimbScratchZeroed(N);
+    LimbScratch Hi1 = acquireLimbScratchZeroed(N);
     for (size_t I = 0; I < Count; ++I) {
       if (PrimeIdx == I)
-        Tmp = TCoeff[I]; // already reduced mod q_i
+        std::copy_n(TCoeff[I].data(), N, Tmp.data()); // already reduced
       else
-        reducePolyComp(TCoeff[I], Tmp, Qr);
-      Ctx->ntt(PrimeIdx).forward(Tmp);
+        reducePolyComp(TCoeff[I], Tmp.span(), Qr);
+      Ctx->ntt(PrimeIdx).forward(Tmp.span());
       const std::vector<uint64_t> &K0 = Key.Keys[I][0].Comps[PrimeIdx];
       const std::vector<uint64_t> &K1 = Key.Keys[I][1].Comps[PrimeIdx];
-      for (uint64_t X = 0; X < N; ++X) {
-        Lazy0[X] += Uint128(Tmp[X]) * K0[X];
-        Lazy1[X] += Uint128(Tmp[X]) * K1[X];
-      }
+      simd::fusedMulAcc128(Tmp.data(), K0.data(), K1.data(), Lo0.data(),
+                           Hi0.data(), Lo1.data(), Hi1.data(), N);
+      EVA_PROF_ADD(MulMods, 2 * N);
     }
     for (uint64_t X = 0; X < N; ++X) {
-      Acc[0].Comps[R][X] = Qr.reduce128(Lazy0[X]);
-      Acc[1].Comps[R][X] = Qr.reduce128(Lazy1[X]);
+      Acc[0].Comps[R][X] =
+          Qr.reduce128((Uint128(Hi0[X]) << 64) | Lo0[X]);
+      Acc[1].Comps[R][X] =
+          Qr.reduce128((Uint128(Hi1[X]) << 64) | Lo1[X]);
     }
+    EVA_PROF_ADD(MulMods, 2 * N);
   });
 
   // Divide by the special prime (rounding) to return to the data chain.
@@ -267,16 +269,17 @@ void Evaluator::divideRoundDropLast(
     size_t TgtIdx = PrimeIdx[T];
     const Modulus &Qt = Ctx->prime(TgtIdx);
     uint64_t HalfMod = Qt.reduce(Half);
-    std::vector<uint64_t> &Tmp = u64Scratch(N);
-    reducePolyComp(Last, Tmp, Qt);
+    LimbScratch Tmp = acquireLimbScratch(N);
+    reducePolyComp(Last, Tmp.span(), Qt);
     // Remove the rounding offset in coefficient form, then transform.
-    for (uint64_t &V : Tmp)
+    for (uint64_t &V : Tmp.span())
       V = subMod(V, HalfMod, Qt);
-    Ctx->ntt(TgtIdx).forward(Tmp);
+    Ctx->ntt(TgtIdx).forward(Tmp.span());
     const ShoupMul &Inv = Ctx->inversePrime(DivIdx, TgtIdx);
     std::vector<uint64_t> &C = Comps[T];
     for (uint64_t X = 0; X < N; ++X)
       C[X] = mulModShoup(subMod(C[X], Tmp[X], Qt), Inv, Qt);
+    EVA_PROF_ADD(MulMods, N);
   });
   Comps.pop_back();
 }
@@ -292,6 +295,7 @@ Ciphertext Evaluator::relinearize(const Ciphertext &A,
   if (Keys.empty())
     fatalError("relinearization keys not generated");
   std::array<RnsPoly, 2> Ks = keySwitch(A.Polys[2], Keys.Key);
+  NumRelinearizations.fetch_add(1, std::memory_order_relaxed);
   Ciphertext Out;
   Out.Scale = A.Scale;
   Out.Polys = {A.Polys[0], A.Polys[1]};
@@ -309,6 +313,7 @@ Ciphertext Evaluator::rescale(const Ciphertext &A) const {
   if (A.primeCount() < 2)
     fatalError("rescale with no prime left to drop: the modulus chain is "
                "exhausted");
+  NumRescales.fetch_add(1, std::memory_order_relaxed);
   size_t Count = A.primeCount();
   std::vector<size_t> Idx(Count);
   for (size_t I = 0; I < Count; ++I)
@@ -324,6 +329,7 @@ Ciphertext Evaluator::rescale(const Ciphertext &A) const {
 Ciphertext Evaluator::modSwitch(const Ciphertext &A) const {
   if (A.primeCount() < 2)
     fatalError("modswitch with no prime left to drop");
+  NumModSwitches.fetch_add(1, std::memory_order_relaxed);
   Ciphertext Out = A;
   for (RnsPoly &P : Out.Polys)
     P.dropLastComp();
@@ -410,10 +416,11 @@ Evaluator::rotateHoisted(const Ciphertext &A,
 }
 
 void Evaluator::resetCounters() const {
-  NumDecompositions.store(0, std::memory_order_relaxed);
-  NumRotations.store(0, std::memory_order_relaxed);
-  NumHoistedRotations.store(0, std::memory_order_relaxed);
-  NumHoistBatches.store(0, std::memory_order_relaxed);
+  for (auto *C : {&NumDecompositions, &NumRotations, &NumHoistedRotations,
+                  &NumHoistBatches, &NumAdds, &NumSubs, &NumNegates,
+                  &NumMultiplies, &NumPlainMultiplies, &NumRelinearizations,
+                  &NumRescales, &NumModSwitches})
+    C->store(0, std::memory_order_relaxed);
 }
 
 EvaluatorCounters Evaluator::counters() const {
@@ -423,5 +430,13 @@ EvaluatorCounters Evaluator::counters() const {
   C.Rotations = NumRotations.load(std::memory_order_relaxed);
   C.HoistedRotations = NumHoistedRotations.load(std::memory_order_relaxed);
   C.HoistBatches = NumHoistBatches.load(std::memory_order_relaxed);
+  C.Adds = NumAdds.load(std::memory_order_relaxed);
+  C.Subs = NumSubs.load(std::memory_order_relaxed);
+  C.Negates = NumNegates.load(std::memory_order_relaxed);
+  C.Multiplies = NumMultiplies.load(std::memory_order_relaxed);
+  C.PlainMultiplies = NumPlainMultiplies.load(std::memory_order_relaxed);
+  C.Relinearizations = NumRelinearizations.load(std::memory_order_relaxed);
+  C.Rescales = NumRescales.load(std::memory_order_relaxed);
+  C.ModSwitches = NumModSwitches.load(std::memory_order_relaxed);
   return C;
 }

@@ -6,7 +6,10 @@
 
 #include "eva/ckks/Galois.h"
 
+#include "eva/support/Arena.h"
 #include "eva/support/ThreadPool.h"
+
+#include <algorithm>
 
 using namespace eva;
 
@@ -54,12 +57,12 @@ RnsPoly eva::applyGaloisNttPoly(const CkksContext &Ctx, const RnsPoly &Poly,
   auto OneLimb = [&](size_t I) {
     size_t PrimeIdx = I;
     const NttTables &Tables = Ctx.ntt(PrimeIdx);
-    // Per-thread scratch: limb bodies run on whichever pool thread claims
-    // them, and a fresh 8N-byte allocation per limb is measurable.
-    thread_local std::vector<uint64_t> Tmp;
-    Tmp = Poly.Comps[I];
-    Tables.inverse(Tmp);
-    applyGaloisComp(Tmp, Out.Comps[I], GaloisElt, Poly.Degree,
+    // Arena scratch: limb bodies run on whichever pool thread claims them,
+    // and a fresh 8N-byte heap allocation per limb is measurable.
+    LimbScratch Tmp = acquireLimbScratch(Poly.Degree);
+    std::copy_n(Poly.Comps[I].data(), Poly.Degree, Tmp.data());
+    Tables.inverse(Tmp.span());
+    applyGaloisComp(Tmp.span(), Out.Comps[I], GaloisElt, Poly.Degree,
                     Ctx.prime(PrimeIdx));
     Tables.forward(Out.Comps[I]);
   };

@@ -6,7 +6,9 @@
 
 #include "eva/math/NTT.h"
 
+#include "eva/math/Simd.h"
 #include "eva/support/BitOps.h"
+#include "eva/support/Profile.h"
 #include "eva/support/Random.h"
 
 #include <string>
@@ -60,9 +62,45 @@ NttTables::NttTables(uint64_t Degree, const Modulus &Modul)
     InvRootPowers[I] = ShoupMul(Inv[reverseBits(I, LogN)], Q);
   }
   InvDegree = ShoupMul(invMod(N, Q), Q);
+
+  // Structure-of-arrays mirrors for the AVX2 kernels, built once here so the
+  // hot path never touches ShoupMul's interleaved layout.
+  RootOp.resize(N);
+  RootQuot.resize(N);
+  InvRootOp.resize(N);
+  InvRootQuot.resize(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    RootOp[I] = RootPowers[I].Operand;
+    RootQuot[I] = RootPowers[I].Quotient;
+    InvRootOp[I] = InvRootPowers[I].Operand;
+    InvRootQuot[I] = InvRootPowers[I].Quotient;
+  }
 }
 
 void NttTables::forward(std::span<uint64_t> Values) const {
+  assert(Values.size() == N && "value count mismatch");
+  EVA_PROF_ADD(Ntts, 1);
+  EVA_PROF_ADD(MulMods, (N / 2) * log2Exact(N));
+  if (activeSimdLevel() == SimdLevel::Avx2 &&
+      simd::nttForwardAvx2(Values.data(), N, RootOp.data(), RootQuot.data(),
+                           Q.value()))
+    return;
+  forwardScalar(Values);
+}
+
+void NttTables::inverse(std::span<uint64_t> Values) const {
+  assert(Values.size() == N && "value count mismatch");
+  EVA_PROF_ADD(Ntts, 1);
+  EVA_PROF_ADD(MulMods, (N / 2) * log2Exact(N) + N);
+  if (activeSimdLevel() == SimdLevel::Avx2 &&
+      simd::nttInverseAvx2(Values.data(), N, InvRootOp.data(),
+                           InvRootQuot.data(), InvDegree.Operand,
+                           InvDegree.Quotient, Q.value()))
+    return;
+  inverseScalar(Values);
+}
+
+void NttTables::forwardScalar(std::span<uint64_t> Values) const {
   assert(Values.size() == N && "value count mismatch");
   uint64_t *X = Values.data();
   uint64_t T = N;
@@ -82,7 +120,7 @@ void NttTables::forward(std::span<uint64_t> Values) const {
   }
 }
 
-void NttTables::inverse(std::span<uint64_t> Values) const {
+void NttTables::inverseScalar(std::span<uint64_t> Values) const {
   assert(Values.size() == N && "value count mismatch");
   uint64_t *X = Values.data();
   uint64_t T = 1;

@@ -1,0 +1,46 @@
+//===- Profile.cpp - EVA_PROFILE hot-path counters ------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/support/Profile.h"
+
+using namespace eva;
+
+#if defined(EVA_PROFILE)
+
+detail::ProfileState &eva::detail::profileState() {
+  static ProfileState State;
+  return State;
+}
+
+bool eva::profileEnabled() { return true; }
+
+ProfileCounters eva::profileSnapshot() {
+  auto &S = detail::profileState();
+  ProfileCounters C;
+  C.Ntts = S.Ntts.load(std::memory_order_relaxed);
+  C.MulMods = S.MulMods.load(std::memory_order_relaxed);
+  C.ArenaAcquires = S.ArenaAcquires.load(std::memory_order_relaxed);
+  C.ArenaHeapBytes = S.ArenaHeapBytes.load(std::memory_order_relaxed);
+  return C;
+}
+
+void eva::profileReset() {
+  auto &S = detail::profileState();
+  S.Ntts.store(0, std::memory_order_relaxed);
+  S.MulMods.store(0, std::memory_order_relaxed);
+  S.ArenaAcquires.store(0, std::memory_order_relaxed);
+  S.ArenaHeapBytes.store(0, std::memory_order_relaxed);
+}
+
+#else
+
+bool eva::profileEnabled() { return false; }
+
+ProfileCounters eva::profileSnapshot() { return {}; }
+
+void eva::profileReset() {}
+
+#endif // EVA_PROFILE

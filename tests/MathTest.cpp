@@ -9,6 +9,7 @@
 #include "eva/math/Modulus.h"
 #include "eva/math/NTT.h"
 #include "eva/math/Primes.h"
+#include "eva/math/Simd.h"
 #include "eva/support/BitOps.h"
 #include "eva/support/Random.h"
 
@@ -205,6 +206,113 @@ TEST(Ntt, PointwiseProductIsNegacyclicConvolution) {
     C[I] = mulMod(FA[I], FB[I], Q);
   T.inverse(C);
   EXPECT_EQ(C, Want);
+}
+
+//===----------------------------------------------------------------------===//
+// SIMD differential battery: the dispatched AVX2 path must be byte-identical
+// to the scalar oracle across every supported modulus size, including primes
+// near 2^60 where the lazy [0, 4q) butterfly intermediates are closest to
+// the signed-compare ceiling.
+//===----------------------------------------------------------------------===//
+
+/// Pins the dispatch level for a scope and restores the prior level on exit.
+class ScopedSimdLevel {
+public:
+  explicit ScopedSimdLevel(SimdLevel L) : Saved(activeSimdLevel()) {
+    setSimdLevelForTesting(L);
+  }
+  ~ScopedSimdLevel() { setSimdLevelForTesting(Saved); }
+
+private:
+  SimdLevel Saved;
+};
+
+TEST(NttSimd, DispatchedMatchesScalarAcrossModuli) {
+  if (!avx2Available())
+    GTEST_SKIP() << "AVX2 kernels not available on this host";
+  RandomSource Rng(2026);
+  for (unsigned Bits : {30u, 40u, 50u, 59u, 60u}) {
+    for (uint64_t N : {uint64_t(16), uint64_t(64), uint64_t(1024),
+                       uint64_t(8192)}) {
+      Expected<std::vector<uint64_t>> Ps = generateNttPrimes(N, Bits, 1);
+      ASSERT_TRUE(Ps.ok()) << "bits=" << Bits << " N=" << N;
+      Modulus Q((*Ps)[0]);
+      NttTables T(N, Q);
+      // Two stress inputs: uniform random, and all-(q-1) — the saturation
+      // pattern that maximizes every lazy-reduction intermediate.
+      std::vector<std::vector<uint64_t>> Inputs(2, std::vector<uint64_t>(N));
+      for (uint64_t I = 0; I < N; ++I)
+        Inputs[0][I] = Rng.uniformBelow(Q.value());
+      std::fill(Inputs[1].begin(), Inputs[1].end(), Q.value() - 1);
+      for (const std::vector<uint64_t> &In : Inputs) {
+        std::vector<uint64_t> Ref = In, Vec = In;
+        T.forwardScalar(Ref);
+        {
+          ScopedSimdLevel Pin(SimdLevel::Avx2);
+          T.forward(Vec);
+        }
+        ASSERT_EQ(Vec, Ref) << "forward bits=" << Bits << " N=" << N;
+        T.inverseScalar(Ref);
+        {
+          ScopedSimdLevel Pin(SimdLevel::Avx2);
+          T.inverse(Vec);
+        }
+        ASSERT_EQ(Vec, Ref) << "inverse bits=" << Bits << " N=" << N;
+        EXPECT_EQ(Vec, In) << "round trip bits=" << Bits << " N=" << N;
+      }
+    }
+  }
+}
+
+TEST(NttSimd, ScalarLevelUsesOracle) {
+  // Whatever the host supports, pinning Scalar must reproduce the oracle
+  // (i.e. the dispatcher honors the level, not just CPU capability).
+  uint64_t N = 64;
+  Expected<std::vector<uint64_t>> Ps = generateNttPrimes(N, 40, 1);
+  ASSERT_TRUE(Ps.ok());
+  Modulus Q((*Ps)[0]);
+  NttTables T(N, Q);
+  RandomSource Rng(11);
+  std::vector<uint64_t> In(N);
+  for (uint64_t I = 0; I < N; ++I)
+    In[I] = Rng.uniformBelow(Q.value());
+  std::vector<uint64_t> Ref = In, Vec = In;
+  T.forwardScalar(Ref);
+  {
+    ScopedSimdLevel Pin(SimdLevel::Scalar);
+    T.forward(Vec);
+  }
+  EXPECT_EQ(Vec, Ref);
+}
+
+TEST(NttSimd, FusedMulAccMatchesScalar) {
+  if (!avx2Available())
+    GTEST_SKIP() << "AVX2 kernels not available on this host";
+  RandomSource Rng(7);
+  const uint64_t N = 256;
+  std::vector<uint64_t> X(N), K0(N), K1(N);
+  std::vector<uint64_t> Lo0A(N), Hi0A(N), Lo1A(N), Hi1A(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    // Full-width operands and near-saturated accumulators exercise both the
+    // 128-bit product split and the carry propagation into the high word.
+    X[I] = Rng.uniform64();
+    K0[I] = Rng.uniform64();
+    K1[I] = Rng.uniform64();
+    Lo0A[I] = ~uint64_t(0) - Rng.uniformBelow(4);
+    Hi0A[I] = Rng.uniform64();
+    Lo1A[I] = Rng.uniform64();
+    Hi1A[I] = Rng.uniform64();
+  }
+  std::vector<uint64_t> Lo0B = Lo0A, Hi0B = Hi0A, Lo1B = Lo1A, Hi1B = Hi1A;
+  simd::fusedMulAcc128Scalar(X.data(), K0.data(), K1.data(), Lo0A.data(),
+                             Hi0A.data(), Lo1A.data(), Hi1A.data(), N);
+  ASSERT_TRUE(simd::fusedMulAcc128Avx2(X.data(), K0.data(), K1.data(),
+                                       Lo0B.data(), Hi0B.data(), Lo1B.data(),
+                                       Hi1B.data(), N));
+  EXPECT_EQ(Lo0B, Lo0A);
+  EXPECT_EQ(Hi0B, Hi0A);
+  EXPECT_EQ(Lo1B, Lo1A);
+  EXPECT_EQ(Hi1B, Hi1A);
 }
 
 TEST(Ntt, ConstantPolynomialIsConstantInEvaluationForm) {

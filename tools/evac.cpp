@@ -24,6 +24,8 @@
 
 #include "eva/api/Runner.h"
 #include "eva/core/Compiler.h"
+#include "eva/math/Simd.h"
+#include "eva/support/Profile.h"
 #include "eva/ir/Printer.h"
 #include "eva/ir/TextFormat.h"
 #include "eva/serialize/ProtoIO.h"
@@ -475,6 +477,28 @@ int runCommand(int Argc, char **Argv) {
   }
   printRunJson((*P)->name(), BackendName, R->signature().VecSize, *Out,
                Show);
+  // Per-op counters go to stderr: stdout is the machine-readable result
+  // document (golden-compared across backends), stderr is diagnostics.
+  if (const ExecutionStats *St = R->executionStats()) {
+    std::fprintf(stderr,
+                 "evac: ops: add=%zu sub=%zu negate=%zu multiply=%zu "
+                 "multiply_plain=%zu relinearize=%zu rescale=%zu "
+                 "modswitch=%zu rotate=%zu (hoisted=%zu in %zu batches) "
+                 "decompositions=%zu\n",
+                 St->Adds, St->Subs, St->Negates, St->Multiplies,
+                 St->PlainMultiplies, St->Relinearizations, St->Rescales,
+                 St->ModSwitches, St->Rotations, St->HoistedRotations,
+                 St->HoistBatches, St->KeySwitchDecompositions);
+    if (profileEnabled())
+      std::fprintf(stderr,
+                   "evac: profile: ntts=%llu mulmods=%llu "
+                   "arena_acquires=%llu arena_heap_bytes=%llu (simd=%s)\n",
+                   static_cast<unsigned long long>(St->ProfNtts),
+                   static_cast<unsigned long long>(St->ProfMulMods),
+                   static_cast<unsigned long long>(St->ProfArenaAcquires),
+                   static_cast<unsigned long long>(St->ProfArenaHeapBytes),
+                   simdLevelName(activeSimdLevel()));
+  }
   R.reset();
   return 0;
 }
