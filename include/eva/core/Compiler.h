@@ -59,6 +59,12 @@ struct CompilerOptions {
   /// client key upload in the service deployment — are needed. 0 keeps one
   /// key per distinct step (the paper's DetermineRotationSteps).
   size_t GaloisKeyBudget = 0;
+  /// Pass-sandwich verification: run the structural IR verifier between
+  /// every transformation pass, naming the failing pass in the diagnostic.
+  /// -1 defers to the build default (the EVA_VERIFY_PASSES CMake option)
+  /// overridable by the EVA_VERIFY_PASSES environment variable; 0 forces
+  /// off, 1 forces on. The final whole-result verification runs regardless.
+  int VerifyPasses = -1;
 
   /// The paper's EVA configuration (default).
   static CompilerOptions eva() { return CompilerOptions(); }

@@ -102,6 +102,12 @@ public:
   /// Replaces all uses of \p Old with \p New (COPY elimination).
   void replaceAllUses(Node *Old, Node *New);
 
+  /// Rewrites rotation node \p N in place to canonical form: ROTATELEFT
+  /// with its step normalized into [0, vec_size). Semantics-preserving
+  /// under the replication contract — the executors act on
+  /// normalizedLeftSteps, which is unchanged by this rewrite.
+  void canonicalizeRotation(Node *N);
+
   /// Deletes nodes not reachable backwards from any output (lowering can
   /// orphan SUM/COPY nodes). Inputs are kept even if unused.
   void eraseUnreachable();

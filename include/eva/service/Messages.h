@@ -25,7 +25,8 @@
 ///     repeated int32 context_bit_sizes = 4;   // storage order, special last
 ///     repeated uint64 rotation_steps = 5; uint32 security = 6;
 ///     repeated InputSpec inputs = 7; repeated OutputSpec outputs = 8;
-///     bool needs_relin = 9; }
+///     bool needs_relin = 9;
+///     repeated string lint_warnings = 10; }  // publish-time lint findings
 ///   message ProgramList  { repeated ParamSignature programs = 1; }
 ///   message OpenSession  { string program = 1; bytes relin_keys = 2;
 ///                          bytes galois_keys = 3; }   // CkksIO encodings
@@ -96,6 +97,11 @@ struct ParamSignature {
   bool NeedsRelin = false;
   std::vector<ServiceInputSpec> Inputs;
   std::vector<ServiceOutputSpec> Outputs;
+  /// Publish-time lint findings ("[kind] %id: message"), surfaced so clients
+  /// can see the server's static-analysis verdict without recompiling.
+  /// Programs that fail *verification* are refused at registration; warnings
+  /// ride along here.
+  std::vector<std::string> LintWarnings;
 };
 
 struct ErrorMsg {

@@ -6,7 +6,33 @@
 
 #include "eva/core/Compiler.h"
 
+#include "eva/core/Analysis.h"
+
+#include <cstdlib>
+
 using namespace eva;
+
+namespace {
+
+/// Build-default + environment resolution for pass-sandwich verification.
+/// The EVA_VERIFY_PASSES CMake option bakes in the default
+/// (EVA_VERIFY_PASSES_DEFAULT); the EVA_VERIFY_PASSES environment variable
+/// overrides it at run time ("0" disables, anything else enables). Cached:
+/// the cost when off is one branch per pass.
+bool verifyPassesDefault() {
+  static const bool Enabled = [] {
+    if (const char *E = std::getenv("EVA_VERIFY_PASSES"))
+      return E[0] != '0';
+#ifdef EVA_VERIFY_PASSES_DEFAULT
+    return EVA_VERIFY_PASSES_DEFAULT != 0;
+#else
+    return true;
+#endif
+  }();
+  return Enabled;
+}
+
+} // namespace
 
 Expected<CompiledProgram> eva::compile(const Program &Input,
                                        const CompilerOptions &Options) {
@@ -24,55 +50,94 @@ Expected<CompiledProgram> eva::compile(const Program &Input,
       return Result::error("input @" + I->name() +
                            " has an out-of-range scale");
 
+  const bool Verify =
+      Options.VerifyPasses < 0 ? verifyPassesDefault() : Options.VerifyPasses;
+
   CompiledProgram Out;
   Out.Options = Options;
   Out.Prog = Input.clone();
   Program &P = *Out.Prog;
 
+  if (Verify)
+    if (Status S = verifyProgram(P, VerifyOptions::input()); !S.ok())
+      return Result::error("invalid input program: " + S.message());
+
   // --- Transform (line 1 of Algorithm 1) ---
-  lowerFrontendOps(P);
+  // Each pass runs under the stage contract it is supposed to establish;
+  // with verification on, a violation names the pass that just ran.
+  Status Sandwich = Status::success();
+  auto RunPass = [&](const char *Name, const VerifyOptions &VO, auto &&Pass) {
+    if (!Sandwich.ok())
+      return;
+    Pass();
+    if (!Verify)
+      return;
+    if (Status S = verifyProgram(P, VO); !S.ok())
+      Sandwich = Status::error(std::string("IR verification failed after "
+                                           "pass ") +
+                               Name + ": " + S.message());
+  };
+
+  const VerifyOptions Lowered = VerifyOptions::lowered();
+  VerifyOptions Optimized = Lowered;
+  Optimized.RequireNormalizedRotations = Options.Optimize;
+  VerifyOptions Inserted = VerifyOptions::inserted();
+  Inserted.RequireNormalizedRotations = Options.Optimize;
+  VerifyOptions Scaled = VerifyOptions::compiled();
+  Scaled.RequireNormalizedRotations = Options.Optimize;
+
+  RunPass("lower", Lowered, [&] { lowerFrontendOps(P); });
   if (Options.Optimize)
-    cseAndSimplifyPass(P);
+    RunPass("cse-simplify", Optimized, [&] { cseAndSimplifyPass(P); });
   // Galois-key budgeting runs after CSE (which first folds rotation chains
   // into single steps) and before the FHE-insertion passes, so the rewritten
   // power-of-two chains flow through rescale/modswitch/scale matching like
   // any other rotations.
-  galoisBudgetPass(P, Options.GaloisKeyBudget);
-  switch (Options.Rescale) {
-  case RescalePolicy::Waterline:
-    waterlineRescalePass(P, Options.SfBits);
-    break;
-  case RescalePolicy::Always:
-    alwaysRescalePass(P, Options.SfBits, Options.MinPrimeBits);
-    break;
-  case RescalePolicy::ChetPerKernel:
-    chetRescalePass(P, Options.SfBits, Options.MinPrimeBits);
-    break;
-  }
-  if (Options.ModSwitch == ModSwitchPolicy::Eager)
-    eagerModSwitchPass(P);
-  else
-    lazyModSwitchPass(P);
+  RunPass("galois-budget", Optimized,
+          [&] { galoisBudgetPass(P, Options.GaloisKeyBudget); });
+  RunPass("rescale", Inserted, [&] {
+    switch (Options.Rescale) {
+    case RescalePolicy::Waterline:
+      waterlineRescalePass(P, Options.SfBits);
+      break;
+    case RescalePolicy::Always:
+      alwaysRescalePass(P, Options.SfBits, Options.MinPrimeBits);
+      break;
+    case RescalePolicy::ChetPerKernel:
+      chetRescalePass(P, Options.SfBits, Options.MinPrimeBits);
+      break;
+    }
+  });
+  RunPass("modswitch", Inserted, [&] {
+    if (Options.ModSwitch == ModSwitchPolicy::Eager)
+      eagerModSwitchPass(P);
+    else
+      lazyModSwitchPass(P);
+  });
   if (Options.Rescale != RescalePolicy::Waterline)
-    unifyRescaleChainsPass(P);
-  matchScalePass(P);
-  relinearizePass(P);
+    RunPass("unify-rescale-chains", Inserted,
+            [&] { unifyRescaleChainsPass(P); });
+  RunPass("match-scale", Scaled, [&] { matchScalePass(P); });
+  RunPass("relinearize", Scaled, [&] { relinearizePass(P); });
+  if (!Sandwich.ok())
+    return Result(Sandwich);
 
   // --- Validate (lines 2-3) ---
-  if (Status S = P.verifyStructure(); !S.ok())
+  // The structural contract always holds at the end, verified or not.
+  if (Status S = verifyProgram(P, Verify ? Scaled : VerifyOptions::inserted());
+      !S.ok())
     return Result::error("internal: " + S.message());
-  Expected<RescaleChainInfo> Chains =
-      validateRescaleChains(P, Options.SfBits);
-  if (!Chains)
-    return Chains.takeStatus();
-  if (Status S = validateScales(P); !S.ok())
-    return S;
-  if (Status S = validateNumPolynomials(P); !S.ok())
-    return S;
+  // One dataflow analysis serves validation (Constraints 1-4, in the
+  // historical diagnostic order) and parameter selection below.
+  AnalysisOptions AO;
+  AO.SfBits = Options.SfBits;
+  Expected<AnalysisResult> AR = analyzeProgram(P, AO);
+  if (!AR)
+    return AR.takeStatus();
 
   // --- DetermineParameters (line 4) ---
   Expected<ParameterSelection> Sel =
-      selectParameters(P, Chains.value(), Options.SfBits, Options.MinPrimeBits,
+      selectParameters(P, *AR, Options.SfBits, Options.MinPrimeBits,
                        Options.Security);
   if (!Sel)
     return Sel.takeStatus();
@@ -85,5 +150,13 @@ Expected<CompiledProgram> eva::compile(const Program &Input,
 
   // --- Rotation hoisting analysis (runtime consumes the batches) ---
   Out.RotPlan = planRotationHoisting(P);
+
+  // Whole-result cross-checks (Galois-key coverage, hoist plan, parameter
+  // sanity) — the contract every executor assumes.
+  if (Verify)
+    if (Status S = verifyCompiled(Out); !S.ok())
+      return Result::error("internal: compiled-program verification "
+                           "failed: " +
+                           S.message());
   return Out;
 }

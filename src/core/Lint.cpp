@@ -1,0 +1,206 @@
+//===- Lint.cpp - Warning pass over analysis facts ----------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint layer of the analysis subsystem: advisory warnings over the
+/// dataflow facts, each carrying node provenance. Unlike the verifier,
+/// nothing here fails a compile — these are the "your program is legal but
+/// about to disappoint you" diagnostics: scales grazing the live modulus,
+/// outputs predicted to decode with little precision, Galois-key pressure,
+/// dead or constant-foldable encrypted subgraphs, and multiply trees whose
+/// shape wastes levels. Warnings are emitted in a deterministic order
+/// (category, then forward order) so `evac lint` output is golden-testable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eva/core/Analysis.h"
+
+#include "eva/support/BitOps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace eva;
+
+namespace {
+
+std::string nodeDesc(const Node *N) {
+  return std::string("%") + std::to_string(N->id()) + " (" + opName(N->op()) +
+         ")";
+}
+
+std::string fmt1(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", V);
+  return Buf;
+}
+
+} // namespace
+
+const char *eva::lintKindName(LintKind K) {
+  switch (K) {
+  case LintKind::ScaleNearCeiling:
+    return "scale-near-ceiling";
+  case LintKind::LowPrecision:
+    return "low-precision";
+  case LintKind::RotationKeyPressure:
+    return "rotation-key-pressure";
+  case LintKind::DeadOutput:
+    return "dead-output";
+  case LintKind::ConstantFoldable:
+    return "constant-foldable";
+  case LintKind::UnbalancedMultiply:
+    return "unbalanced-multiply";
+  case LintKind::UnusedInput:
+    return "unused-input";
+  }
+  return "unknown";
+}
+
+std::vector<LintWarning> eva::lintCompiled(const CompiledProgram &CP,
+                                           const AnalysisResult &AR,
+                                           const LintOptions &O) {
+  std::vector<LintWarning> Out;
+  const Program &P = *CP.Prog;
+  const std::vector<Node *> Order = P.forwardOrder();
+
+  // Live data modulus per level: the special prime (BitSizes[0]) is spent
+  // during key switching, so the data capacity at level L is the chain and
+  // headroom primes not yet consumed.
+  int DataTotal = 0;
+  for (size_t I = 1; I < CP.BitSizes.size(); ++I)
+    DataTotal += CP.BitSizes[I];
+  auto LiveBits = [&](int Level) {
+    int Live = DataTotal;
+    for (int I = 1; I <= Level && I < static_cast<int>(CP.BitSizes.size());
+         ++I)
+      Live -= CP.BitSizes[I];
+    return Live;
+  };
+
+  // Scale (plus message magnitude) grazing the live modulus ceiling: SEAL's
+  // encoder needs |m| * scale well under the coefficient modulus, so fewer
+  // than ScaleHeadroomBits of slack means one more constant or addition
+  // tips the program into "scale out of bounds" territory.
+  for (const Node *N : Order) {
+    if (!N->isCipher() || N->op() == OpCode::Output ||
+        AR.Level[N->id()] < 0)
+      continue;
+    double Used =
+        AR.LogScale[N->id()] + std::max(AR.MagBits[N->id()], 0.0);
+    int Live = LiveBits(AR.Level[N->id()]);
+    if (Used > static_cast<double>(Live) - O.ScaleHeadroomBits)
+      Out.push_back(
+          {LintKind::ScaleNearCeiling, N->id(),
+           nodeDesc(N) + ": scale 2^" + fmt1(AR.LogScale[N->id()]) +
+               " with magnitude 2^" + fmt1(AR.MagBits[N->id()]) +
+               " leaves under " + std::to_string(O.ScaleHeadroomBits) +
+               " bits of headroom in the 2^" + std::to_string(Live) +
+               " live modulus at level " +
+               std::to_string(AR.Level[N->id()])});
+  }
+
+  // Low predicted decode precision at an output.
+  if (!AR.OutputNoise.OutputPrecisionBits.empty())
+    for (size_t I = 0; I < P.outputs().size(); ++I) {
+      const Node *OutNode = P.outputs()[I];
+      if (!OutNode->parm(0)->isCipher())
+        continue;
+      double Prec = AR.OutputNoise.OutputPrecisionBits[I];
+      if (Prec < O.MinPrecisionBits)
+        Out.push_back({LintKind::LowPrecision, OutNode->id(),
+                       "output '" + OutNode->name() + "' (%" +
+                           std::to_string(OutNode->id()) +
+                           "): predicted precision " + fmt1(Prec) +
+                           " bits is below " + fmt1(O.MinPrecisionBits) +
+                           " (estimated noise 2^" +
+                           fmt1(AR.OutputNoise.OutputNoiseBits[I]) + ")"});
+    }
+
+  // Galois-key pressure: either the configured budget could not be met
+  // (galoisBudgetPass bottoms out at the power-of-two basis), or no budget
+  // is set and the step set implies a heavy client key upload.
+  size_t Keys = CP.RotationSteps.size();
+  size_t Log2M = 0;
+  for (uint64_t M = P.vecSize(); M > 1; M >>= 1)
+    ++Log2M;
+  if (CP.Options.GaloisKeyBudget > 0 && Keys > CP.Options.GaloisKeyBudget)
+    Out.push_back({LintKind::RotationKeyPressure, 0,
+                   "program needs " + std::to_string(Keys) +
+                       " Galois keys, over the configured budget of " +
+                       std::to_string(CP.Options.GaloisKeyBudget) +
+                       " (the power-of-two basis is the floor)"});
+  else if (CP.Options.GaloisKeyBudget == 0 && Keys > Log2M)
+    Out.push_back({LintKind::RotationKeyPressure, 0,
+                   "program uses " + std::to_string(Keys) +
+                       " distinct rotation steps (one Galois key each); a "
+                       "key budget would cap the client upload at " +
+                       std::to_string(Log2M) + " power-of-two keys"});
+
+  // Dead outputs: no run-time input reaches them, so the "result" is a
+  // compile-time constant shipped through the cryptosystem.
+  for (const Node *OutNode : P.outputs())
+    if (!AR.HasInputAncestor[OutNode->id()])
+      Out.push_back({LintKind::DeadOutput, OutNode->id(),
+                     "output '" + OutNode->name() + "' (%" +
+                         std::to_string(OutNode->id()) +
+                         ") depends on no run-time input; it always "
+                         "computes the same constant"});
+
+  // Constant-foldable encrypted subgraphs: cipher instructions with no
+  // encrypted input upstream burn homomorphic operations on values the
+  // frontend could fold. Report only frontier roots (a foldable node with a
+  // non-foldable consumer) so one subgraph yields one warning.
+  for (const Node *N : Order) {
+    if (!N->isCipher() || N->op() == OpCode::Input ||
+        N->op() == OpCode::Output || AR.HasCipherInputAncestor[N->id()])
+      continue;
+    bool Frontier = false;
+    for (const Node *U : N->uses())
+      if (U->op() == OpCode::Output || AR.HasCipherInputAncestor[U->id()]) {
+        Frontier = true;
+        break;
+      }
+    if (Frontier)
+      Out.push_back({LintKind::ConstantFoldable, N->id(),
+                     "encrypted subgraph rooted at " + nodeDesc(N) +
+                         " uses no encrypted input; compute it in "
+                         "plaintext in the frontend"});
+  }
+
+  // Depth-unbalanced multiply trees: a cipher*cipher multiply whose operand
+  // depths differ by >= DepthImbalance marks a comb-shaped chain that a
+  // balanced tree would evaluate in fewer levels (each level is a chain
+  // prime).
+  for (const Node *N : Order) {
+    if (N->op() != OpCode::Multiply || !N->parm(0)->isCipher() ||
+        !N->parm(1)->isCipher())
+      continue;
+    size_t D0 = AR.MultDepth[N->parm(0)->id()];
+    size_t D1 = AR.MultDepth[N->parm(1)->id()];
+    size_t Diff = D0 > D1 ? D0 - D1 : D1 - D0;
+    if (Diff >= O.DepthImbalance)
+      Out.push_back({LintKind::UnbalancedMultiply, N->id(),
+                     nodeDesc(N) + ": operand multiplicative depths " +
+                         std::to_string(D0) + " and " + std::to_string(D1) +
+                         " differ by " + std::to_string(Diff) +
+                         "; rebalancing the multiply tree would save "
+                         "levels"});
+  }
+
+  // Declared inputs that feed nothing (kept by eraseUnreachable, so they
+  // stay part of the runtime interface and force clients to encrypt them).
+  for (const Node *In : P.inputs())
+    if (!In->hasUses())
+      Out.push_back({LintKind::UnusedInput, In->id(),
+                     "input '" + In->name() + "' (%" +
+                         std::to_string(In->id()) +
+                         ") is never used but clients must still supply "
+                         "it"});
+
+  return Out;
+}

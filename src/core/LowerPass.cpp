@@ -36,6 +36,11 @@ void eva::lowerFrontendOps(Program &P) {
     P.replaceAllUses(N, Acc);
     Changed = true;
   }
-  if (Changed)
-    P.eraseUnreachable();
+  (void)Changed;
+  // Unconditionally: the input program itself may carry dead expressions
+  // (the frontend builds nodes eagerly), and no later pass erases them —
+  // without this they would flow through the pipeline and be evaluated
+  // homomorphically. Lowering owns the no-orphans invariant the pass
+  // sandwich checks from here on.
+  P.eraseUnreachable();
 }

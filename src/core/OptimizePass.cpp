@@ -92,11 +92,16 @@ size_t eva::cseAndSimplifyPass(Program &P) {
       }
       if (Folded) {
         P.setParm(N, 0, Root);
-        // Keep N's opcode; express the combined count in its direction.
         N->setRotation(static_cast<int32_t>(
             N->op() == OpCode::RotateLeft ? Steps : M - Steps));
         ++Eliminated;
       }
+      // Canonicalize every surviving rotation to ROTATELEFT with a step in
+      // [0, M): equivalent rotations written in different directions (or
+      // with congruent steps) then hash-cons to the same key below, and the
+      // normalized-rotations invariant the verifier checks after this pass
+      // is established here.
+      P.canonicalizeRotation(N);
       break;
     }
     case OpCode::Negate:

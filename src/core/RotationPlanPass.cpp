@@ -93,12 +93,18 @@ size_t eva::galoisBudgetPass(Program &P, size_t Budget) {
   }
 
   size_t Rewritten = 0;
+  bool Changed = false;
   for (Node *N : Order) {
     if (!isRotation(N->op()) || !N->isCipher())
       continue;
     uint64_t S = normalizedLeftSteps(N, M);
     if (S == 0) {
+      // Identity rotation: forward the operand. This must still count as a
+      // graph change — if nothing else is rewritten, skipping the erase
+      // below would leave the detached rotation node orphaned in the graph
+      // (caught by the pass-sandwich verifier's no-orphans invariant).
       P.replaceAllUses(N, N->parm(0));
+      Changed = true;
       continue;
     }
     // Already a basis rotation (a left rotation by one power of two).
@@ -121,8 +127,9 @@ size_t eva::galoisBudgetPass(Program &P, size_t Budget) {
     }
     P.replaceAllUses(N, Cur);
     ++Rewritten;
+    Changed = true;
   }
-  if (Rewritten > 0)
+  if (Changed)
     P.eraseUnreachable();
   return Rewritten;
 }

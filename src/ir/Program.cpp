@@ -168,6 +168,12 @@ void Program::replaceAllUses(Node *Old, Node *New) {
         setParm(C, K, New);
 }
 
+void Program::canonicalizeRotation(Node *N) {
+  assert(isRotation(N->Op) && "not a rotation node");
+  N->Rotation = static_cast<int32_t>(normalizedLeftSteps(N, VecSize));
+  N->Op = OpCode::RotateLeft;
+}
+
 void Program::eraseUnreachable() {
   std::vector<bool> Live(NextId, false);
   std::vector<Node *> Work;

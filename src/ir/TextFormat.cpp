@@ -6,6 +6,7 @@
 
 #include "eva/ir/TextFormat.h"
 
+#include "eva/core/Analysis.h"
 #include "eva/support/BitOps.h"
 
 #include <charconv>
@@ -277,7 +278,12 @@ eva::parseProgramText(std::string_view Text) {
   }
   if (!P)
     return Result::error("empty input: no program header");
-  if (Status S = P->verifyStructure(); !S.ok())
+  // Full structural verification, not just use-list symmetry: a parsed
+  // program is untrusted input. Compiler-inserted ops are admitted because
+  // listings of compiled programs (evac --dump output) round-trip here.
+  VerifyOptions VO;
+  VO.AllowCompilerOps = true;
+  if (Status S = verifyProgram(*P, VO); !S.ok())
     return Result::error("parsed program is invalid: " + S.message());
   return P;
 }

@@ -6,6 +6,7 @@
 
 #include "eva/serialize/ProtoIO.h"
 
+#include "eva/core/Analysis.h"
 #include "eva/serialize/Wire.h"
 #include "eva/support/BitOps.h"
 
@@ -504,7 +505,13 @@ eva::deserializeProgram(std::string_view Data) {
     N->setLogScale(Out.Scale);
     ++OutputIdx;
   }
-  if (Status S = P->verifyStructure(); !S.ok())
+  // Wire bytes are untrusted: run the full structural verifier (dangling
+  // operands, cycles, arity, constant domains) so no hostile encoding can
+  // hand a malformed graph to an executor. Compiler-inserted ops are
+  // admitted because compiled programs (evac -o output) round-trip here.
+  VerifyOptions VO;
+  VO.AllowCompilerOps = true;
+  if (Status S = verifyProgram(*P, VO); !S.ok())
     return Result::error("deserialized program is invalid: " + S.message());
   return P;
 }

@@ -180,6 +180,8 @@ std::string eva::serializeParamSignature(const ParamSignature &Sig) {
   }
   if (Sig.NeedsRelin)
     W.varintField(9, 1);
+  for (const std::string &L : Sig.LintWarnings)
+    W.bytesField(10, L);
   return W.take();
 }
 
@@ -280,6 +282,11 @@ Expected<ParamSignature> eva::deserializeParamSignature(std::string_view Data) {
       if (Type != WireType::Varint || !R.readVarint(V))
         return Result::error("malformed signature relin flag");
       Sig.NeedsRelin = V != 0;
+      break;
+    case 10:
+      if (Type != WireType::LengthDelimited || !R.readBytes(B))
+        return Result::error("malformed signature lint warning");
+      Sig.LintWarnings.push_back(std::string(B));
       break;
     default:
       if (!R.skip(Type))

@@ -7,10 +7,12 @@
 #include "eva/service/ProgramRegistry.h"
 
 #include "eva/api/ProgramSignature.h"
+#include "eva/core/Analysis.h"
 #include "eva/ir/Printer.h"
 #include "eva/ir/TextFormat.h"
 #include "eva/serialize/ProtoIO.h"
 
+#include <cstdio>
 #include <fstream>
 
 using namespace eva;
@@ -39,6 +41,12 @@ ParamSignature eva::signatureOf(const CompiledProgram &CP) {
 
 Status ProgramRegistry::registerSource(const Program &Source,
                                        const CompilerOptions &Options) {
+  // Publish-time vetting: the registry is the deployment boundary, so a
+  // structurally invalid program is refused here — before compilation —
+  // independent of whether the pass sandwich is enabled for this build.
+  if (Status S = verifyProgram(Source); !S.ok())
+    return Status::error("program '" + Source.name() +
+                         "' failed verification: " + S.message());
   Expected<CompiledProgram> CP = compile(Source, Options);
   if (!CP)
     return Status::error("compile failed for program '" + Source.name() +
@@ -54,6 +62,23 @@ Status ProgramRegistry::registerSource(const Program &Source,
 
   auto Entry = std::make_shared<RegisteredProgram>();
   Entry->Signature = signatureOf(*CP);
+
+  // Lint the published program and surface the findings in the signature
+  // clients fetch (and in the server log): warnings never block publication,
+  // but operators and clients both get to see them.
+  AnalysisOptions AO;
+  AO.SfBits = Options.SfBits;
+  AO.PolyDegree = CP->PolyDegree;
+  if (Expected<AnalysisResult> AR = analyzeProgram(*CP->Prog, AO)) {
+    for (const LintWarning &W : lintCompiled(*CP, *AR)) {
+      std::string Line = std::string("[") + lintKindName(W.Kind) + "] %" +
+                         std::to_string(W.NodeId) + ": " + W.Message;
+      std::fprintf(stderr, "eva: lint: program '%s': %s\n",
+                   Source.name().c_str(), Line.c_str());
+      Entry->Signature.LintWarnings.push_back(std::move(Line));
+    }
+  }
+
   Entry->CP = std::move(*CP);
   Entry->Context = Ctx.value();
 

@@ -217,7 +217,7 @@ CipherTensor eva::matVecBsgs(ProgramBuilder &B, const CipherTensor &In,
     assert(L.GridH == L.H && L.GridW == L.W && L.StrideY == 1 &&
            L.StrideX == 1 && "BSGS matvec needs a dense layout");
     assert(NIn == L.logicalSize() && "dense layer input size mismatch");
-    (void)NIn; // assert-only in Release
+    (void)L, (void)NIn; // assert-only in Release
     size_t M = B.vecSize();
     assert(NOut <= M && "too many outputs for the ciphertext");
 

@@ -218,6 +218,51 @@ TEST(EvacCli, RunDiagnosesBadInputs) {
   EXPECT_EQ(R3.ExitCode, 1);
 }
 
+// --- `evac lint`: the static-analysis subcommand. ---
+
+// lintdemo is built to trigger one warning of (almost) every kind:
+// scale-near-ceiling (huge constant magnitude), dead-output and
+// constant-foldable (cipher-typed arithmetic over constants only),
+// unbalanced-multiply (x^4 as a left-leaning chain), and unused-input.
+TEST(EvacCli, LintGolden) {
+  expectGolden("lint " + shellQuote(fixture("lintdemo.evabin")),
+               "lintdemo.lint.golden");
+}
+
+TEST(EvacCli, LintJsonGolden) {
+  expectGolden("lint " + shellQuote(fixture("lintdemo.evabin")) + " --json",
+               "lintdemo.lint.json.golden");
+}
+
+// With a Galois-key budget of 1 the budget pass rewrites the two rotations
+// onto the power-of-two basis, which still exceeds the budget — the
+// rotation-key-pressure warning must name the shortfall.
+TEST(EvacCli, LintBudgetGolden) {
+  expectGolden("lint " + shellQuote(fixture("lintdemo.evabin")) +
+                   " --budget 1",
+               "lintdemo.lint.budget.golden");
+}
+
+// Warnings are advice, not errors: a clean program exits 0 and reports none.
+TEST(EvacCli, LintCleanProgramExitsZero) {
+  RunResult R = runEvac("lint " + shellQuote(fixture("poly3.evabin")));
+  ASSERT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("warnings     : none"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("verifier     : ok"), std::string::npos);
+}
+
+TEST(EvacCli, LintRejectsGarbage) {
+  std::string Bad = ::testing::TempDir() + "evac_lint_garbage.evabin";
+  {
+    std::ofstream O(Bad, std::ios::binary);
+    O << "\xff\xfe this is not a program";
+  }
+  RunResult R = runEvac("lint " + shellQuote(Bad) + " 2>/dev/null");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_TRUE(R.Stdout.empty());
+  std::remove(Bad.c_str());
+}
+
 TEST(EvacCli, MissingFileFails) {
   RunResult R = runEvac(shellQuote(fixture("does_not_exist.evabin")) + " 2>/dev/null");
   EXPECT_EQ(R.ExitCode, 1);

@@ -19,7 +19,7 @@ using namespace eva;
 
 namespace {
 
-NoiseEstimate estimateFor(const Program &P, const CompiledProgram &CP) {
+NoiseEstimate estimateFor(const CompiledProgram &CP) {
   return estimateNoise(*CP.Prog, CP.PolyDegree);
 }
 
@@ -112,8 +112,8 @@ TEST(NoiseEstimate, ChetModeIsNoisierThanEva) {
   Expected<CompiledProgram> Eva = compile(*P, CompilerOptions::eva());
   Expected<CompiledProgram> Chet = compile(*P, CompilerOptions::chet());
   ASSERT_TRUE(Eva.ok() && Chet.ok());
-  double PE = estimateFor(*P, *Eva).OutputPrecisionBits[0];
-  double PC = estimateFor(*P, *Chet).OutputPrecisionBits[0];
+  double PE = estimateFor(*Eva).OutputPrecisionBits[0];
+  double PC = estimateFor(*Chet).OutputPrecisionBits[0];
   EXPECT_GT(PE, PC);
 }
 

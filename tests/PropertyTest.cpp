@@ -345,8 +345,9 @@ TEST_P(RotationDifferential, HoistingAndBackendsAreBitIdentical) {
     ASSERT_TRUE(Out.ok()) << C.Name << ": " << Out.message();
     const ExecutionStats *S = (*R)->executionStats();
     ASSERT_NE(S, nullptr);
-    if (!C.Hoist)
+    if (!C.Hoist) {
       EXPECT_EQ(S->HoistedRotations, 0u) << C.Name;
+    }
     for (const Node *ON : CP.Prog->outputs()) {
       std::vector<double> Got = Out->plainVec(ON->name());
       if (First.count(ON->name()) == 0) {

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "eva/ckks/KeyGenerator.h"
+#include "eva/core/Analysis.h"
 #include "eva/core/Compiler.h"
 #include "eva/frontend/Expr.h"
 #include "eva/ir/Printer.h"
@@ -398,6 +399,46 @@ TEST(ProtoIO, FileSaveAndLoad) {
   Expected<std::unique_ptr<Program>> Q = loadProgram(Path);
   ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
   EXPECT_EQ((*Q)->nodeCount(), P->nodeCount());
+}
+
+TEST(ProtoIOHostile, ByteFlippedProgramsNeverReachAnExecutor) {
+  // The deserializer runs the full structural verifier on everything it
+  // accepts, so a hostile encoding has exactly two fates: a load error, or a
+  // graph that satisfies every term-graph invariant. Either way no malformed
+  // graph can reach an executor.
+  std::unique_ptr<Program> P = buildRichProgram();
+  std::string Data = serializeProgram(*P);
+  RandomSource Rng(0xF00DF00D);
+  VerifyOptions VO;
+  VO.AllowCompilerOps = true; // the loader's own admission contract
+  for (int I = 0; I < 300; ++I) {
+    std::string Corrupt = Data;
+    for (int F = 0; F < 1 + static_cast<int>(Rng.uniformBelow(4)); ++F)
+      Corrupt[Rng.uniformBelow(Corrupt.size())] =
+          static_cast<char>(Rng.uniformBelow(256));
+    Expected<std::unique_ptr<Program>> Q = deserializeProgram(Corrupt);
+    if (Q.ok()) {
+      EXPECT_TRUE(verifyProgram(**Q, VO).ok())
+          << "loader accepted a graph the verifier rejects (iteration " << I
+          << ")";
+    }
+  }
+}
+
+TEST(ProtoIOHostile, TruncationsAreDiagnosed) {
+  std::unique_ptr<Program> P = buildRichProgram();
+  std::string Data = serializeProgram(*P);
+  for (size_t Len : {Data.size() - 1, Data.size() / 2, Data.size() / 4,
+                     size_t(1)}) {
+    Expected<std::unique_ptr<Program>> Q =
+        deserializeProgram(Data.substr(0, Len));
+    if (Q.ok()) {
+      // A prefix that still parses must still verify.
+      VerifyOptions VO;
+      VO.AllowCompilerOps = true;
+      EXPECT_TRUE(verifyProgram(**Q, VO).ok());
+    }
+  }
 }
 
 TEST(ProtoIO, PropertyRandomProgramsRoundTrip) {

@@ -347,6 +347,8 @@ TEST(Messages, ParamSignatureRoundTrip) {
   Sig.NeedsRelin = true;
   Sig.Inputs = {{"x", 30, true}, {"w", 20, false}};
   Sig.Outputs = {{"out", 30}};
+  Sig.LintWarnings = {"[unused-input] %1: input 'w' is never used",
+                      "[dead-output] %9: output 'out' depends on no input"};
   Expected<ParamSignature> Q =
       deserializeParamSignature(serializeParamSignature(Sig));
   ASSERT_TRUE(Q.ok()) << (Q.ok() ? "" : Q.message());
@@ -364,6 +366,7 @@ TEST(Messages, ParamSignatureRoundTrip) {
   EXPECT_FALSE(Q->Inputs[1].IsCipher);
   ASSERT_EQ(Q->Outputs.size(), 1u);
   EXPECT_EQ(Q->Outputs[0].Name, "out");
+  EXPECT_EQ(Q->LintWarnings, Sig.LintWarnings);
 }
 
 TEST(Messages, ExecuteRoundTrip) {
@@ -465,6 +468,48 @@ void runTenant(Transport &T, uint64_t KeySeed, uint64_t InputSeed) {
     EXPECT_NEAR(RemoteOut.at("out")[I], Want, 1e-2) << "slot " << I;
   }
   EXPECT_TRUE(Client.closeSession().ok());
+}
+
+// The registry is the deployment boundary: a program that fails structural
+// verification is refused at publish time, before compilation or context
+// construction.
+TEST(Service, PublishRefusesVerifierFailingProgram) {
+  Service Svc;
+  Program P(8, "hostile");
+  Node *X = P.makeInput("x", ValueType::Cipher, 30);
+  Node *C =
+      P.makeConstant({std::numeric_limits<double>::quiet_NaN()}, 30);
+  Node *M = P.makeInstruction(OpCode::Multiply, {X, C});
+  P.makeOutput("out", M);
+  Status S = Svc.registry().registerSource(P);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("failed verification"), std::string::npos)
+      << S.message();
+  EXPECT_NE(S.message().find("non-finite"), std::string::npos) << S.message();
+  EXPECT_EQ(Svc.registry().size(), 0u);
+}
+
+// Lint warnings never block publication, but they surface in the signature
+// clients fetch via LIST_PROGRAMS.
+TEST(Service, PublishSurfacesLintWarningsInSignature) {
+  Service Svc;
+  ProgramBuilder B("warned", 8);
+  Expr X = B.inputCipher("x", 30);
+  B.inputCipher("never", 30); // unused: the lint pass must flag it
+  B.output("out", X * X, 30);
+  ASSERT_TRUE(Svc.registry().registerSource(B.program()).ok());
+  std::vector<ParamSignature> Sigs = Svc.registry().signatures();
+  ASSERT_EQ(Sigs.size(), 1u);
+  bool SawUnusedInput = false;
+  for (const std::string &W : Sigs[0].LintWarnings)
+    SawUnusedInput |= W.find("[unused-input]") != std::string::npos &&
+                      W.find("never") != std::string::npos;
+  EXPECT_TRUE(SawUnusedInput) << "lint warnings missing from the signature";
+  // And they survive the wire round-trip to the client.
+  Expected<ParamSignature> Q =
+      deserializeParamSignature(serializeParamSignature(Sigs[0]));
+  ASSERT_TRUE(Q.ok());
+  EXPECT_EQ(Q->LintWarnings, Sigs[0].LintWarnings);
 }
 
 TEST(Service, InProcessEndToEnd) {

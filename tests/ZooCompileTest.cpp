@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "eva/core/Analysis.h"
 #include "eva/core/Compiler.h"
 #include "eva/ir/Printer.h"
 #include "eva/runtime/ReferenceExecutor.h"
@@ -20,6 +21,9 @@
 #include "eva/tensor/Network.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
 
 using namespace eva;
 
@@ -61,6 +65,36 @@ TEST_P(ZooCompile, Table6InvariantsHold) {
             maxCoeffModulusBits(Eva->PolyDegree, SecurityLevel::TC128));
   EXPECT_LE(Chet->TotalModulusBits,
             maxCoeffModulusBits(Chet->PolyDegree, SecurityLevel::TC128));
+}
+
+// Every zoo network must verify and lint with zero *errors* in both
+// compiler modes: verifyCompiled accepts the result, and the analyzer's
+// facts feed the lint pass without failure. Warnings are tolerated (the
+// networks are real workloads, not lint showcases) but printed for
+// inspection.
+TEST_P(ZooCompile, VerifiesAndLintsCleanly) {
+  NetworkDefinition Net = makeAllNetworks(99)[GetParam()];
+  SCOPED_TRACE(Net.name());
+  TensorScales Scales;
+  std::unique_ptr<Program> P = Net.buildProgram(Scales);
+  EXPECT_TRUE(verifyProgram(*P).ok());
+  for (const CompilerOptions &O :
+       {CompilerOptions::eva(), CompilerOptions::chet()}) {
+    Expected<CompiledProgram> CP = compile(*P, O);
+    ASSERT_TRUE(CP.ok()) << CP.message();
+    Status V = verifyCompiled(*CP);
+    EXPECT_TRUE(V.ok()) << V.message();
+    AnalysisOptions AO;
+    AO.SfBits = O.SfBits;
+    AO.PolyDegree = CP->PolyDegree;
+    Expected<AnalysisResult> AR = analyzeProgram(*CP->Prog, AO);
+    ASSERT_TRUE(AR.ok()) << AR.message();
+    std::map<const char *, size_t> ByKind;
+    for (const LintWarning &W : lintCompiled(*CP, *AR))
+      ++ByKind[lintKindName(W.Kind)];
+    for (const auto &[Kind, Count] : ByKind)
+      std::printf("  lint: %zu x %s\n", Count, Kind);
+  }
 }
 
 TEST_P(ZooCompile, CompiledProgramMatchesPlainInferenceUnderIdScheme) {

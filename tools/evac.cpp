@@ -20,9 +20,18 @@
 //        [--inputs file.json] [--in name=v1,v2,...] [--threads N]
 //        [--seed S] [--port P] [--show K] [--chet] [--lazy]
 //
+// `evac lint` compiles with full pass-sandwich verification, then reports
+// the analyzer's per-output dataflow facts (scale, level, magnitude, noise,
+// precision) and the lint warnings with node provenance — the static
+// analysis surface of eva/core/Analysis.h. `--json` makes the report
+// machine-readable.
+//
+//   evac lint <input.evabin> [--chet] [--lazy] [--budget N] [--json]
+//
 //===----------------------------------------------------------------------===//
 
 #include "eva/api/Runner.h"
+#include "eva/core/Analysis.h"
 #include "eva/core/Compiler.h"
 #include "eva/math/Simd.h"
 #include "eva/support/Profile.h"
@@ -49,6 +58,8 @@ static int usage(const char *Prog) {
                "reference|local|service] [--inputs file.json]\n"
                "                [--in name=v1,v2,...] [--threads N] [--seed "
                "S] [--port P] [--show K]\n"
+               "       evac lint <input.evabin> [--chet] [--lazy] "
+               "[--budget N] [--json]\n"
                "  --chet        use the CHET-baseline insertion policies\n"
                "  --lazy        use LAZY-MODSWITCH instead of EAGER\n"
                "  --dump        print the transformed program\n"
@@ -71,7 +82,11 @@ static int usage(const char *Prog) {
                "                of (program, seed, inputs) (default 1)\n"
                "  --show K      print only the first K slots per output "
                "(default 8,\n"
-               "                0 = all)\n",
+               "                0 = all)\n"
+               "lint subcommand:\n"
+               "  --budget N    Galois-key budget handed to the compiler "
+               "(0 = unbounded)\n"
+               "  --json        machine-readable facts + warnings document\n",
                Prog, Prog);
   return 1;
 }
@@ -503,11 +518,152 @@ int runCommand(int Argc, char **Argv) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// `evac lint`: static facts + warnings over a program
+//===----------------------------------------------------------------------===//
+
+int lintCommand(int Argc, char **Argv) {
+  const char *InputPath = nullptr;
+  bool Json = false;
+  CompilerOptions Options = CompilerOptions::eva();
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--chet") == 0) {
+      Options = CompilerOptions::chet();
+    } else if (std::strcmp(Argv[I], "--lazy") == 0) {
+      Options.ModSwitch = ModSwitchPolicy::Lazy;
+    } else if (std::strcmp(Argv[I], "--budget") == 0 && I + 1 < Argc) {
+      Options.GaloisKeyBudget =
+          static_cast<size_t>(std::max(0, std::atoi(Argv[++I])));
+    } else if (std::strcmp(Argv[I], "--json") == 0) {
+      Json = true;
+    } else if (Argv[I][0] != '-' && !InputPath) {
+      InputPath = Argv[I];
+    } else {
+      return usage("evac");
+    }
+  }
+  if (!InputPath)
+    return usage("evac");
+  // Lint is the verification surface: the pass sandwich always runs here,
+  // regardless of the build default or environment.
+  Options.VerifyPasses = 1;
+
+  std::ifstream In(InputPath, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "evac: error: cannot open %s\n", InputPath);
+    return 1;
+  }
+  std::string Data((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  Expected<std::unique_ptr<Program>> P =
+      Data.rfind("program ", 0) == 0 ? parseProgramText(Data)
+                                     : deserializeProgram(Data);
+  if (!P) {
+    std::fprintf(stderr, "evac: error: %s\n", P.message().c_str());
+    return 1;
+  }
+  if (Status S = verifyProgram(**P); !S.ok()) {
+    std::fprintf(stderr, "evac: lint error: %s\n", S.message().c_str());
+    return 1;
+  }
+  Expected<CompiledProgram> CP = compile(**P, Options);
+  if (!CP) {
+    std::fprintf(stderr, "evac: compile error: %s\n", CP.message().c_str());
+    return 1;
+  }
+  if (Status S = verifyCompiled(*CP); !S.ok()) {
+    std::fprintf(stderr, "evac: lint error: %s\n", S.message().c_str());
+    return 1;
+  }
+
+  AnalysisOptions AO;
+  AO.SfBits = Options.SfBits;
+  AO.PolyDegree = CP->PolyDegree;
+  Expected<AnalysisResult> AR = analyzeProgram(*CP->Prog, AO);
+  if (!AR) {
+    std::fprintf(stderr, "evac: lint error: %s\n", AR.message().c_str());
+    return 1;
+  }
+  std::vector<LintWarning> Warnings = lintCompiled(*CP, *AR);
+
+  const Program &CProg = *CP->Prog;
+  if (Json) {
+    std::printf("{\n");
+    std::printf("  \"program\": \"%s\",\n", jsonEscape(CProg.name()).c_str());
+    std::printf("  \"vec_size\": %llu,\n",
+                static_cast<unsigned long long>(CProg.vecSize()));
+    std::printf("  \"instructions\": %zu,\n", CProg.instructionCount());
+    std::printf("  \"mult_depth\": %zu,\n", CProg.multiplicativeDepth());
+    std::printf("  \"poly_modulus_degree\": %llu,\n",
+                static_cast<unsigned long long>(CP->PolyDegree));
+    std::printf("  \"total_modulus_bits\": %d,\n", CP->TotalModulusBits);
+    std::printf("  \"rotation_keys\": %zu,\n", CP->RotationSteps.size());
+    std::printf("  \"verified\": true,\n");
+    std::printf("  \"outputs\": [");
+    for (size_t I = 0; I < CProg.outputs().size(); ++I) {
+      const Node *Out = CProg.outputs()[I];
+      const Node *Src = Out->parm(0);
+      std::printf("%s\n    {\"name\": \"%s\", \"log_scale\": %.1f, "
+                  "\"level\": %d, \"magnitude_bits\": %.1f, "
+                  "\"noise_bits\": %.1f, \"precision_bits\": %.1f}",
+                  I ? "," : "", jsonEscape(Out->name()).c_str(),
+                  AR->LogScale[Src->id()], AR->Level[Src->id()],
+                  AR->MagBits[Src->id()],
+                  AR->OutputNoise.OutputNoiseBits[I],
+                  AR->OutputNoise.OutputPrecisionBits[I]);
+    }
+    std::printf("\n  ],\n");
+    std::printf("  \"warnings\": [");
+    for (size_t I = 0; I < Warnings.size(); ++I)
+      std::printf("%s\n    {\"kind\": \"%s\", \"node\": %llu, "
+                  "\"message\": \"%s\"}",
+                  I ? "," : "", lintKindName(Warnings[I].Kind),
+                  static_cast<unsigned long long>(Warnings[I].NodeId),
+                  jsonEscape(Warnings[I].Message).c_str());
+    std::printf("%s  ]\n}\n", Warnings.empty() ? "" : "\n");
+    return 0;
+  }
+
+  std::printf("program      : %s (vec_size %llu, %zu instructions, "
+              "mult depth %zu)\n",
+              CProg.name().c_str(),
+              static_cast<unsigned long long>(CProg.vecSize()),
+              CProg.instructionCount(), CProg.multiplicativeDepth());
+  std::printf("verifier     : ok (input, pass sandwich, compiled program)\n");
+  std::printf("poly degree  : N = %llu\n",
+              static_cast<unsigned long long>(CP->PolyDegree));
+  std::printf("modulus      : r = %zu primes, log2 Q = %d bits\n",
+              CP->modulusLength(), CP->TotalModulusBits);
+  std::printf("rotation keys: %zu\n", CP->RotationSteps.size());
+  for (size_t I = 0; I < CProg.outputs().size(); ++I) {
+    const Node *Out = CProg.outputs()[I];
+    const Node *Src = Out->parm(0);
+    std::printf("output @%-12s scale 2^%.0f, level %d, magnitude 2^%.1f, "
+                "noise 2^%.1f, precision %.1f bits\n",
+                Out->name().c_str(), AR->LogScale[Src->id()],
+                AR->Level[Src->id()], AR->MagBits[Src->id()],
+                AR->OutputNoise.OutputNoiseBits[I],
+                AR->OutputNoise.OutputPrecisionBits[I]);
+  }
+  if (Warnings.empty()) {
+    std::printf("warnings     : none\n");
+  } else {
+    std::printf("warnings     : %zu\n", Warnings.size());
+    for (const LintWarning &W : Warnings)
+      std::printf("  [%s] %%%llu: %s\n", lintKindName(W.Kind),
+                  static_cast<unsigned long long>(W.NodeId),
+                  W.Message.c_str());
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   if (Argc >= 2 && std::strcmp(Argv[1], "run") == 0)
     return runCommand(Argc - 2, Argv + 2);
+  if (Argc >= 2 && std::strcmp(Argv[1], "lint") == 0)
+    return lintCommand(Argc - 2, Argv + 2);
 
   const char *InputPath = nullptr;
   const char *OutputPath = nullptr;
