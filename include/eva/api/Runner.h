@@ -106,6 +106,12 @@ public:
   /// Executor statistics of the most recent run (local backends only).
   virtual const ExecutionStats *executionStats() const { return nullptr; }
 
+  /// Server-assigned trace id of the most recent successful run (remote
+  /// backend only; 0 locally or against servers predating request
+  /// tracing). Correlates a client-observed result with the server's log
+  /// lines, metrics spans, and audit records.
+  virtual uint64_t lastRequestId() const { return 0; }
+
   //===--------------------------------------------------------------------===
   // Factories
   //===--------------------------------------------------------------------===

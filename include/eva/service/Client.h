@@ -87,6 +87,10 @@ public:
 
   Expected<std::vector<ParamSignature>> listPrograms();
 
+  /// Scrapes the server's live metrics snapshot (GET_METRICS/METRICS).
+  /// Works without an open session — monitoring needs no keys.
+  Expected<MetricsSnapshot> getMetrics();
+
   /// Builds the client crypto stack for \p Sig (context, keys seeded from
   /// \p KeySeed) and opens a server session with the evaluation keys.
   /// \p ReproducibleSeeds additionally derives the published expansion
@@ -121,6 +125,9 @@ public:
 
   bool hasSession() const { return SessionId != 0; }
   uint64_t sessionId() const { return SessionId; }
+  /// Server-assigned trace id of the most recent successful submit();
+  /// 0 before any request or against servers predating request tracing.
+  uint64_t lastRequestId() const { return LastRequestId; }
   const ParamSignature &signature() const { return Sig; }
   std::shared_ptr<const CkksContext> context() const { return Ctx; }
   const RelinKeys &relinKeys() const { return Rk; }
@@ -136,6 +143,7 @@ private:
   Transport &T;
   ParamSignature Sig;
   uint64_t SessionId = 0;
+  uint64_t LastRequestId = 0;
   std::shared_ptr<const CkksContext> Ctx;
   std::unique_ptr<CkksEncoder> Encoder;
   std::unique_ptr<KeyGenerator> KeyGen;

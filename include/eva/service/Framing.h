@@ -8,14 +8,26 @@
 /// The byte-level transport protocol of the service: every message travels
 /// as one frame
 ///
-///   +------+------+----------------+--------------------+
-///   | 'EVAS' (4B) | type (1B)      | length (4B, LE)    |  payload ...
-///   +------+------+----------------+--------------------+
+///   +-------------+--------------+-----------+------------------+
+///   | 'EVAS' (4B) | version (1B) | type (1B) | length (4B, LE)  |  payload
+///   +-------------+--------------+-----------+------------------+
 ///
 /// followed by `length` payload bytes (a serialized message of Messages.h).
-/// Readers verify the magic, bound the length (MaxFramePayload), and read
-/// to completion across partial reads and EINTR; any violation closes the
-/// connection with a diagnostic rather than desynchronizing the stream.
+/// Readers verify the magic, check the protocol version against the accept
+/// window [MinFrameVersion, FrameVersion], bound the length
+/// (MaxFramePayload), and read to completion across partial reads and
+/// EINTR; any violation closes the connection with a diagnostic rather
+/// than desynchronizing the stream.
+///
+/// Versioning policy: writers always stamp FrameVersion; readers accept
+/// the whole window [MinFrameVersion, FrameVersion] (all window versions
+/// share this header layout), so wire additions — new message types, new
+/// message fields — bump FrameVersion while leaving MinFrameVersion
+/// behind. Only a framing-level layout break moves MinFrameVersion, and
+/// the reject diagnostic names the window so a mismatched peer is
+/// actionable from its own error message. Version history:
+///   1 — first versioned framing
+///   2 — GET_METRICS/METRICS messages, request ids in EXECUTE_RESULT
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +44,12 @@ namespace eva {
 
 /// 'E' 'V' 'A' 'S' on the wire.
 inline constexpr unsigned char FrameMagic[4] = {'E', 'V', 'A', 'S'};
+
+/// The protocol version writers stamp into every frame header.
+inline constexpr uint8_t FrameVersion = 2;
+
+/// Oldest version readers still accept (same header layout).
+inline constexpr uint8_t MinFrameVersion = 1;
 
 /// Largest accepted payload (256 MiB): comfortably above the biggest
 /// seed-compressed Galois-key upload at the largest supported degree, far

@@ -15,7 +15,8 @@
 ///   enum MessageType   { ERROR = 0; LIST_PROGRAMS = 1; PROGRAM_LIST = 2;
 ///                        OPEN_SESSION = 3; SESSION_OPENED = 4;
 ///                        EXECUTE = 5; EXECUTE_RESULT = 6;
-///                        CLOSE_SESSION = 7; SESSION_CLOSED = 8; }
+///                        CLOSE_SESSION = 7; SESSION_CLOSED = 8;
+///                        GET_METRICS = 9; METRICS = 10; }
 ///   message Error        { string message = 1; }
 ///   message InputSpec    { string name = 1; double log_scale = 2;
 ///                          bool cipher = 3; }
@@ -36,9 +37,19 @@
 ///   message Execute      { uint64 session_id = 1;
 ///                          repeated NamedCipher cipher_inputs = 2;
 ///                          repeated NamedPlain plain_inputs = 3; }
-///   message ExecuteResult{ repeated NamedCipher outputs = 1; }
+///   message ExecuteResult{ repeated NamedCipher outputs = 1;
+///                          uint64 request_id = 2; }  // server trace id
 ///   message CloseSession { uint64 session_id = 1; }
 ///   message SessionClosed{ uint64 session_id = 1; }
+///   // GET_METRICS carries an empty payload.
+///   message CounterVal   { string name = 1; uint64 value = 2; }
+///   message GaugeVal     { string name = 1; int64 value = 2; }
+///   message HistogramVal { string name = 1; repeated double bounds = 2;
+///                          repeated uint64 buckets = 3; uint64 count = 4;
+///                          double sum = 5; }
+///   message Metrics      { repeated CounterVal counters = 1;
+///                          repeated GaugeVal gauges = 2;
+///                          repeated HistogramVal histograms = 3; }
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -48,6 +59,7 @@
 
 #include "eva/ckks/SecurityTable.h"
 #include "eva/support/Error.h"
+#include "eva/support/Telemetry.h"
 
 #include <cstdint>
 #include <string>
@@ -67,6 +79,8 @@ enum class MessageType : uint8_t {
   ExecuteResult = 6,
   CloseSession = 7,
   SessionClosed = 8,
+  GetMetrics = 9,
+  Metrics = 10,
 };
 
 const char *messageTypeName(MessageType T);
@@ -132,6 +146,11 @@ struct ExecuteMsg {
 
 struct ExecuteResultMsg {
   std::vector<std::pair<std::string, std::string>> Outputs;
+  /// Server-assigned trace id of the request that produced these outputs;
+  /// quote it when reporting a problem and the operator can find the
+  /// request's spans in the server log and audit trail. 0 from servers
+  /// predating request tracing (clients must tolerate it).
+  uint64_t RequestId = 0;
 };
 
 struct CloseSessionMsg {
@@ -168,6 +187,11 @@ Expected<CloseSessionMsg> deserializeCloseSession(std::string_view Data);
 
 std::string serializeSessionClosed(const SessionClosedMsg &M);
 Expected<SessionClosedMsg> deserializeSessionClosed(std::string_view Data);
+
+/// METRICS carries a full MetricsSnapshot (support/Telemetry.h); the
+/// GET_METRICS request has an empty payload.
+std::string serializeMetrics(const MetricsSnapshot &Snap);
+Expected<MetricsSnapshot> deserializeMetrics(std::string_view Data);
 
 } // namespace eva
 

@@ -24,7 +24,9 @@
 #define EVA_SERVICE_REQUESTSCHEDULER_H
 
 #include "eva/service/Session.h"
+#include "eva/support/Telemetry.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -54,7 +56,10 @@ class RequestScheduler {
 public:
   using Result = Expected<std::map<std::string, Ciphertext>>;
 
-  explicit RequestScheduler(SchedulerConfig Config = {});
+  /// \p Metrics, when non-null, receives queue-depth/throughput/queue-wait
+  /// telemetry (see support/Telemetry.h); null disables recording.
+  explicit RequestScheduler(SchedulerConfig Config = {},
+                            MetricsRegistry *Metrics = nullptr);
   ~RequestScheduler();
 
   RequestScheduler(const RequestScheduler &) = delete;
@@ -62,8 +67,12 @@ public:
 
   /// Enqueues one request; the future resolves when it executed (or carries
   /// the failure diagnostic). Fails immediately when the queue is full.
+  /// \p Trace, when non-null, must stay alive until the future resolves
+  /// (the submitter blocks on it); the worker fills the queue-wait span and
+  /// hands the context to the session before resolving the promise.
   Expected<std::future<Result>> submit(std::shared_ptr<Session> S,
-                                       SealedInputs Inputs);
+                                       SealedInputs Inputs,
+                                       TraceContext *Trace = nullptr);
 
   /// Blocks until every queued request has completed.
   void drain();
@@ -75,11 +84,14 @@ private:
     std::shared_ptr<Session> S;
     SealedInputs Inputs;
     std::promise<Result> Promise;
+    TraceContext *Trace = nullptr;
+    std::chrono::steady_clock::time_point EnqueueTime;
   };
 
   void workerLoop();
 
   SchedulerConfig Config;
+  MetricsRegistry *Metrics;
   mutable std::mutex M;
   std::condition_variable QueueCv;
   std::condition_variable IdleCv;

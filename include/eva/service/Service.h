@@ -24,10 +24,14 @@
 #ifndef EVA_SERVICE_SERVICE_H
 #define EVA_SERVICE_SERVICE_H
 
+#include "eva/service/Audit.h"
 #include "eva/service/Messages.h"
 #include "eva/service/ProgramRegistry.h"
 #include "eva/service/RequestScheduler.h"
 #include "eva/service/Session.h"
+#include "eva/support/Telemetry.h"
+
+#include <atomic>
 
 namespace eva {
 
@@ -39,6 +43,13 @@ struct ServiceConfig {
   /// Open sessions pin their key material; beyond this many, OPEN_SESSION
   /// is rejected (untrusted clients must not be able to OOM the server).
   size_t MaxSessions = 64;
+  /// Hot-path metrics recording. Off leaves the registry registered but
+  /// silent (GET_METRICS still answers) — the baseline the <2% overhead
+  /// bench compares against.
+  bool Telemetry = true;
+  /// When non-empty, append one transcript-hash audit line per EXECUTE to
+  /// this file ("-" = stderr); see service/Audit.h.
+  std::string AuditLog;
 };
 
 class Service {
@@ -57,16 +68,28 @@ public:
   SchedulerStats schedulerStats() const { return Scheduler.stats(); }
   size_t activeSessionCount() const { return Sessions.activeCount(); }
 
+  /// The live metrics registry (in-process instrumentation) and its
+  /// current snapshot (what GET_METRICS returns and SIGUSR1/shutdown dump).
+  MetricsRegistry &metrics() { return Metrics; }
+  MetricsSnapshot metricsSnapshot() const { return Metrics.snapshot(); }
+
 private:
   std::pair<MessageType, std::string> handleListPrograms();
   std::pair<MessageType, std::string> handleOpenSession(std::string_view);
   std::pair<MessageType, std::string> handleExecute(std::string_view);
   std::pair<MessageType, std::string> handleCloseSession(std::string_view);
+  std::pair<MessageType, std::string> handleGetMetrics();
+  /// errorFrame + per-cause error counter + warn-level log.
+  std::pair<MessageType, std::string> errorResponse(const char *Cause,
+                                                    std::string Message);
 
   ServiceConfig Config;
+  MetricsRegistry Metrics;
   ProgramRegistry Registry;
   SessionManager Sessions;
   RequestScheduler Scheduler;
+  AuditLog Audit;
+  std::atomic<uint64_t> NextRequestId{1};
 };
 
 } // namespace eva

@@ -22,6 +22,7 @@
 #include "eva/api/Runner.h"
 #include "eva/runtime/CkksExecutor.h"
 #include "eva/service/ProgramRegistry.h"
+#include "eva/support/Telemetry.h"
 
 #include <map>
 #include <memory>
@@ -37,7 +38,8 @@ public:
   /// program signature, schedules it on the parallel executor, and hands
   /// the output ciphertexts back.
   Session(uint64_t Id, std::shared_ptr<const RegisteredProgram> Prog,
-          std::shared_ptr<CkksWorkspace> WS, size_t ExecThreads);
+          std::shared_ptr<CkksWorkspace> WS, size_t ExecThreads,
+          MetricsRegistry *Metrics = nullptr);
 
   uint64_t id() const { return Id; }
   const RegisteredProgram &program() const { return *Prog; }
@@ -46,8 +48,11 @@ public:
   /// Runs one encrypted request to completion; malformed requests come
   /// back as diagnostics, not aborts. Requests of the same session are
   /// serialized (they share the executor); the scheduler overlaps requests
-  /// of different sessions.
-  Expected<std::map<std::string, Ciphertext>> execute(SealedInputs Inputs);
+  /// of different sessions. \p Trace, when non-null, receives the execute
+  /// span; the session also publishes compute-latency and executor-stat
+  /// roll-ups into its MetricsRegistry.
+  Expected<std::map<std::string, Ciphertext>>
+  execute(SealedInputs Inputs, TraceContext *Trace = nullptr);
 
 private:
   uint64_t Id;
@@ -55,16 +60,27 @@ private:
   std::shared_ptr<CkksWorkspace> WS;
   std::unique_ptr<Runner> Exec;
   std::mutex ExecMutex;
+  MetricsRegistry *Metrics;
 };
+
+/// Approximate resident size of a session's pinned evaluation keys (the
+/// memory the MaxSessions bound protects): every key-switching component
+/// polynomial at 8 bytes per coefficient. Seed-compressed halves are
+/// counted expanded — that is what the server actually pins.
+size_t pinnedKeyBytes(const RelinKeys &Rk, const GaloisKeys &Gk);
 
 /// Owns the live sessions; thread-safe. Bounded: key material is pinned in
 /// memory for a session's whole lifetime, so an untrusted client looping
 /// OPEN_SESSION must hit a limit, not the server's OOM killer.
 class SessionManager {
 public:
+  /// \p Metrics, when non-null, tracks open sessions, lifetime
+  /// opened/rejected/closed counts, and pinned evaluation-key bytes.
   explicit SessionManager(size_t ExecThreadsPerSession = 1,
-                          size_t MaxSessions = 64)
-      : ExecThreads(ExecThreadsPerSession), MaxSessions(MaxSessions) {}
+                          size_t MaxSessions = 64,
+                          MetricsRegistry *Metrics = nullptr)
+      : ExecThreads(ExecThreadsPerSession), MaxSessions(MaxSessions),
+        Metrics(Metrics) {}
 
   /// Validates the keys against the program (createServer checks Galois
   /// coverage and relin presence) and publishes a fresh session. Fails
@@ -85,7 +101,11 @@ private:
   uint64_t NextId = 1;
   size_t ExecThreads;
   size_t MaxSessions;
+  MetricsRegistry *Metrics;
   std::map<uint64_t, std::shared_ptr<Session>> Sessions;
+  /// Pinned-key accounting per session id, so close() can subtract what
+  /// open() added.
+  std::map<uint64_t, size_t> KeyBytes;
 };
 
 } // namespace eva

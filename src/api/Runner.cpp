@@ -256,6 +256,7 @@ public:
   }
 
   Timing lastTiming() const override { return LastTiming; }
+  uint64_t lastRequestId() const override { return Client.lastRequestId(); }
 
 private:
   std::unique_ptr<Transport> OwnedT;

@@ -81,6 +81,14 @@ Expected<std::vector<ParamSignature>> ServiceClient::listPrograms() {
   return Result(std::move(M->Programs));
 }
 
+Expected<MetricsSnapshot> ServiceClient::getMetrics() {
+  Expected<std::string> Payload =
+      exchange(MessageType::GetMetrics, {}, MessageType::Metrics);
+  if (!Payload)
+    return Payload.takeStatus();
+  return deserializeMetrics(*Payload);
+}
+
 Status ServiceClient::openSession(const ParamSignature &SigIn,
                                   uint64_t KeySeed, bool ReproducibleSeeds) {
   if (SessionId != 0)
@@ -201,6 +209,7 @@ ServiceClient::submit(const SealedRequest &Req) {
   Expected<ExecuteResultMsg> R = deserializeExecuteResult(*Payload);
   if (!R)
     return R.takeStatus();
+  LastRequestId = R->RequestId;
 
   std::map<std::string, Ciphertext> Outputs;
   for (const auto &[Name, Bytes] : R->Outputs) {

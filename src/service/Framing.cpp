@@ -60,12 +60,13 @@ Status readAll(int Fd, char *Data, size_t Size, bool &SawAnyByte) {
 Status eva::writeFrame(int Fd, MessageType Type, std::string_view Payload) {
   if (Payload.size() > MaxFramePayload)
     return Status::error("frame payload exceeds the protocol maximum");
-  char Header[9];
+  char Header[10];
   std::memcpy(Header, FrameMagic, 4);
-  Header[4] = static_cast<char>(Type);
+  Header[4] = static_cast<char>(FrameVersion);
+  Header[5] = static_cast<char>(Type);
   uint32_t Len = static_cast<uint32_t>(Payload.size());
   for (int I = 0; I < 4; ++I)
-    Header[5 + I] = static_cast<char>((Len >> (8 * I)) & 0xFF);
+    Header[6 + I] = static_cast<char>((Len >> (8 * I)) & 0xFF);
   if (Status S = writeAll(Fd, Header, sizeof(Header)); !S.ok())
     return S;
   return writeAll(Fd, Payload.data(), Payload.size());
@@ -73,18 +74,24 @@ Status eva::writeFrame(int Fd, MessageType Type, std::string_view Payload) {
 
 Expected<Frame> eva::readFrame(int Fd) {
   using Result = Expected<Frame>;
-  char Header[9];
+  char Header[10];
   bool SawAnyByte = false;
   if (Status S = readAll(Fd, Header, sizeof(Header), SawAnyByte); !S.ok())
     return S;
   if (std::memcmp(Header, FrameMagic, 4) != 0)
     return Result::error("bad frame magic");
-  uint8_t RawType = static_cast<uint8_t>(Header[4]);
-  if (RawType > static_cast<uint8_t>(MessageType::SessionClosed))
+  uint8_t Version = static_cast<uint8_t>(Header[4]);
+  if (Version < MinFrameVersion || Version > FrameVersion)
+    return Result::error(
+        "unsupported protocol version " + std::to_string(Version) +
+        " (this build accepts " + std::to_string(MinFrameVersion) + ".." +
+        std::to_string(FrameVersion) + ")");
+  uint8_t RawType = static_cast<uint8_t>(Header[5]);
+  if (RawType > static_cast<uint8_t>(MessageType::Metrics))
     return Result::error("unknown frame type " + std::to_string(RawType));
   uint32_t Len = 0;
   for (int I = 0; I < 4; ++I)
-    Len |= static_cast<uint32_t>(static_cast<uint8_t>(Header[5 + I]))
+    Len |= static_cast<uint32_t>(static_cast<uint8_t>(Header[6 + I]))
            << (8 * I);
   if (Len > MaxFramePayload)
     return Result::error("frame length " + std::to_string(Len) +

@@ -32,6 +32,10 @@ const char *eva::messageTypeName(MessageType T) {
     return "CLOSE_SESSION";
   case MessageType::SessionClosed:
     return "SESSION_CLOSED";
+  case MessageType::GetMetrics:
+    return "GET_METRICS";
+  case MessageType::Metrics:
+    return "METRICS";
   }
   return "UNKNOWN";
 }
@@ -430,6 +434,8 @@ std::string eva::serializeExecuteResult(const ExecuteResultMsg &M) {
   WireWriter W;
   for (const auto &[Name, Bytes] : M.Outputs)
     W.bytesField(1, serializeNamedBytes(Name, Bytes));
+  if (M.RequestId != 0)
+    W.varintField(2, M.RequestId);
   return W.take();
 }
 
@@ -449,6 +455,9 @@ eva::deserializeExecuteResult(std::string_view Data) {
       if (Status S = parseNamedBytes(B, Name, Payload, "output"); !S.ok())
         return S;
       M.Outputs.emplace_back(std::move(Name), std::move(Payload));
+    } else if (Field == 2 && Type == WireType::Varint) {
+      if (!R.readVarint(M.RequestId))
+        return Result::error("malformed execute result request id");
     } else if (!R.skip(Type)) {
       return Result::error("malformed execute result field");
     }
@@ -480,4 +489,158 @@ eva::deserializeSessionClosed(std::string_view Data) {
   if (!Id)
     return Id.takeStatus();
   return SessionClosedMsg{*Id};
+}
+
+namespace {
+
+/// CounterVal / GaugeVal: { string name = 1; uint64|int64 value = 2; }
+/// (gauges travel as the two's-complement uint64 of their int64 value).
+std::string serializeNamedValue(const std::string &Name, uint64_t Value) {
+  WireWriter W;
+  W.bytesField(1, Name);
+  W.varintField(2, Value);
+  return W.take();
+}
+
+Status parseNamedValue(std::string_view Data, std::string &Name,
+                       uint64_t &Value, const char *What) {
+  Name.clear();
+  Value = 0;
+  WireReader R(Data);
+  uint32_t Field;
+  WireType Type;
+  while (R.nextField(Field, Type)) {
+    std::string_view B;
+    if (Field == 1 && Type == WireType::LengthDelimited) {
+      if (!R.readBytes(B))
+        return Status::error(std::string("malformed ") + What + " name");
+      Name = std::string(B);
+    } else if (Field == 2 && Type == WireType::Varint) {
+      if (!R.readVarint(Value))
+        return Status::error(std::string("malformed ") + What + " value");
+    } else if (!R.skip(Type)) {
+      return Status::error(std::string("malformed ") + What + " field");
+    }
+  }
+  if (R.failed())
+    return Status::error(std::string("truncated ") + What);
+  if (Name.empty())
+    return Status::error(std::string(What) + " missing name");
+  return Status::success();
+}
+
+std::string serializeHistogramVal(const HistogramSnapshot &H) {
+  WireWriter W;
+  W.bytesField(1, H.Name);
+  for (double B : H.UpperBounds)
+    W.doubleField(2, B);
+  for (uint64_t C : H.Buckets)
+    W.varintField(3, C);
+  W.varintField(4, H.Count);
+  W.doubleField(5, H.Sum);
+  return W.take();
+}
+
+Expected<HistogramSnapshot> parseHistogramVal(std::string_view Data) {
+  using Result = Expected<HistogramSnapshot>;
+  HistogramSnapshot H;
+  WireReader R(Data);
+  uint32_t Field;
+  WireType Type;
+  while (R.nextField(Field, Type)) {
+    std::string_view B;
+    uint64_t V = 0;
+    double D = 0;
+    switch (Field) {
+    case 1:
+      if (Type != WireType::LengthDelimited || !R.readBytes(B))
+        return Result::error("malformed histogram name");
+      H.Name = std::string(B);
+      break;
+    case 2:
+      if (Type != WireType::Fixed64 || !R.readDouble(D))
+        return Result::error("malformed histogram bound");
+      H.UpperBounds.push_back(D);
+      break;
+    case 3:
+      if (Type != WireType::Varint || !R.readVarint(V))
+        return Result::error("malformed histogram bucket");
+      H.Buckets.push_back(V);
+      break;
+    case 4:
+      if (Type != WireType::Varint || !R.readVarint(H.Count))
+        return Result::error("malformed histogram count");
+      break;
+    case 5:
+      if (Type != WireType::Fixed64 || !R.readDouble(H.Sum))
+        return Result::error("malformed histogram sum");
+      break;
+    default:
+      if (!R.skip(Type))
+        return Result::error("malformed histogram field");
+      break;
+    }
+  }
+  if (R.failed())
+    return Result::error("truncated histogram");
+  if (H.Name.empty())
+    return Result::error("histogram missing name");
+  // Shape invariant of a fixed-boundary histogram: one overflow bucket
+  // beyond the finite bounds. A hostile or corrupt payload must not
+  // produce a snapshot whose quantile() indexes out of step.
+  if (H.Buckets.size() != H.UpperBounds.size() + 1)
+    return Result::error("histogram bucket/bound count mismatch");
+  return H;
+}
+
+} // namespace
+
+std::string eva::serializeMetrics(const MetricsSnapshot &Snap) {
+  WireWriter W;
+  for (const CounterSnapshot &C : Snap.Counters)
+    W.bytesField(1, serializeNamedValue(C.Name, C.Value));
+  for (const GaugeSnapshot &G : Snap.Gauges)
+    W.bytesField(2, serializeNamedValue(G.Name,
+                                        static_cast<uint64_t>(G.Value)));
+  for (const HistogramSnapshot &H : Snap.Histograms)
+    W.bytesField(3, serializeHistogramVal(H));
+  return W.take();
+}
+
+Expected<MetricsSnapshot> eva::deserializeMetrics(std::string_view Data) {
+  using Result = Expected<MetricsSnapshot>;
+  MetricsSnapshot Snap;
+  WireReader R(Data);
+  uint32_t Field;
+  WireType Type;
+  while (R.nextField(Field, Type)) {
+    std::string_view B;
+    if ((Field >= 1 && Field <= 3) && Type == WireType::LengthDelimited) {
+      if (!R.readBytes(B))
+        return Result::error("malformed metrics entry");
+      if (Field == 1) {
+        std::string Name;
+        uint64_t V;
+        if (Status S = parseNamedValue(B, Name, V, "counter"); !S.ok())
+          return S;
+        Snap.Counters.push_back({std::move(Name), V});
+      } else if (Field == 2) {
+        std::string Name;
+        uint64_t V;
+        if (Status S = parseNamedValue(B, Name, V, "gauge"); !S.ok())
+          return S;
+        Snap.Gauges.push_back({std::move(Name), static_cast<int64_t>(V)});
+      } else {
+        Expected<HistogramSnapshot> H = parseHistogramVal(B);
+        if (!H)
+          return H.takeStatus();
+        Snap.Histograms.push_back(std::move(*H));
+      }
+    } else if (!R.skip(Type)) {
+      return Result::error("malformed metrics field");
+    }
+  }
+  if (R.failed())
+    return Result::error("truncated metrics message");
+  return Snap;
 }

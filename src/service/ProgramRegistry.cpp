@@ -11,8 +11,8 @@
 #include "eva/ir/Printer.h"
 #include "eva/ir/TextFormat.h"
 #include "eva/serialize/ProtoIO.h"
+#include "eva/support/Log.h"
 
-#include <cstdio>
 #include <fstream>
 
 using namespace eva;
@@ -73,8 +73,9 @@ Status ProgramRegistry::registerSource(const Program &Source,
     for (const LintWarning &W : lintCompiled(*CP, *AR)) {
       std::string Line = std::string("[") + lintKindName(W.Kind) + "] %" +
                          std::to_string(W.NodeId) + ": " + W.Message;
-      std::fprintf(stderr, "eva: lint: program '%s': %s\n",
-                   Source.name().c_str(), Line.c_str());
+      LogLine(LogLevel::Warn, "lint")
+          .kv("program", Source.name())
+          .kv("finding", Line);
       Entry->Signature.LintWarnings.push_back(std::move(Line));
     }
   }

@@ -10,8 +10,9 @@
 
 using namespace eva;
 
-RequestScheduler::RequestScheduler(SchedulerConfig ConfigIn)
-    : Config(ConfigIn) {
+RequestScheduler::RequestScheduler(SchedulerConfig ConfigIn,
+                                   MetricsRegistry *MetricsIn)
+    : Config(ConfigIn), Metrics(MetricsIn) {
   if (Config.Workers == 0)
     Config.Workers = 1;
   if (Config.MaxBatch == 0)
@@ -35,26 +36,37 @@ RequestScheduler::~RequestScheduler() {
 }
 
 Expected<std::future<RequestScheduler::Result>>
-RequestScheduler::submit(std::shared_ptr<Session> S, SealedInputs Inputs) {
+RequestScheduler::submit(std::shared_ptr<Session> S, SealedInputs Inputs,
+                         TraceContext *Trace) {
   using SubmitResult = Expected<std::future<Result>>;
   if (!S)
     return SubmitResult::error("request references no session");
   Request R;
   R.S = std::move(S);
   R.Inputs = std::move(Inputs);
+  R.Trace = Trace;
+  R.EnqueueTime = std::chrono::steady_clock::now();
   std::future<Result> F = R.Promise.get_future();
+  size_t Depth;
   {
     std::lock_guard<std::mutex> Lock(M);
     if (Stopping)
       return SubmitResult::error("scheduler is shutting down");
     if (Queue.size() >= Config.MaxQueueDepth) {
       ++Stats.Rejected;
+      if (Metrics)
+        Metrics->counter("eva_scheduler_rejected_total").add();
       return SubmitResult::error("request queue full (" +
                                  std::to_string(Config.MaxQueueDepth) +
                                  " deep): retry later");
     }
     Queue.push_back(std::move(R));
     ++Stats.Submitted;
+    Depth = Queue.size();
+  }
+  if (Metrics) {
+    Metrics->counter("eva_scheduler_submitted_total").add();
+    Metrics->gauge("eva_queue_depth").set(static_cast<int64_t>(Depth));
   }
   QueueCv.notify_one();
   return F;
@@ -83,12 +95,28 @@ void RequestScheduler::workerLoop() {
         QueueCv.notify_one();
       InFlight += Batch.size();
       ++Stats.Batches;
+      if (Metrics) {
+        Metrics->counter("eva_scheduler_batches_total").add();
+        Metrics->gauge("eva_queue_depth")
+            .set(static_cast<int64_t>(Queue.size()));
+      }
     }
     for (Request &R : Batch) {
+      double QueueSeconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                R.EnqueueTime)
+                                .count();
+      // Fill the trace BEFORE resolving the promise: the submitter blocks
+      // on the future, so set_value gives the write a happens-before edge.
+      if (R.Trace)
+        R.Trace->QueueSeconds = QueueSeconds;
+      if (Metrics)
+        Metrics->latencyHistogram("eva_request_queue_seconds")
+            .observe(QueueSeconds);
       Result Res = Result::error("unreachable");
       bool Ok = false;
       try {
-        Res = R.S->execute(std::move(R.Inputs));
+        Res = R.S->execute(std::move(R.Inputs), R.Trace);
         Ok = true;
       } catch (const std::exception &E) {
         Res = Result::error(std::string("execution failed: ") + E.what());

@@ -7,6 +7,7 @@
 #include "eva/service/Server.h"
 
 #include "eva/service/Framing.h"
+#include "eva/support/Log.h"
 
 #include <arpa/inet.h>
 #include <cerrno>
@@ -116,10 +117,18 @@ void ServiceServer::acceptLoop() {
         continue;
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
           errno == ENOMEM) {
+        // Rate-limited: fd exhaustion arrives as a flood, and a log line
+        // per failed accept would amplify the overload it reports.
+        LogLine(LogLevel::Warn, "accept_retry")
+            .ratelimit(1.0)
+            .kv("error", std::strerror(errno));
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
         reapFinished();
         continue;
       }
+      if (!Stopping)
+        LogLine(LogLevel::Error, "accept_failed")
+            .kv("error", std::strerror(errno));
       return; // listener closed or unrecoverable
     }
     reapFinished();
@@ -127,10 +136,14 @@ void ServiceServer::acceptLoop() {
       // Bound concurrent connections: each one pins a thread and an fd.
       std::lock_guard<std::mutex> Lock(ConnMutex);
       if (Connections.size() >= MaxConnections) {
+        LogLine(LogLevel::Warn, "connection_rejected")
+            .ratelimit(1.0)
+            .kv("limit", MaxConnections);
         ::close(Fd);
         continue;
       }
     }
+    LogLine(LogLevel::Debug, "connection_open").kv("fd", Fd);
     auto C = std::make_unique<Connection>();
     C->Fd = Fd;
     Connection *Raw = C.get();
@@ -145,7 +158,13 @@ void ServiceServer::serveConnection(Connection *C) {
     Expected<Frame> Req = readFrame(C->Fd);
     if (!Req) {
       // Clean disconnects are normal; protocol violations just end the
-      // connection — the stream cannot be resynchronized anyway.
+      // connection — the stream cannot be resynchronized anyway, but the
+      // operator gets one line saying why (bad magic, version outside the
+      // accept window, oversized frame, truncation).
+      if (Req.message() != "connection closed")
+        LogLine(LogLevel::Warn, "protocol_violation")
+            .kv("fd", C->Fd)
+            .kv("error", Req.message());
       break;
     }
     std::pair<MessageType, std::string> Resp =
@@ -153,6 +172,7 @@ void ServiceServer::serveConnection(Connection *C) {
     if (Status S = writeFrame(C->Fd, Resp.first, Resp.second); !S.ok())
       break;
   }
+  LogLine(LogLevel::Debug, "connection_close").kv("fd", C->Fd);
   // The fd stays open until the reaper or stop() joins this thread.
   C->Done = true;
 }

@@ -7,22 +7,33 @@
 #include "eva/service/Service.h"
 
 #include "eva/serialize/CkksIO.h"
-
+#include "eva/support/Log.h"
+#include "eva/support/Timer.h"
 
 using namespace eva;
 
-namespace {
-
-std::pair<MessageType, std::string> errorFrame(std::string Message) {
-  return {MessageType::Error, serializeError({std::move(Message)})};
-}
-
-} // namespace
-
 Service::Service(ServiceConfig ConfigIn)
     : Config(ConfigIn),
-      Sessions(Config.ExecThreadsPerSession, Config.MaxSessions),
-      Scheduler(Config.Scheduler) {}
+      Sessions(Config.ExecThreadsPerSession, Config.MaxSessions,
+               Config.Telemetry ? &Metrics : nullptr),
+      Scheduler(Config.Scheduler, Config.Telemetry ? &Metrics : nullptr) {
+  if (!Config.AuditLog.empty())
+    if (Status S = Audit.open(Config.AuditLog); !S.ok())
+      LogLine(LogLevel::Error, "audit_open_failed")
+          .kv("path", Config.AuditLog)
+          .kv("error", S.message());
+}
+
+std::pair<MessageType, std::string>
+Service::errorResponse(const char *Cause, std::string Message) {
+  if (Config.Telemetry)
+    Metrics.counter(labeledMetric("eva_request_errors_total", "cause", Cause))
+        .add();
+  LogLine(LogLevel::Warn, "request_error")
+      .kv("cause", Cause)
+      .kv("error", Message);
+  return {MessageType::Error, serializeError({std::move(Message)})};
+}
 
 std::pair<MessageType, std::string> Service::dispatch(MessageType Type,
                                                       std::string_view Payload) {
@@ -35,9 +46,12 @@ std::pair<MessageType, std::string> Service::dispatch(MessageType Type,
     return handleExecute(Payload);
   case MessageType::CloseSession:
     return handleCloseSession(Payload);
+  case MessageType::GetMetrics:
+    return handleGetMetrics();
   default:
-    return errorFrame(std::string("unexpected message type ") +
-                      messageTypeName(Type));
+    return errorResponse("bad_message",
+                         std::string("unexpected message type ") +
+                             messageTypeName(Type));
   }
 }
 
@@ -47,29 +61,35 @@ std::pair<MessageType, std::string> Service::handleListPrograms() {
   return {MessageType::ProgramList, serializeProgramList(M)};
 }
 
+std::pair<MessageType, std::string> Service::handleGetMetrics() {
+  return {MessageType::Metrics, serializeMetrics(Metrics.snapshot())};
+}
+
 std::pair<MessageType, std::string>
 Service::handleOpenSession(std::string_view Payload) {
   Expected<OpenSessionMsg> M = deserializeOpenSession(Payload);
   if (!M)
-    return errorFrame(M.message());
+    return errorResponse("bad_message", M.message());
   std::shared_ptr<const RegisteredProgram> Prog =
       Registry.find(M->ProgramName);
   if (!Prog)
-    return errorFrame("unknown program '" + M->ProgramName + "'");
+    return errorResponse("unknown_program",
+                         "unknown program '" + M->ProgramName + "'");
   // Refuse before deserializing keys: seed-expanding a full Galois-key
   // upload is exactly the cheap-to-send, expensive-to-process asymmetry a
   // session flood would exploit. open() re-checks authoritatively.
   if (Sessions.atCapacity())
-    return errorFrame("session limit reached (" +
-                      std::to_string(Config.MaxSessions) +
-                      "): close one or retry later");
+    return errorResponse("session_limit",
+                         "session limit reached (" +
+                             std::to_string(Config.MaxSessions) +
+                             "): close one or retry later");
 
   RelinKeys Rk;
   if (!M->RelinKeyBytes.empty()) {
     Expected<RelinKeys> R =
         deserializeRelinKeys(*Prog->Context, M->RelinKeyBytes);
     if (!R)
-      return errorFrame("relin keys: " + R.message());
+      return errorResponse("bad_keys", "relin keys: " + R.message());
     Rk = std::move(*R);
   }
   GaloisKeys Gk;
@@ -77,27 +97,42 @@ Service::handleOpenSession(std::string_view Payload) {
     Expected<GaloisKeys> G =
         deserializeGaloisKeys(*Prog->Context, M->GaloisKeyBytes);
     if (!G)
-      return errorFrame("galois keys: " + G.message());
+      return errorResponse("bad_keys", "galois keys: " + G.message());
     Gk = std::move(*G);
   }
 
   Expected<std::shared_ptr<Session>> S =
       Sessions.open(std::move(Prog), std::move(Rk), std::move(Gk));
   if (!S)
-    return errorFrame(S.message());
+    return errorResponse("session_limit", S.message());
+  LogLine(LogLevel::Info, "session_open")
+      .kv("session", (*S)->id())
+      .kv("program", M->ProgramName);
   return {MessageType::SessionOpened,
           serializeSessionOpened({(*S)->id()})};
 }
 
 std::pair<MessageType, std::string>
 Service::handleExecute(std::string_view Payload) {
+  Timer TotalTimer;
+  TraceContext Trace;
+  Trace.RequestId = NextRequestId.fetch_add(1, std::memory_order_relaxed);
+
+  Timer DecodeTimer;
   Expected<ExecuteMsg> M = deserializeExecute(Payload);
   if (!M)
-    return errorFrame(M.message());
+    return errorResponse("bad_message", M.message());
   std::shared_ptr<Session> S = Sessions.find(M->SessionId);
   if (!S)
-    return errorFrame("unknown session " + std::to_string(M->SessionId));
+    return errorResponse("unknown_session",
+                         "unknown session " + std::to_string(M->SessionId));
   const CkksContext &Ctx = S->context();
+
+  // Hash the request's wire bytes before they are consumed: the audit
+  // contract covers exactly what arrived, not a re-serialization.
+  uint64_t InputsHash = 0;
+  if (Audit.enabled())
+    InputsHash = auditHashInputs(M->CipherInputs, M->PlainInputs);
 
   // Deserialize defensively (malformed bytes, duplicate names). The full
   // schema validation — inputs complete, ciphertexts well-formed at the
@@ -110,34 +145,90 @@ Service::handleExecute(std::string_view Payload) {
   for (const auto &[Name, Bytes] : M->CipherInputs) {
     Expected<Ciphertext> Ct = deserializeCiphertext(Ctx, Bytes);
     if (!Ct)
-      return errorFrame("cipher input '" + Name + "': " + Ct.message());
+      return errorResponse("bad_input",
+                           "cipher input '" + Name + "': " + Ct.message());
     if (!Inputs.Cipher.emplace(Name, std::move(*Ct)).second)
-      return errorFrame("duplicate cipher input '" + Name + "'");
+      return errorResponse("bad_input",
+                           "duplicate cipher input '" + Name + "'");
   }
   for (auto &[Name, Values] : M->PlainInputs)
     if (!Inputs.Plain.emplace(Name, std::move(Values)).second)
-      return errorFrame("duplicate plain input '" + Name + "'");
+      return errorResponse("bad_input",
+                           "duplicate plain input '" + Name + "'");
+  Trace.DecodeSeconds = DecodeTimer.seconds();
 
+  // The trace context lives on this stack frame; the scheduler worker and
+  // the session write their spans into it before the promise resolves, and
+  // F->get() below orders those writes before our reads.
   Expected<std::future<RequestScheduler::Result>> F =
-      Scheduler.submit(std::move(S), std::move(Inputs));
+      Scheduler.submit(std::move(S), std::move(Inputs), &Trace);
   if (!F)
-    return errorFrame(F.message());
+    return errorResponse("queue_full", F.message());
   RequestScheduler::Result R = F->get();
   if (!R)
-    return errorFrame(R.message());
+    return errorResponse("execute_failed", R.message());
 
+  Timer EncodeTimer;
   ExecuteResultMsg Out;
   for (const auto &[Name, Ct] : *R)
     Out.Outputs.emplace_back(Name, serializeCiphertext(Ct));
-  return {MessageType::ExecuteResult, serializeExecuteResult(Out)};
+  Out.RequestId = Trace.RequestId;
+  std::string OutPayload = serializeExecuteResult(Out);
+  Trace.EncodeSeconds = EncodeTimer.seconds();
+  Trace.TotalSeconds = TotalTimer.seconds();
+
+  if (Config.Telemetry) {
+    Metrics.counter("eva_requests_total").add();
+    Metrics
+        .counter(
+            labeledMetric("eva_requests_total", "program", Trace.Program))
+        .add();
+    Metrics
+        .latencyHistogram(
+            labeledMetric("eva_request_seconds", "program", Trace.Program))
+        .observe(Trace.TotalSeconds);
+    Metrics.latencyHistogram("eva_request_decode_seconds")
+        .observe(Trace.DecodeSeconds);
+    Metrics.latencyHistogram("eva_request_execute_seconds")
+        .observe(Trace.ExecuteSeconds);
+    Metrics.latencyHistogram("eva_request_encode_seconds")
+        .observe(Trace.EncodeSeconds);
+  }
+  LogLine(LogLevel::Info, "request")
+      .kv("req", Trace.RequestId)
+      .kv("session", Trace.SessionId)
+      .kv("program", Trace.Program)
+      .kvUs("decode", Trace.DecodeSeconds)
+      .kvUs("queue", Trace.QueueSeconds)
+      .kvUs("execute", Trace.ExecuteSeconds)
+      .kvUs("encode", Trace.EncodeSeconds)
+      .kvUs("total", Trace.TotalSeconds)
+      .kv("status", "ok");
+  if (Audit.enabled()) {
+    AuditRecord Rec;
+    Rec.RequestId = Trace.RequestId;
+    Rec.SessionId = Trace.SessionId;
+    Rec.Program = Trace.Program;
+    Rec.InputsHash = InputsHash;
+    Rec.OutputsHash = auditHashOutputs(Out.Outputs);
+    Rec.DecodeUs = static_cast<uint64_t>(Trace.DecodeSeconds * 1e6 + 0.5);
+    Rec.QueueUs = static_cast<uint64_t>(Trace.QueueSeconds * 1e6 + 0.5);
+    Rec.ExecuteUs = static_cast<uint64_t>(Trace.ExecuteSeconds * 1e6 + 0.5);
+    Rec.EncodeUs = static_cast<uint64_t>(Trace.EncodeSeconds * 1e6 + 0.5);
+    Rec.TotalUs = static_cast<uint64_t>(Trace.TotalSeconds * 1e6 + 0.5);
+    Audit.append(Rec);
+  }
+  return {MessageType::ExecuteResult, std::move(OutPayload)};
 }
 
 std::pair<MessageType, std::string>
 Service::handleCloseSession(std::string_view Payload) {
   Expected<CloseSessionMsg> M = deserializeCloseSession(Payload);
   if (!M)
-    return errorFrame(M.message());
+    return errorResponse("bad_message", M.message());
   if (!Sessions.close(M->SessionId))
-    return errorFrame("unknown session " + std::to_string(M->SessionId));
+    return errorResponse("unknown_session",
+                         "unknown session " + std::to_string(M->SessionId));
+  LogLine(LogLevel::Info, "session_close").kv("session", M->SessionId);
   return {MessageType::SessionClosed, serializeSessionClosed({M->SessionId})};
 }

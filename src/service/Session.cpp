@@ -6,11 +6,34 @@
 
 #include "eva/service/Session.h"
 
+#include "eva/support/Timer.h"
+
 using namespace eva;
 
+size_t eva::pinnedKeyBytes(const RelinKeys &Rk, const GaloisKeys &Gk) {
+  auto polyBytes = [](const RnsPoly &P) {
+    size_t N = 0;
+    for (const std::vector<uint64_t> &Comp : P.Comps)
+      N += Comp.size() * sizeof(uint64_t);
+    return N;
+  };
+  auto kswitchBytes = [&](const KSwitchKey &K) {
+    size_t N = 0;
+    for (const std::array<RnsPoly, 2> &Pair : K.Keys)
+      N += polyBytes(Pair[0]) + polyBytes(Pair[1]);
+    return N;
+  };
+  size_t N = kswitchBytes(Rk.Key);
+  for (const auto &[Elt, K] : Gk.Keys)
+    N += kswitchBytes(K);
+  return N;
+}
+
 Session::Session(uint64_t IdIn, std::shared_ptr<const RegisteredProgram> ProgIn,
-                 std::shared_ptr<CkksWorkspace> WSIn, size_t ExecThreads)
-    : Id(IdIn), Prog(std::move(ProgIn)), WS(std::move(WSIn)) {
+                 std::shared_ptr<CkksWorkspace> WSIn, size_t ExecThreads,
+                 MetricsRegistry *MetricsIn)
+    : Id(IdIn), Prog(std::move(ProgIn)), WS(std::move(WSIn)),
+      Metrics(MetricsIn) {
   LocalRunnerOptions Opts;
   Opts.Threads = ExecThreads;
   Opts.Style = LocalStyle::ParallelDag;
@@ -20,7 +43,7 @@ Session::Session(uint64_t IdIn, std::shared_ptr<const RegisteredProgram> ProgIn,
 }
 
 Expected<std::map<std::string, Ciphertext>>
-Session::execute(SealedInputs Inputs) {
+Session::execute(SealedInputs Inputs, TraceContext *Trace) {
   using Result = Expected<std::map<std::string, Ciphertext>>;
   Valuation V;
   for (auto &[Name, Ct] : Inputs.Cipher)
@@ -35,7 +58,48 @@ Session::execute(SealedInputs Inputs) {
   }
 
   std::lock_guard<std::mutex> Lock(ExecMutex);
+  Timer ExecTimer;
   Expected<Valuation> Out = Exec->run(V);
+  double ExecuteSeconds = ExecTimer.seconds();
+  if (Trace) {
+    Trace->SessionId = Id;
+    Trace->Program = Prog->Signature.ProgramName;
+    Trace->ExecuteSeconds = ExecuteSeconds;
+  }
+  // Publish roll-ups only for runs that executed: a request refused at
+  // validation leaves executionStats() stale from the previous run, and a
+  // near-zero "compute" sample would skew the latency histogram.
+  if (Metrics && Out.ok()) {
+    Metrics
+        ->latencyHistogram(labeledMetric("eva_compute_seconds", "program",
+                                         Prog->Signature.ProgramName))
+        .observe(ExecuteSeconds);
+    // Roll the executor's per-run stats up into fleet totals: the same
+    // counters EVA_PROFILE exposes in-process become scrapeable.
+    if (const ExecutionStats *ES = Exec->executionStats()) {
+      Metrics->counter("eva_exec_rotations_total").add(ES->Rotations);
+      Metrics->counter("eva_exec_hoisted_rotations_total")
+          .add(ES->HoistedRotations);
+      Metrics->counter("eva_exec_keyswitch_decompositions_total")
+          .add(ES->KeySwitchDecompositions);
+      Metrics->counter("eva_exec_multiplies_total").add(ES->Multiplies);
+      Metrics->counter("eva_exec_adds_total").add(ES->Adds + ES->Subs);
+      Metrics->counter("eva_exec_relinearizations_total")
+          .add(ES->Relinearizations);
+      Metrics->counter("eva_exec_rescales_total")
+          .add(ES->Rescales + ES->ModSwitches);
+      if (ES->ProfNtts)
+        Metrics->counter("eva_prof_ntts_total").add(ES->ProfNtts);
+      if (ES->ProfMulMods)
+        Metrics->counter("eva_prof_mulmods_total").add(ES->ProfMulMods);
+      if (ES->ProfArenaAcquires)
+        Metrics->counter("eva_prof_arena_acquires_total")
+            .add(ES->ProfArenaAcquires);
+      if (ES->ProfArenaHeapBytes)
+        Metrics->counter("eva_prof_arena_heap_bytes_total")
+            .add(ES->ProfArenaHeapBytes);
+    }
+  }
   if (!Out)
     return Out.takeStatus();
   std::map<std::string, Ciphertext> Cts;
@@ -60,24 +124,39 @@ SessionManager::open(std::shared_ptr<const RegisteredProgram> Prog,
     // session flood fails fast; the post-build re-check under the lock is
     // the authoritative one.
     std::lock_guard<std::mutex> Lock(M);
-    if (Sessions.size() >= MaxSessions)
+    if (Sessions.size() >= MaxSessions) {
+      if (Metrics)
+        Metrics->counter("eva_sessions_rejected_total").add();
       return Result::error("session limit reached (" +
                            std::to_string(MaxSessions) + "): close one or retry later");
+    }
   }
+  size_t PinnedBytes = pinnedKeyBytes(Rk, Gk);
   Expected<std::shared_ptr<CkksWorkspace>> WS = CkksWorkspace::createServer(
       Prog->CP, Prog->Context, std::move(Rk), std::move(Gk));
   if (!WS)
     return WS.takeStatus();
 
   std::lock_guard<std::mutex> Lock(M);
-  if (Sessions.size() >= MaxSessions)
+  if (Sessions.size() >= MaxSessions) {
+    if (Metrics)
+      Metrics->counter("eva_sessions_rejected_total").add();
     return Result::error("session limit reached (" +
                          std::to_string(MaxSessions) +
                          "): close one or retry later");
+  }
   uint64_t Id = NextId++;
   auto S = std::make_shared<Session>(Id, std::move(Prog), WS.value(),
-                                     ExecThreads);
+                                     ExecThreads, Metrics);
   Sessions.emplace(Id, S);
+  KeyBytes.emplace(Id, PinnedBytes);
+  if (Metrics) {
+    Metrics->counter("eva_sessions_opened_total").add();
+    Metrics->gauge("eva_open_sessions")
+        .set(static_cast<int64_t>(Sessions.size()));
+    Metrics->gauge("eva_pinned_key_bytes")
+        .add(static_cast<int64_t>(PinnedBytes));
+  }
   return S;
 }
 
@@ -89,7 +168,21 @@ std::shared_ptr<Session> SessionManager::find(uint64_t Id) const {
 
 bool SessionManager::close(uint64_t Id) {
   std::lock_guard<std::mutex> Lock(M);
-  return Sessions.erase(Id) != 0;
+  if (Sessions.erase(Id) == 0)
+    return false;
+  size_t PinnedBytes = 0;
+  if (auto It = KeyBytes.find(Id); It != KeyBytes.end()) {
+    PinnedBytes = It->second;
+    KeyBytes.erase(It);
+  }
+  if (Metrics) {
+    Metrics->counter("eva_sessions_closed_total").add();
+    Metrics->gauge("eva_open_sessions")
+        .set(static_cast<int64_t>(Sessions.size()));
+    Metrics->gauge("eva_pinned_key_bytes")
+        .sub(static_cast<int64_t>(PinnedBytes));
+  }
+  return true;
 }
 
 size_t SessionManager::activeCount() const {

@@ -1,0 +1,231 @@
+//===- Log.cpp - Leveled structured logging ------------------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/support/Log.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+using namespace eva;
+
+namespace {
+
+std::atomic<int> GlobalLevel{static_cast<int>(LogLevel::Warn)};
+std::atomic<std::FILE *> GlobalSink{nullptr}; // nullptr = stderr
+
+std::mutex &emitMutex() {
+  static std::mutex M;
+  return M;
+}
+
+/// Last-emission clock per rate-limit key. Guarded by its own mutex: the
+/// rate-limit decision happens on suppressed-or-not paths where the emit
+/// mutex is not otherwise taken.
+struct RateLimiter {
+  std::mutex M;
+  std::map<std::string, std::chrono::steady_clock::time_point,
+           std::less<>>
+      LastEmit;
+
+  bool allow(std::string_view Key, double MinIntervalSeconds) {
+    auto Now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = LastEmit.find(Key);
+    if (It != LastEmit.end() &&
+        std::chrono::duration<double>(Now - It->second).count() <
+            MinIntervalSeconds)
+      return false;
+    if (It != LastEmit.end())
+      It->second = Now;
+    else
+      LastEmit.emplace(std::string(Key), Now);
+    return true;
+  }
+};
+
+RateLimiter &rateLimiter() {
+  static RateLimiter R;
+  return R;
+}
+
+/// key=value needs quoting when the value contains spaces, quotes, '=' or
+/// control bytes; values stay single-line no matter what arrives.
+bool needsQuoting(std::string_view V) {
+  if (V.empty())
+    return true;
+  for (char C : V)
+    if (C == ' ' || C == '"' || C == '=' || C == '\\' ||
+        static_cast<unsigned char>(C) < 0x20)
+      return true;
+  return false;
+}
+
+void appendValue(std::string &Out, std::string_view V) {
+  if (!needsQuoting(V)) {
+    Out.append(V);
+    return;
+  }
+  Out.push_back('"');
+  for (char C : V) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (C == '"' || C == '\\') {
+      Out.push_back('\\');
+      Out.push_back(C);
+    } else if (U < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\x%02x", U);
+      Out.append(Buf);
+    } else {
+      Out.push_back(C);
+    }
+  }
+  Out.push_back('"');
+}
+
+} // namespace
+
+LogLevel eva::logLevel() {
+  return static_cast<LogLevel>(GlobalLevel.load(std::memory_order_relaxed));
+}
+
+void eva::setLogLevel(LogLevel Level) {
+  GlobalLevel.store(static_cast<int>(Level), std::memory_order_relaxed);
+}
+
+const char *eva::logLevelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "unknown";
+}
+
+bool eva::parseLogLevel(std::string_view Text, LogLevel &Out) {
+  if (Text == "debug")
+    Out = LogLevel::Debug;
+  else if (Text == "info")
+    Out = LogLevel::Info;
+  else if (Text == "warn")
+    Out = LogLevel::Warn;
+  else if (Text == "error")
+    Out = LogLevel::Error;
+  else if (Text == "off")
+    Out = LogLevel::Off;
+  else
+    return false;
+  return true;
+}
+
+void eva::setLogSink(std::FILE *Sink) {
+  GlobalSink.store(Sink, std::memory_order_relaxed);
+}
+
+LogLine::LogLine(LogLevel Level, std::string_view Event)
+    : Enabled(Level != LogLevel::Off && logEnabled(Level)) {
+  if (!Enabled)
+    return;
+  uint64_t Ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  Buffer = "level=";
+  Buffer += logLevelName(Level);
+  Buffer += " ts=";
+  Buffer += std::to_string(Ms);
+  Buffer += " event=";
+  appendValue(Buffer, Event);
+}
+
+LogLine::~LogLine() {
+  if (!Enabled)
+    return;
+  Buffer.push_back('\n');
+  std::FILE *Sink = GlobalSink.load(std::memory_order_relaxed);
+  if (!Sink)
+    Sink = stderr;
+  std::lock_guard<std::mutex> Lock(emitMutex());
+  std::fwrite(Buffer.data(), 1, Buffer.size(), Sink);
+  std::fflush(Sink);
+}
+
+LogLine &LogLine::kv(std::string_view Key, std::string_view Value) {
+  if (!Enabled)
+    return *this;
+  Buffer.push_back(' ');
+  Buffer.append(Key);
+  Buffer.push_back('=');
+  appendValue(Buffer, Value);
+  return *this;
+}
+
+LogLine &LogLine::kv(std::string_view Key, uint64_t Value) {
+  if (!Enabled)
+    return *this;
+  Buffer.push_back(' ');
+  Buffer.append(Key);
+  Buffer.push_back('=');
+  Buffer += std::to_string(Value);
+  return *this;
+}
+
+LogLine &LogLine::kv(std::string_view Key, int64_t Value) {
+  if (!Enabled)
+    return *this;
+  Buffer.push_back(' ');
+  Buffer.append(Key);
+  Buffer.push_back('=');
+  Buffer += std::to_string(Value);
+  return *this;
+}
+
+LogLine &LogLine::kv(std::string_view Key, double Value) {
+  if (!Enabled)
+    return *this;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  Buffer.push_back(' ');
+  Buffer.append(Key);
+  Buffer.push_back('=');
+  Buffer.append(Buf);
+  return *this;
+}
+
+LogLine &LogLine::kvUs(std::string_view Key, double Seconds) {
+  if (!Enabled)
+    return *this;
+  Buffer.push_back(' ');
+  Buffer.append(Key);
+  Buffer.append("_us=");
+  Buffer += std::to_string(static_cast<uint64_t>(Seconds * 1e6 + 0.5));
+  return *this;
+}
+
+LogLine &LogLine::ratelimit(double MinIntervalSeconds) {
+  if (!Enabled)
+    return *this;
+  // The event name sits at the tail of the prefix written by the
+  // constructor; reuse the whole prefix as the key — level+event uniquely
+  // identify a call site for rate-limiting purposes, and the embedded
+  // timestamp is excluded by keying on the event substring instead.
+  size_t EventPos = Buffer.find(" event=");
+  std::string_view Key =
+      EventPos == std::string::npos
+          ? std::string_view(Buffer)
+          : std::string_view(Buffer).substr(EventPos + 7);
+  if (!rateLimiter().allow(Key, MinIntervalSeconds))
+    Enabled = false;
+  return *this;
+}

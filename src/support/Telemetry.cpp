@@ -1,0 +1,305 @@
+//===- Telemetry.cpp - Metrics registry and tracing ----------------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/support/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace eva;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<double> Bounds)
+    : UpperBounds(std::move(Bounds)), Buckets(UpperBounds.size() + 1) {
+  assert(std::is_sorted(UpperBounds.begin(), UpperBounds.end()) &&
+         "histogram bounds must be ascending");
+}
+
+void Histogram::observe(double Value) {
+  size_t I = std::lower_bound(UpperBounds.begin(), UpperBounds.end(), Value) -
+             UpperBounds.begin();
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  double Old = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Old, Old + Value,
+                                    std::memory_order_relaxed))
+    ;
+  Count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::read(std::vector<uint64_t> &BucketsOut, uint64_t &CountOut,
+                     double &SumOut) const {
+  BucketsOut.resize(Buckets.size());
+  for (size_t I = 0; I < Buckets.size(); ++I)
+    BucketsOut[I] = Buckets[I].load(std::memory_order_relaxed);
+  SumOut = Sum.load(std::memory_order_relaxed);
+  // Count last: a racing observe() bumps buckets before count, so
+  // sum(BucketsOut) >= CountOut and quantile() never reads past the end of
+  // the populated buckets.
+  CountOut = Count.load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// HistogramSnapshot
+//===----------------------------------------------------------------------===//
+
+double HistogramSnapshot::quantile(double Q) const {
+  if (Count == 0 || Buckets.empty())
+    return 0;
+  Q = std::min(std::max(Q, 0.0), 1.0);
+  double Rank = Q * double(Count);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    uint64_t Prev = Cum;
+    Cum += Buckets[I];
+    if (double(Cum) < Rank || Buckets[I] == 0)
+      continue;
+    if (I >= UpperBounds.size())
+      return UpperBounds.empty() ? 0 : UpperBounds.back(); // +Inf clamps
+    double Lo = I == 0 ? 0 : UpperBounds[I - 1];
+    double Hi = UpperBounds[I];
+    double Frac = (Rank - double(Prev)) / double(Buckets[I]);
+    return Lo + (Hi - Lo) * std::min(std::max(Frac, 0.0), 1.0);
+  }
+  return UpperBounds.back();
+}
+
+double HistogramSnapshot::bucketWidthAt(double Q) const {
+  if (Count == 0 || Buckets.empty() || UpperBounds.empty())
+    return 0;
+  Q = std::min(std::max(Q, 0.0), 1.0);
+  double Rank = Q * double(Count);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    Cum += Buckets[I];
+    if (double(Cum) < Rank || Buckets[I] == 0)
+      continue;
+    if (I >= UpperBounds.size())
+      return UpperBounds.back(); // +Inf bucket: unbounded; report the clamp
+    double Lo = I == 0 ? 0 : UpperBounds[I - 1];
+    return UpperBounds[I] - Lo;
+  }
+  return UpperBounds.back() -
+         (UpperBounds.size() > 1 ? UpperBounds[UpperBounds.size() - 2] : 0);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsSnapshot
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename T>
+const T *findByName(const std::vector<T> &Items, std::string_view Name) {
+  for (const T &Item : Items)
+    if (Item.Name == Name)
+      return &Item;
+  return nullptr;
+}
+
+/// Splits `base{labels}` into base and the inner label list ("" when bare).
+void splitLabels(std::string_view Name, std::string_view &Base,
+                 std::string_view &Labels) {
+  size_t Brace = Name.find('{');
+  if (Brace == std::string_view::npos || Name.back() != '}') {
+    Base = Name;
+    Labels = {};
+    return;
+  }
+  Base = Name.substr(0, Brace);
+  Labels = Name.substr(Brace + 1, Name.size() - Brace - 2);
+}
+
+void appendDouble(std::string &Out, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+}
+
+/// `# TYPE` headers are emitted once per metric family, tracked by base
+/// name (labeled variants share one family).
+void appendTypeHeader(std::string &Out, std::string_view Base,
+                      const char *Type, std::string &LastBase) {
+  if (LastBase == Base)
+    return;
+  LastBase.assign(Base);
+  Out += "# TYPE ";
+  Out += Base;
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+}
+
+} // namespace
+
+const CounterSnapshot *MetricsSnapshot::counter(std::string_view Name) const {
+  return findByName(Counters, Name);
+}
+
+const GaugeSnapshot *MetricsSnapshot::gauge(std::string_view Name) const {
+  return findByName(Gauges, Name);
+}
+
+const HistogramSnapshot *
+MetricsSnapshot::histogram(std::string_view Name) const {
+  return findByName(Histograms, Name);
+}
+
+std::string MetricsSnapshot::renderText() const {
+  std::string Out;
+  std::string LastBase;
+  for (const CounterSnapshot &C : Counters) {
+    std::string_view Base, Labels;
+    splitLabels(C.Name, Base, Labels);
+    appendTypeHeader(Out, Base, "counter", LastBase);
+    Out += C.Name;
+    Out += ' ';
+    Out += std::to_string(C.Value);
+    Out += '\n';
+  }
+  LastBase.clear();
+  for (const GaugeSnapshot &G : Gauges) {
+    std::string_view Base, Labels;
+    splitLabels(G.Name, Base, Labels);
+    appendTypeHeader(Out, Base, "gauge", LastBase);
+    Out += G.Name;
+    Out += ' ';
+    Out += std::to_string(G.Value);
+    Out += '\n';
+  }
+  LastBase.clear();
+  for (const HistogramSnapshot &H : Histograms) {
+    std::string_view Base, Labels;
+    splitLabels(H.Name, Base, Labels);
+    appendTypeHeader(Out, Base, "histogram", LastBase);
+    auto appendBucketLine = [&](std::string_view Le, uint64_t Cum) {
+      Out += Base;
+      Out += "_bucket{";
+      if (!Labels.empty()) {
+        Out += Labels;
+        Out += ',';
+      }
+      Out += "le=\"";
+      Out += Le;
+      Out += "\"} ";
+      Out += std::to_string(Cum);
+      Out += '\n';
+    };
+    uint64_t Cum = 0;
+    for (size_t I = 0; I < H.UpperBounds.size(); ++I) {
+      Cum += I < H.Buckets.size() ? H.Buckets[I] : 0;
+      std::string Le;
+      {
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), "%.9g", H.UpperBounds[I]);
+        Le = Buf;
+      }
+      appendBucketLine(Le, Cum);
+    }
+    if (!H.Buckets.empty())
+      Cum += H.Buckets.back();
+    appendBucketLine("+Inf", Cum);
+    auto appendSuffixed = [&](const char *Suffix, auto &&AppendVal) {
+      Out += Base;
+      Out += Suffix;
+      if (!Labels.empty()) {
+        Out += '{';
+        Out += Labels;
+        Out += '}';
+      }
+      Out += ' ';
+      AppendVal();
+      Out += '\n';
+    };
+    appendSuffixed("_sum", [&] { appendDouble(Out, H.Sum); });
+    appendSuffixed("_count", [&] { Out += std::to_string(H.Count); });
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name,
+                                      const std::vector<double> &UpperBounds) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::string(Name),
+                      std::make_unique<Histogram>(UpperBounds))
+             .first;
+  return *It->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot Snap;
+  std::lock_guard<std::mutex> Lock(M);
+  Snap.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Snap.Counters.push_back({Name, C->value()});
+  Snap.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    Snap.Gauges.push_back({Name, G->value()});
+  Snap.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms) {
+    HistogramSnapshot HS;
+    HS.Name = Name;
+    HS.UpperBounds = H->bounds();
+    H->read(HS.Buckets, HS.Count, HS.Sum);
+    Snap.Histograms.push_back(std::move(HS));
+  }
+  return Snap;
+}
+
+const std::vector<double> &MetricsRegistry::defaultLatencyBounds() {
+  // 100us .. 30s, ~x2.5 per step (16 finite buckets + implicit +Inf).
+  static const std::vector<double> Bounds = {
+      100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3,
+      50e-3,  100e-3, 250e-3, 0.5,  1.0,    2.5,  5.0,   10.0,
+      30.0};
+  return Bounds;
+}
+
+std::string eva::labeledMetric(std::string_view Base, std::string_view Key,
+                               std::string_view Value) {
+  std::string Out(Base);
+  Out += '{';
+  Out += Key;
+  Out += "=\"";
+  for (char C : Value) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  Out += "\"}";
+  return Out;
+}

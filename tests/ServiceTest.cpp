@@ -305,8 +305,8 @@ TEST(Framing, CleanEofReportsConnectionClosed) {
 
 TEST(Framing, RejectsBadMagic) {
   SocketPair SP;
-  const char Junk[] = "JUNKx\x01\x00\x00\x00";
-  ASSERT_EQ(::write(SP.Fds[0], Junk, 9), 9);
+  const char Junk[] = "JUNKxx\x01\x00\x00\x00";
+  ASSERT_EQ(::write(SP.Fds[0], Junk, 10), 10);
   Expected<Frame> F = readFrame(SP.Fds[1]);
   ASSERT_FALSE(F.ok());
   EXPECT_NE(F.message().find("magic"), std::string::npos);
@@ -314,8 +314,8 @@ TEST(Framing, RejectsBadMagic) {
 
 TEST(Framing, RejectsOversizedLength) {
   SocketPair SP;
-  char Header[9] = {'E', 'V', 'A', 'S', 0, 0, 0, 0, 0x7F};
-  ASSERT_EQ(::write(SP.Fds[0], Header, 9), 9);
+  char Header[10] = {'E', 'V', 'A', 'S', FrameVersion, 0, 0, 0, 0, 0x7F};
+  ASSERT_EQ(::write(SP.Fds[0], Header, 10), 10);
   Expected<Frame> F = readFrame(SP.Fds[1]);
   ASSERT_FALSE(F.ok());
   EXPECT_NE(F.message().find("exceeds"), std::string::npos);
@@ -323,13 +323,53 @@ TEST(Framing, RejectsOversizedLength) {
 
 TEST(Framing, ReportsTruncationMidFrame) {
   SocketPair SP;
-  char Header[9] = {'E', 'V', 'A', 'S', 0, 16, 0, 0, 0};
-  ASSERT_EQ(::write(SP.Fds[0], Header, 9), 9);
+  char Header[10] = {'E', 'V', 'A', 'S', FrameVersion, 0, 16, 0, 0, 0};
+  ASSERT_EQ(::write(SP.Fds[0], Header, 10), 10);
   ASSERT_EQ(::write(SP.Fds[0], "abc", 3), 3);
   ::shutdown(SP.Fds[0], SHUT_WR);
   Expected<Frame> F = readFrame(SP.Fds[1]);
   ASSERT_FALSE(F.ok());
   EXPECT_NE(F.message().find("truncated"), std::string::npos);
+}
+
+// Every version inside the accept window [MinFrameVersion, FrameVersion]
+// shares the header layout, so a frame stamped with the oldest accepted
+// version must parse exactly like a current one.
+TEST(Framing, AcceptsOldestWindowVersion) {
+  SocketPair SP;
+  char Header[10] = {'E', 'V', 'A', 'S', MinFrameVersion,
+                     char(MessageType::ListPrograms), 3, 0, 0, 0};
+  ASSERT_EQ(::write(SP.Fds[0], Header, 10), 10);
+  ASSERT_EQ(::write(SP.Fds[0], "abc", 3), 3);
+  Expected<Frame> F = readFrame(SP.Fds[1]);
+  ASSERT_TRUE(F.ok()) << (F.ok() ? "" : F.message());
+  EXPECT_EQ(F->Type, MessageType::ListPrograms);
+  EXPECT_EQ(F->Payload, "abc");
+}
+
+// Versions outside the window — 0 (pre-versioning garbage) and a future
+// version this build has never heard of — are rejected with a diagnostic
+// naming the accept window, not misparsed as a frame.
+TEST(Framing, RejectsVersionOutsideWindow) {
+  for (char Bad : {char(0), char(99)}) {
+    SocketPair SP;
+    char Header[10] = {'E', 'V', 'A', 'S', Bad, 0, 0, 0, 0, 0};
+    ASSERT_EQ(::write(SP.Fds[0], Header, 10), 10);
+    Expected<Frame> F = readFrame(SP.Fds[1]);
+    ASSERT_FALSE(F.ok());
+    EXPECT_NE(F.message().find("unsupported protocol version"),
+              std::string::npos);
+    EXPECT_NE(F.message().find("accepts"), std::string::npos);
+  }
+}
+
+TEST(Framing, RejectsUnknownMessageType) {
+  SocketPair SP;
+  char Header[10] = {'E', 'V', 'A', 'S', FrameVersion, 0x7F, 0, 0, 0, 0};
+  ASSERT_EQ(::write(SP.Fds[0], Header, 10), 10);
+  Expected<Frame> F = readFrame(SP.Fds[1]);
+  ASSERT_FALSE(F.ok());
+  EXPECT_NE(F.message().find("unknown frame type"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//

@@ -9,20 +9,41 @@
 // inputs symmetrically, submit, and decrypt the results. The secret key
 // never leaves this process.
 //
+// Two observability subcommands ride along:
+//
+//   evacall stats --port N [--metrics-text]
+//     scrapes the live server's metrics (GET_METRICS) and prints either a
+//     human summary (request counts, error causes, latency percentiles) or
+//     the raw Prometheus text exposition.
+//
+//   evacall audit-verify --file prog.evabin (LINE | --audit-file F [--req N])
+//                        [--seed S] [--in name=v1,...] [--chet] [--lazy]
+//     re-executes one transcript-hash audit line locally (ReproducibleSeeds
+//     bit-identity, see eva/service/Audit.h) and compares the input/output
+//     hashes byte-for-byte. Exit 0 on match, 1 on mismatch.
+//
 // Usage:
 //   evacall --port N --list
 //   evacall --port N --program NAME [--in name=v1,v2,...]... [--seed S]
 //           [--show K] [--reproducible]
+//   evacall stats --port N [--metrics-text]
+//   evacall audit-verify --file prog.evabin ...
 //
 //===----------------------------------------------------------------------===//
 
+#include "eva/api/ProgramSignature.h"
 #include "eva/api/Runner.h"
+#include "eva/ir/TextFormat.h"
+#include "eva/serialize/ProtoIO.h"
+#include "eva/service/Audit.h"
 #include "eva/service/Client.h"
 #include "eva/support/Random.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <string>
 
 using namespace eva;
@@ -34,6 +55,11 @@ int usage(const char *Prog) {
                "usage: %s --port N --list\n"
                "       %s --port N --program NAME [--in name=v1,v2,...]... "
                "[--seed S] [--show K] [--reproducible]\n"
+               "       %s stats --port N [--metrics-text]\n"
+               "       %s audit-verify --file prog.evabin (LINE | "
+               "--audit-file F [--req N])\n"
+               "                       [--seed S] [--in name=v1,...] "
+               "[--chet] [--lazy]\n"
                "  --list           print the served programs and their "
                "parameters\n"
                "  --program NAME   open a session and run NAME\n"
@@ -43,8 +69,14 @@ int usage(const char *Prog) {
                "  --show K         print only the first K slots of each "
                "output (default 8)\n"
                "  --reproducible   derive all encryption randomness from "
-               "--seed (bit-reproducible runs)\n",
-               Prog, Prog);
+               "--seed (bit-reproducible runs)\n"
+               "  --metrics-text   print raw Prometheus text exposition "
+               "instead of the summary\n"
+               "  --file PATH      (audit-verify) the .evabin the server "
+               "served, compiled with the same policy flags\n"
+               "  --audit-file F   (audit-verify) read the audit line from "
+               "F; --req N selects a request id (default: last line)\n",
+               Prog, Prog, Prog, Prog);
   return 1;
 }
 
@@ -71,9 +103,219 @@ bool parseValues(const char *Spec, std::string &Name,
   return !Values.empty();
 }
 
+//===----------------------------------------------------------------------===//
+// evacall stats
+//===----------------------------------------------------------------------===//
+
+void printHistogramLine(const HistogramSnapshot &H) {
+  std::printf("  %-44s n=%-6llu mean=%.4gs p50=%.4gs p95=%.4gs p99=%.4gs\n",
+              H.Name.c_str(), static_cast<unsigned long long>(H.Count),
+              H.mean(), H.quantile(0.50), H.quantile(0.95), H.quantile(0.99));
+}
+
+int statsMain(int Argc, char **Argv) {
+  int Port = -1;
+  bool Raw = false;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--port") == 0 && I + 1 < Argc)
+      Port = std::atoi(Argv[++I]);
+    else if (std::strcmp(Argv[I], "--metrics-text") == 0)
+      Raw = true;
+    else
+      return usage(Argv[0]);
+  }
+  if (Port <= 0 || Port > 65535)
+    return usage(Argv[0]);
+
+  Expected<std::unique_ptr<SocketTransport>> T =
+      SocketTransport::connectLoopback(static_cast<uint16_t>(Port));
+  if (!T) {
+    std::fprintf(stderr, "evacall: error: %s\n", T.message().c_str());
+    return 1;
+  }
+  ServiceClient Client(**T);
+  Expected<MetricsSnapshot> Snap = Client.getMetrics();
+  if (!Snap) {
+    std::fprintf(stderr, "evacall: error: %s\n", Snap.message().c_str());
+    return 1;
+  }
+
+  if (Raw) {
+    std::fputs(Snap->renderText().c_str(), stdout);
+    return 0;
+  }
+
+  // Human summary: the catalog is small enough to show counters and gauges
+  // in full; histograms get count/mean plus the operator percentiles.
+  std::printf("counters:\n");
+  for (const CounterSnapshot &C : Snap->Counters)
+    std::printf("  %-44s %llu\n", C.Name.c_str(),
+                static_cast<unsigned long long>(C.Value));
+  std::printf("gauges:\n");
+  for (const GaugeSnapshot &G : Snap->Gauges)
+    std::printf("  %-44s %lld\n", G.Name.c_str(),
+                static_cast<long long>(G.Value));
+  std::printf("latency:\n");
+  for (const HistogramSnapshot &H : Snap->Histograms)
+    printHistogramLine(H);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// evacall audit-verify
+//===----------------------------------------------------------------------===//
+
+/// Load + compile exactly as evaserve's registry does (text or proto
+/// source), so the replayed DAG is the one the server ran.
+Expected<CompiledProgram> loadCompiled(const char *Path,
+                                       const CompilerOptions &Options) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Status::error(std::string("cannot open ") + Path);
+  std::string Data((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  Expected<std::unique_ptr<Program>> P =
+      Data.rfind("program ", 0) == 0 ? parseProgramText(Data)
+                                     : deserializeProgram(Data);
+  if (!P)
+    return Status::error(std::string(Path) + ": " + P.message());
+  return compile(**P, Options);
+}
+
+int auditVerifyMain(int Argc, char **Argv) {
+  const char *ProgramFile = nullptr;
+  const char *AuditFile = nullptr;
+  const char *InlineLine = nullptr;
+  uint64_t WantReq = 0;
+  uint64_t Seed = 1;
+  CompilerOptions Options = CompilerOptions::eva();
+  std::map<std::string, std::vector<double>> GivenInputs;
+
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--file") == 0 && I + 1 < Argc) {
+      ProgramFile = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--audit-file") == 0 && I + 1 < Argc) {
+      AuditFile = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--req") == 0 && I + 1 < Argc) {
+      WantReq = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc) {
+      Seed = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (std::strcmp(Argv[I], "--in") == 0 && I + 1 < Argc) {
+      std::string Name;
+      std::vector<double> Values;
+      if (!parseValues(Argv[++I], Name, Values))
+        return usage(Argv[0]);
+      GivenInputs[Name] = std::move(Values);
+    } else if (std::strcmp(Argv[I], "--chet") == 0) {
+      Options = CompilerOptions::chet();
+    } else if (std::strcmp(Argv[I], "--lazy") == 0) {
+      Options.ModSwitch = ModSwitchPolicy::Lazy;
+    } else if (Argv[I][0] != '-' && !InlineLine) {
+      InlineLine = Argv[I];
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (!ProgramFile || (!InlineLine && !AuditFile) || (InlineLine && AuditFile))
+    return usage(Argv[0]);
+
+  // Resolve the audit line: given inline, or fished out of the audit file
+  // (matching request id, or the last parseable line).
+  std::string Line;
+  if (InlineLine) {
+    Line = InlineLine;
+  } else {
+    std::ifstream In(AuditFile);
+    if (!In) {
+      std::fprintf(stderr, "evacall: error: cannot open %s\n", AuditFile);
+      return 1;
+    }
+    std::string Candidate;
+    for (std::string L; std::getline(In, L);) {
+      Expected<AuditRecord> R = parseAuditLine(L);
+      if (!R)
+        continue; // tolerate interleaved non-audit output
+      if (WantReq == 0 || R->RequestId == WantReq)
+        Candidate = L;
+      if (WantReq != 0 && R->RequestId == WantReq)
+        break;
+    }
+    if (Candidate.empty()) {
+      std::fprintf(stderr,
+                   "evacall: error: no matching audit line in %s%s\n",
+                   AuditFile, WantReq ? " (check --req)" : "");
+      return 1;
+    }
+    Line = Candidate;
+  }
+
+  Expected<AuditRecord> Rec = parseAuditLine(Line);
+  if (!Rec) {
+    std::fprintf(stderr, "evacall: error: %s\n", Rec.message().c_str());
+    return 1;
+  }
+
+  Expected<CompiledProgram> CP = loadCompiled(ProgramFile, Options);
+  if (!CP) {
+    std::fprintf(stderr, "evacall: error: %s\n", CP.message().c_str());
+    return 1;
+  }
+
+  // Reconstruct the request's plaintext inputs: anything not given on the
+  // command line is regenerated exactly as the submitting `evacall
+  // --program` run generated it — same seed derivation, same RNG, same
+  // signature iteration order (skipping the explicitly-given names, which
+  // consume no randomness there either).
+  ProgramSignature Sig = ProgramSignature::of(*CP);
+  RandomSource Rng(Seed * 7919 + 1);
+  std::map<std::string, std::vector<double>> Inputs = GivenInputs;
+  for (const IoSpec &In : Sig.Inputs) {
+    if (Inputs.count(In.Name))
+      continue;
+    std::vector<double> V(Sig.VecSize);
+    for (double &X : V)
+      X = Rng.uniformReal(-1, 1);
+    Inputs[In.Name] = std::move(V);
+  }
+
+  Expected<AuditReplayResult> Replay = auditReplay(*Rec, *CP, Seed, Inputs);
+  if (!Replay) {
+    std::fprintf(stderr, "evacall: error: %s\n", Replay.message().c_str());
+    return 1;
+  }
+
+  std::printf("req=%llu program=%s\n",
+              static_cast<unsigned long long>(Rec->RequestId),
+              Rec->Program.c_str());
+  std::printf("inputs:  recorded=%016llx replayed=%016llx %s\n",
+              static_cast<unsigned long long>(Rec->InputsHash),
+              static_cast<unsigned long long>(Replay->InputsHash),
+              Replay->InputsMatch ? "MATCH" : "MISMATCH");
+  std::printf("outputs: recorded=%016llx replayed=%016llx %s\n",
+              static_cast<unsigned long long>(Rec->OutputsHash),
+              static_cast<unsigned long long>(Replay->OutputsHash),
+              Replay->OutputsMatch ? "MATCH" : "MISMATCH");
+  if (Replay->InputsMatch && Replay->OutputsMatch) {
+    std::printf("audit-verify: OK (transcript reproduced bit-for-bit)\n");
+    return 0;
+  }
+  if (!Replay->InputsMatch)
+    std::printf("audit-verify: FAILED — input hash differs (wrong seed, "
+                "wrong --in values, or tampered request)\n");
+  else
+    std::printf("audit-verify: FAILED — output hash differs (server ran a "
+                "different program or tampered with the result)\n");
+  return 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::strcmp(Argv[1], "stats") == 0)
+    return statsMain(Argc, Argv);
+  if (Argc > 1 && std::strcmp(Argv[1], "audit-verify") == 0)
+    return auditVerifyMain(Argc, Argv);
+
   int Port = -1;
   bool List = false;
   bool Reproducible = false;
@@ -154,7 +396,9 @@ int main(int Argc, char **Argv) {
   const ProgramSignature &Sig = (*R)->signature();
   std::printf("session opened for '%s'\n", ProgramName);
 
-  // Fill unspecified inputs with reproducible uniform noise.
+  // Fill unspecified inputs with reproducible uniform noise. audit-verify
+  // regenerates these from the same seed derivation, so keep the two in
+  // lockstep.
   RandomSource Rng(Seed * 7919 + 1);
   Valuation Inputs = GivenInputs;
   for (const IoSpec &In : Sig.Inputs) {
@@ -171,6 +415,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "evacall: error: %s\n", Out.message().c_str());
     return 1;
   }
+  if (uint64_t Req = (*R)->lastRequestId())
+    std::printf("request id %llu\n", static_cast<unsigned long long>(Req));
   for (const auto &[Name, Val] : *Out) {
     (void)Val;
     const std::vector<double> &Values = Out->vector(Name);

@@ -8,13 +8,20 @@
 // secret key never reaches this process — the wire schema has no message
 // that could carry one.
 //
+// Observability: structured key=value logs (--log-level, -v), a live
+// metrics endpoint (`evacall stats` / GET_METRICS), a metrics dump on
+// SIGUSR1 and at shutdown, and an optional transcript-hash audit log
+// (--audit-log; verify lines offline with `evacall audit-verify`).
+//
 // Usage:
 //   evaserve [--port N] [--workers W] [--exec-threads K] [--chet] [--lazy]
+//            [--log-level L] [-v] [--audit-log PATH] [--no-telemetry]
 //            <program.evabin>...
 //
 //===----------------------------------------------------------------------===//
 
 #include "eva/service/Server.h"
+#include "eva/support/Log.h"
 
 #include <atomic>
 #include <chrono>
@@ -29,22 +36,41 @@ using namespace eva;
 namespace {
 
 std::atomic<bool> ShutdownRequested{false};
+std::atomic<bool> MetricsDumpRequested{false};
 
 void onSignal(int) { ShutdownRequested = true; }
+void onMetricsSignal(int) { MetricsDumpRequested = true; }
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--workers W] [--exec-threads K] "
-               "[--chet] [--lazy] <program.evabin>...\n"
+               "[--chet] [--lazy] [--log-level L] [-v] [--audit-log PATH] "
+               "[--no-telemetry] <program.evabin>...\n"
                "  --port N         listen port on 127.0.0.1 (default: "
                "ephemeral, printed at startup)\n"
                "  --workers W      concurrent requests in flight (default 2)\n"
                "  --exec-threads K cooperative pool size per session "
                "executor (default 1)\n"
                "  --chet / --lazy  compiler policies for the served "
-               "programs (as in evac)\n",
+               "programs (as in evac)\n"
+               "  --log-level L    debug|info|warn|error|off (default warn)\n"
+               "  -v               shorthand for --log-level info "
+               "(per-request span logs)\n"
+               "  --audit-log P    append one transcript-hash line per "
+               "request to P ('-' = stderr)\n"
+               "  --no-telemetry   disable hot-path metrics recording "
+               "(GET_METRICS still answers)\n"
+               "Signals: SIGUSR1 dumps the metrics snapshot to stderr; the "
+               "same dump happens at shutdown.\n",
                Prog);
   return 1;
+}
+
+void dumpMetrics(const Service &Svc, const char *Why) {
+  MetricsSnapshot Snap = Svc.metricsSnapshot();
+  std::string Text = Snap.renderText();
+  std::fprintf(stderr, "# evaserve metrics (%s)\n%s", Why, Text.c_str());
+  std::fflush(stderr);
 }
 
 } // namespace
@@ -71,6 +97,20 @@ int main(int Argc, char **Argv) {
       Options = CompilerOptions::chet();
     } else if (std::strcmp(Argv[I], "--lazy") == 0) {
       Options.ModSwitch = ModSwitchPolicy::Lazy;
+    } else if (std::strcmp(Argv[I], "--log-level") == 0 && I + 1 < Argc) {
+      LogLevel Level;
+      if (!parseLogLevel(Argv[++I], Level)) {
+        std::fprintf(stderr, "evaserve: error: unknown log level '%s'\n",
+                     Argv[I]);
+        return usage(Argv[0]);
+      }
+      setLogLevel(Level);
+    } else if (std::strcmp(Argv[I], "-v") == 0) {
+      setLogLevel(LogLevel::Info);
+    } else if (std::strcmp(Argv[I], "--audit-log") == 0 && I + 1 < Argc) {
+      Config.AuditLog = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--no-telemetry") == 0) {
+      Config.Telemetry = false;
     } else if (Argv[I][0] != '-') {
       ProgramPaths.push_back(Argv[I]);
     } else {
@@ -108,14 +148,19 @@ int main(int Argc, char **Argv) {
 
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+  std::signal(SIGUSR1, onMetricsSignal);
   // Framing writes use MSG_NOSIGNAL, but ignore SIGPIPE as a second line of
   // defense: a disconnecting client must never terminate the daemon.
   std::signal(SIGPIPE, SIG_IGN);
-  while (!ShutdownRequested)
+  while (!ShutdownRequested) {
+    if (MetricsDumpRequested.exchange(false))
+      dumpMetrics(Svc, "SIGUSR1");
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
 
-  std::printf("evaserve: shutting down (%zu active sessions)\n",
-              Svc.activeSessionCount());
+  LogLine(LogLevel::Info, "shutdown")
+      .kv("active_sessions", Svc.activeSessionCount());
+  dumpMetrics(Svc, "shutdown");
   Server.stop();
   return 0;
 }
