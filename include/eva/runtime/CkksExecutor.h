@@ -46,6 +46,7 @@
 #include "eva/ckks/KeyGenerator.h"
 #include "eva/core/Compiler.h"
 #include "eva/support/Profile.h"
+#include "eva/support/ThreadAnnotations.h"
 #include "eva/support/ThreadPool.h"
 
 #include <map>
@@ -207,9 +208,10 @@ protected:
   /// the shared source is, so in the parallel executors several may race
   /// here); the rest collect their precomputed ciphertexts.
   struct HoistGroupState {
-    std::mutex M;
-    bool Done = false;
-    std::map<uint64_t, Ciphertext> Results; // member node id -> rotated ct
+    Mutex M;
+    bool Done EVA_GUARDED_BY(M) = false;
+    /// member node id -> rotated ct
+    std::map<uint64_t, Ciphertext> Results EVA_GUARDED_BY(M);
   };
 
   /// Resets statistics and evaluator counters and materializes the hoist
@@ -239,7 +241,11 @@ protected:
   ExecutionStats Stats;
   /// EVA_PROFILE snapshot taken by beginRun(); finishRun() reports deltas.
   ProfileCounters ProfileStart;
-  mutable std::mutex OutputMutex;
+  /// Leaf lock: serializes Output-node writes into the result map when the
+  /// parallel executor retires several output nodes at once. The map itself
+  /// is a computeNode parameter, so the guard is the lock contract on that
+  /// one critical section rather than a GUARDED_BY on a member.
+  mutable Mutex OutputMutex;
 };
 
 /// The paper's EVA executor: asynchronous DAG scheduling + memory reuse.

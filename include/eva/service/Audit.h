@@ -33,11 +33,11 @@
 
 #include "eva/core/Compiler.h"
 #include "eva/support/Error.h"
+#include "eva/support/ThreadAnnotations.h"
 
 #include <cstdint>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -96,14 +96,22 @@ public:
   AuditLog &operator=(const AuditLog &) = delete;
 
   /// Opens \p Path for appending ("-" means stderr).
-  Status open(const std::string &Path);
-  bool enabled() const { return Sink != nullptr; }
-  void append(const AuditRecord &R);
+  Status open(const std::string &Path) EVA_EXCLUDES(M);
+  /// Whether a sink is attached. Takes the lock: a relaxed read here would
+  /// race a concurrent open() (caught by -Wthread-safety; regression test
+  /// in TelemetryTest runs enabled/append/open concurrently under TSan).
+  bool enabled() const EVA_EXCLUDES(M) {
+    LockGuard Lock(M);
+    return Sink != nullptr;
+  }
+  void append(const AuditRecord &R) EVA_EXCLUDES(M);
 
 private:
-  std::mutex M;
-  std::FILE *Sink = nullptr;
-  bool OwnsSink = false;
+  /// Leaf lock: guards the sink pointer and the eager fwrite/fflush pair
+  /// (stdio buffering is not relied upon for line atomicity).
+  mutable Mutex M;
+  std::FILE *Sink EVA_GUARDED_BY(M) = nullptr;
+  bool OwnsSink EVA_GUARDED_BY(M) = false;
 };
 
 /// The verdict of one local re-execution of an audited request.

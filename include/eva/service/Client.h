@@ -26,10 +26,10 @@
 #include "eva/runtime/CkksExecutor.h"
 #include "eva/service/Framing.h"
 #include "eva/service/Service.h"
+#include "eva/support/ThreadAnnotations.h"
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,11 +66,17 @@ public:
   ~SocketTransport() override;
 
   Expected<Frame> roundTrip(MessageType Type,
-                            std::string_view Payload) override;
+                            std::string_view Payload) override
+      EVA_EXCLUDES(IoMutex);
 
 private:
   explicit SocketTransport(int Fd) : Fd(Fd) {}
-  std::mutex IoMutex; // one exchange at a time per connection
+  /// One exchange at a time per connection: deliberately held across the
+  /// blocking writeFrame/readFrame pair, because the frame exchange IS the
+  /// critical section (interleaved frames would corrupt the stream). The
+  /// blocking-syscall-under-lock rule in tools/evalint-cpp carries a
+  /// matching documented allowance for roundTrip.
+  Mutex IoMutex;
   int Fd;
 };
 

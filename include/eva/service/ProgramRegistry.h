@@ -21,10 +21,10 @@
 #include "eva/ckks/Context.h"
 #include "eva/core/Compiler.h"
 #include "eva/service/Messages.h"
+#include "eva/support/ThreadAnnotations.h"
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,20 +45,25 @@ public:
   /// Compiles \p Source with \p Options and publishes it under its program
   /// name. Fails on compile errors, context validation, or a name collision.
   Status registerSource(const Program &Source,
-                        const CompilerOptions &Options = CompilerOptions::eva());
+                        const CompilerOptions &Options = CompilerOptions::eva())
+      EVA_EXCLUDES(M);
 
   /// Loads a source program from \p Path (proto3 wire format or textual
   /// listing, as evac accepts) and registers it.
   Status loadFromFile(const std::string &Path,
                       const CompilerOptions &Options = CompilerOptions::eva());
 
-  std::shared_ptr<const RegisteredProgram> find(const std::string &Name) const;
-  std::vector<ParamSignature> signatures() const;
-  size_t size() const;
+  std::shared_ptr<const RegisteredProgram> find(const std::string &Name) const
+      EVA_EXCLUDES(M);
+  std::vector<ParamSignature> signatures() const EVA_EXCLUDES(M);
+  size_t size() const EVA_EXCLUDES(M);
 
 private:
-  mutable std::mutex M;
-  std::map<std::string, std::shared_ptr<const RegisteredProgram>> Programs;
+  /// Leaf lock: guards only the name -> program map; compilation happens
+  /// before the lock is taken so registration never blocks lookups.
+  mutable Mutex M;
+  std::map<std::string, std::shared_ptr<const RegisteredProgram>> Programs
+      EVA_GUARDED_BY(M);
 };
 
 } // namespace eva

@@ -25,9 +25,9 @@
 
 #include "eva/service/Session.h"
 #include "eva/support/Telemetry.h"
+#include "eva/support/ThreadAnnotations.h"
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <thread>
@@ -72,12 +72,13 @@ public:
   /// hands the context to the session before resolving the promise.
   Expected<std::future<Result>> submit(std::shared_ptr<Session> S,
                                        SealedInputs Inputs,
-                                       TraceContext *Trace = nullptr);
+                                       TraceContext *Trace = nullptr)
+      EVA_EXCLUDES(M);
 
   /// Blocks until every queued request has completed.
-  void drain();
+  void drain() EVA_EXCLUDES(M);
 
-  SchedulerStats stats() const;
+  SchedulerStats stats() const EVA_EXCLUDES(M);
 
 private:
   struct Request {
@@ -88,17 +89,19 @@ private:
     std::chrono::steady_clock::time_point EnqueueTime;
   };
 
-  void workerLoop();
+  void workerLoop() EVA_EXCLUDES(M);
 
   SchedulerConfig Config;
   MetricsRegistry *Metrics;
-  mutable std::mutex M;
-  std::condition_variable QueueCv;
-  std::condition_variable IdleCv;
-  std::deque<Request> Queue;
-  size_t InFlight = 0;
-  bool Stopping = false;
-  SchedulerStats Stats;
+  /// Lock order: M is acquired after SessionManager::M (never holds a
+  /// session's ExecMutex; workers call Session::execute unlocked).
+  mutable Mutex M;
+  CondVar QueueCv;
+  CondVar IdleCv;
+  std::deque<Request> Queue EVA_GUARDED_BY(M);
+  size_t InFlight EVA_GUARDED_BY(M) = 0;
+  bool Stopping EVA_GUARDED_BY(M) = false;
+  SchedulerStats Stats EVA_GUARDED_BY(M);
   std::vector<std::thread> Workers;
 };
 

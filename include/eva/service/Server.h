@@ -18,10 +18,10 @@
 #define EVA_SERVICE_SERVER_H
 
 #include "eva/service/Service.h"
+#include "eva/support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -46,7 +46,7 @@ public:
 
   /// Stops accepting, closes the listener, and joins all threads. Safe to
   /// call repeatedly.
-  void stop();
+  void stop() EVA_EXCLUDES(ConnMutex);
 
 private:
   /// One live (or finished-but-unreaped) connection. The server owns the
@@ -59,11 +59,13 @@ private:
     std::atomic<bool> Done{false};
   };
 
-  void acceptLoop();
+  void acceptLoop() EVA_EXCLUDES(ConnMutex);
   void serveConnection(Connection *C);
   /// Joins and closes finished connections (called from the accept loop so
-  /// a long-lived daemon does not accumulate dead threads).
-  void reapFinished();
+  /// a long-lived daemon does not accumulate dead threads). Joins happen
+  /// after the finished connections have been moved out of the guarded
+  /// vector, so the lock is never held across a join.
+  void reapFinished() EVA_EXCLUDES(ConnMutex);
 
   Service &Svc;
   size_t MaxConnections;
@@ -71,8 +73,12 @@ private:
   uint16_t BoundPort = 0;
   std::atomic<bool> Stopping{false};
   std::thread Acceptor;
-  std::mutex ConnMutex;
-  std::vector<std::unique_ptr<Connection>> Connections;
+  /// Leaf lock: guards only the connection list. Accept/read/write
+  /// syscalls and thread joins all happen with it released (evalint-cpp
+  /// enforces the syscall half).
+  Mutex ConnMutex;
+  std::vector<std::unique_ptr<Connection>> Connections
+      EVA_GUARDED_BY(ConnMutex);
 };
 
 } // namespace eva

@@ -23,10 +23,10 @@
 #include "eva/runtime/CkksExecutor.h"
 #include "eva/service/ProgramRegistry.h"
 #include "eva/support/Telemetry.h"
+#include "eva/support/ThreadAnnotations.h"
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 namespace eva {
 
@@ -52,14 +52,19 @@ public:
   /// span; the session also publishes compute-latency and executor-stat
   /// roll-ups into its MetricsRegistry.
   Expected<std::map<std::string, Ciphertext>>
-  execute(SealedInputs Inputs, TraceContext *Trace = nullptr);
+  execute(SealedInputs Inputs, TraceContext *Trace = nullptr)
+      EVA_EXCLUDES(ExecMutex);
 
 private:
   uint64_t Id;
   std::shared_ptr<const RegisteredProgram> Prog;
   std::shared_ptr<CkksWorkspace> WS;
-  std::unique_ptr<Runner> Exec;
-  std::mutex ExecMutex;
+  /// The runner (and the executor pool behind it) admits one request at a
+  /// time; ExecMutex serializes a session's requests while the scheduler
+  /// overlaps distinct sessions. Leaf in the declared lock order: held
+  /// across execute() but never while touching SessionManager::M.
+  std::unique_ptr<Runner> Exec EVA_PT_GUARDED_BY(ExecMutex);
+  Mutex ExecMutex;
   MetricsRegistry *Metrics;
 };
 
@@ -87,25 +92,28 @@ public:
   /// when the session limit is reached.
   Expected<std::shared_ptr<Session>>
   open(std::shared_ptr<const RegisteredProgram> Prog, RelinKeys Rk,
-       GaloisKeys Gk);
+       GaloisKeys Gk) EVA_EXCLUDES(M);
 
-  std::shared_ptr<Session> find(uint64_t Id) const;
-  bool close(uint64_t Id);
-  size_t activeCount() const;
+  std::shared_ptr<Session> find(uint64_t Id) const EVA_EXCLUDES(M);
+  bool close(uint64_t Id) EVA_EXCLUDES(M);
+  size_t activeCount() const EVA_EXCLUDES(M);
   /// Advisory capacity probe so callers can refuse a session request
   /// before paying for key deserialization; open() remains authoritative.
-  bool atCapacity() const;
+  bool atCapacity() const EVA_EXCLUDES(M);
 
 private:
-  mutable std::mutex M;
-  uint64_t NextId = 1;
+  /// Declared lock order: SessionManager::M before Session::ExecMutex
+  /// (open() constructs sessions under M; execution never reaches back into
+  /// the manager). tools/evalint-cpp rejects the inversion.
+  mutable Mutex M;
+  uint64_t NextId EVA_GUARDED_BY(M) = 1;
   size_t ExecThreads;
   size_t MaxSessions;
   MetricsRegistry *Metrics;
-  std::map<uint64_t, std::shared_ptr<Session>> Sessions;
+  std::map<uint64_t, std::shared_ptr<Session>> Sessions EVA_GUARDED_BY(M);
   /// Pinned-key accounting per session id, so close() can subtract what
   /// open() added.
-  std::map<uint64_t, size_t> KeyBytes;
+  std::map<uint64_t, size_t> KeyBytes EVA_GUARDED_BY(M);
 };
 
 } // namespace eva

@@ -24,7 +24,13 @@
 namespace eva {
 
 /// Success-or-message result for operations with no payload.
-class Status {
+///
+/// [[nodiscard]] on the type makes every call that returns a Status (or an
+/// Expected) a compile error when the result is silently dropped — an
+/// unchecked error is a latent crash at the next value() access, and in the
+/// service layer a protocol desync. Callers that genuinely do not care must
+/// say so in the source, e.g. `(void)S.takeStatus();`.
+class [[nodiscard]] Status {
 public:
   Status() = default;
   static Status success() { return Status(); }
@@ -47,7 +53,7 @@ private:
 
 /// Either a value of type T or an error message. Accessing the value of an
 /// errored Expected is a fatal error; callers must check first.
-template <typename T> class Expected {
+template <typename T> class [[nodiscard]] Expected {
 public:
   /*implicit*/ Expected(T Value) : Value(std::move(Value)) {}
   /*implicit*/ Expected(Status S) {

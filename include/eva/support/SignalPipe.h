@@ -1,0 +1,68 @@
+//===- eva/support/SignalPipe.h - Self-pipe for signal handlers -*- C++ -*-===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic self-pipe trick: a POSIX signal handler may only call
+/// async-signal-safe functions, which rules out snapshotting metrics (maps,
+/// strings, a mutex) or even setting a condition variable. The handler
+/// instead write()s a single token byte into a non-blocking pipe — write()
+/// IS async-signal-safe — and the event loop blocks in poll() on the read
+/// end, draining tokens and doing the real work (metrics dump, shutdown)
+/// in normal thread context where locks are legal.
+///
+/// This replaces flag-polling loops (`while (!Flag) sleep(100ms)`): the
+/// loop wakes the instant a signal lands instead of up to a period later,
+/// and burns no CPU while idle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVA_SUPPORT_SIGNALPIPE_H
+#define EVA_SUPPORT_SIGNALPIPE_H
+
+#include "eva/support/Error.h"
+
+#include <vector>
+
+namespace eva {
+
+/// A one-way pipe carrying single-byte tokens from signal handlers (or any
+/// thread) to a draining event loop. Not copyable; the write end is meant
+/// to be reachable from a handler via one file-scope pointer set before
+/// the handler is installed.
+class SignalPipe {
+public:
+  SignalPipe() = default;
+  ~SignalPipe();
+  SignalPipe(const SignalPipe &) = delete;
+  SignalPipe &operator=(const SignalPipe &) = delete;
+
+  /// Creates the pipe. Both ends are O_NONBLOCK (a full pipe must never
+  /// block a signal handler) and O_CLOEXEC.
+  Status open();
+
+  /// Async-signal-safe: one write() of one byte, nothing else. A full pipe
+  /// (EAGAIN) drops the byte — safe, because 64 KiB of undrained tokens
+  /// already guarantee the next poll() wakes immediately.
+  void notifyFromHandler(unsigned char Token) noexcept;
+
+  /// Blocks in poll() until at least one token arrives, then drains the
+  /// pipe completely, appending every token to \p Tokens in arrival order.
+  /// \p TimeoutMs < 0 waits forever. EINTR retries (the interrupting
+  /// signal's own token is picked up on the retry). Returns false on
+  /// timeout with nothing drained.
+  bool wait(int TimeoutMs, std::vector<unsigned char> &Tokens);
+
+  /// The read end, for callers folding the pipe into their own poll set.
+  int readFd() const { return Fds[0]; }
+  bool isOpen() const { return Fds[0] >= 0; }
+
+private:
+  int Fds[2] = {-1, -1};
+};
+
+} // namespace eva
+
+#endif // EVA_SUPPORT_SIGNALPIPE_H

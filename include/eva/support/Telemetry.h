@@ -37,11 +37,12 @@
 #ifndef EVA_SUPPORT_TELEMETRY_H
 #define EVA_SUPPORT_TELEMETRY_H
 
+#include "eva/support/ThreadAnnotations.h"
+
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -161,26 +162,33 @@ struct MetricsSnapshot {
 /// instrument (histogram bounds from the first registration win).
 class MetricsRegistry {
 public:
-  Counter &counter(std::string_view Name);
-  Gauge &gauge(std::string_view Name);
+  Counter &counter(std::string_view Name) EVA_EXCLUDES(M);
+  Gauge &gauge(std::string_view Name) EVA_EXCLUDES(M);
   Histogram &histogram(std::string_view Name,
-                       const std::vector<double> &UpperBounds);
+                       const std::vector<double> &UpperBounds)
+      EVA_EXCLUDES(M);
   /// Latency histogram with the default exponential boundaries.
   Histogram &latencyHistogram(std::string_view Name) {
     return histogram(Name, defaultLatencyBounds());
   }
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const EVA_EXCLUDES(M);
 
   /// 100us .. 30s, roughly x2.5 per step: wide enough for both a sub-ms
   /// queue wait and a multi-second deep-network execute.
   static const std::vector<double> &defaultLatencyBounds();
 
 private:
-  mutable std::mutex M;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+  /// Leaf lock: registration and snapshot only; never held while calling
+  /// out of this class (the lock-order table in tools/evalint-cpp treats it
+  /// as always-acquired-last).
+  mutable Mutex M;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters
+      EVA_GUARDED_BY(M);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges
+      EVA_GUARDED_BY(M);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms
+      EVA_GUARDED_BY(M);
 };
 
 /// `base{key="value"}` with value escaping — the convention for per-program

@@ -28,12 +28,12 @@
 #ifndef EVA_SUPPORT_THREADPOOL_H
 #define EVA_SUPPORT_THREADPOOL_H
 
+#include "eva/support/ThreadAnnotations.h"
+
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -58,20 +58,20 @@ public:
 
   /// Enqueues \p Task for asynchronous execution. With a pool of size 1 the
   /// task stays queued until the caller drains it via waitIdle or helpUntil.
-  void submit(std::function<void()> Task);
+  void submit(std::function<void()> Task) EVA_EXCLUDES(PoolMutex);
 
   /// Cooperatively drains the pool: the caller runs queued tasks (so a pool
   /// of size 1 still makes progress) and returns once the queue is empty and
   /// no task is in flight.
-  void waitIdle();
+  void waitIdle() EVA_EXCLUDES(PoolMutex);
 
   /// Runs queued tasks on the calling thread until \p Done() returns true,
   /// sleeping when the queue is empty. A thread that flips the condition
   /// from another thread must call poke() afterwards.
-  void helpUntil(const std::function<bool()> &Done);
+  void helpUntil(const std::function<bool()> &Done) EVA_EXCLUDES(PoolMutex);
 
   /// Wakes threads sleeping in helpUntil so they re-check their condition.
-  void poke();
+  void poke() EVA_EXCLUDES(PoolMutex);
 
   /// Runs Body(I) for I in [0, Count) across the pool and waits for all
   /// iterations (a barrier), mimicking an OpenMP parallel-for. The caller
@@ -95,23 +95,27 @@ private:
     size_t Count = 0;
     size_t Chunk = 1;
     const std::function<void(size_t, size_t)> *Body = nullptr;
-    std::mutex M;
-    std::condition_variable AllDone;
+    /// Pure signalling pair: AllDone wakes the loop's caller once the
+    /// atomic DoneIters reaches Count; M only orders notify vs. wait.
+    Mutex M;
+    CondVar AllDone;
   };
 
-  void workerLoop();
+  void workerLoop() EVA_EXCLUDES(PoolMutex);
   /// Claims and runs chunks of \p LS until the iteration space is exhausted.
   void runLoopChunks(LoopState &LS);
-  /// Pops and runs one task; Lock must be held and is re-held on return.
-  void runOneTask(std::unique_lock<std::mutex> &Lock);
+  /// Pops and runs one task. Runs the task itself with the pool mutex
+  /// dropped, re-acquiring before returning (the caller's lock object
+  /// observes no net change).
+  void runOneTask() EVA_REQUIRES(PoolMutex);
 
   std::vector<std::thread> Workers;
-  std::queue<std::function<void()>> Tasks;
-  std::mutex Mutex;
-  std::condition_variable TaskAvailable;
-  std::condition_variable Idle;
-  size_t ActiveTasks = 0;
-  bool Stopping = false;
+  Mutex PoolMutex;
+  CondVar TaskAvailable;
+  CondVar Idle;
+  std::queue<std::function<void()>> Tasks EVA_GUARDED_BY(PoolMutex);
+  size_t ActiveTasks EVA_GUARDED_BY(PoolMutex) = 0;
+  bool Stopping EVA_GUARDED_BY(PoolMutex) = false;
 };
 
 } // namespace eva

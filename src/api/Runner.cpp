@@ -181,8 +181,10 @@ public:
       : OwnedT(std::move(OwnedT)), Client(T) {}
 
   ~RemoteRunner() override {
+    // Best-effort teardown: a destructor has nowhere to propagate a close
+    // failure, and the server reaps abandoned sessions anyway.
     if (Client.hasSession())
-      Client.closeSession();
+      (void)Client.closeSession();
   }
 
   Status open(const std::string &ProgramName,

@@ -177,6 +177,10 @@ Evaluator::keySwitchDecompose(const RnsPoly &Target) const {
   // per limb, each independent. This is the shareable half of a key switch:
   // the digits depend only on the input polynomial, not on the key, so a
   // batch of rotations of one ciphertext can reuse them (hoisting).
+  // evalint: allow(heap-in-hot-path): the digit vector is the function's
+  // result and outlives the call (hoisting reuses it across a rotation
+  // batch), so it cannot live in the per-call LimbScratch arena. One
+  // allocation per key switch, not per coefficient.
   std::vector<std::vector<uint64_t>> TCoeff(Count);
   forEachLimb(Count, [&](size_t I) {
     TCoeff[I] = Target.Comps[I];
@@ -195,6 +199,9 @@ std::array<RnsPoly, 2> Evaluator::keySwitchAccumulate(
   assert(Count <= Key.Keys.size() && "not enough key components");
 
   // Output prime indices: current data primes plus the special prime.
+  // evalint: allow(heap-in-hot-path): two index vectors of size limb-count
+  // (tens of entries) and the returned accumulator polynomials; the O(N)
+  // inner loops below run entirely on LimbScratch arena buffers.
   std::vector<size_t> OutIdx(Count + 1);
   for (size_t I = 0; I < Count; ++I)
     OutIdx[I] = I;

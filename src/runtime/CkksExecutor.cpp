@@ -241,7 +241,7 @@ void CkksExecutor::computeNode(const Node *N, std::vector<Value> &Values,
     const Value &V = Values[N->parm(0)->id()];
     if (!V.isCipher())
       fatalError("plaintext outputs are not part of the EVA language");
-    std::lock_guard<std::mutex> Lock(OutputMutex);
+    LockGuard Lock(OutputMutex);
     Outputs[N->name()] = *V.Ct;
     return;
   }
@@ -307,7 +307,7 @@ void CkksExecutor::computeNode(const Node *N, std::vector<Value> &Values,
     // without hoisting decrypt to the same bits.
     const RotationPlan::HoistGroup &G = CP.RotPlan.Groups[GIt->second];
     HoistGroupState &St = *HoistState[GIt->second];
-    std::lock_guard<std::mutex> Lock(St.M);
+    LockGuard Lock(St.M);
     if (!St.Done) {
       std::vector<uint64_t> StepList(G.Members.size());
       for (size_t I = 0; I < G.Members.size(); ++I)

@@ -216,7 +216,7 @@ AuditLog::~AuditLog() {
 }
 
 Status AuditLog::open(const std::string &Path) {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   if (Sink)
     return Status::error("audit log already open");
   if (Path == "-") {
@@ -234,7 +234,7 @@ Status AuditLog::open(const std::string &Path) {
 void AuditLog::append(const AuditRecord &R) {
   std::string Line = formatAuditLine(R);
   Line.push_back('\n');
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   if (!Sink)
     return;
   std::fwrite(Line.data(), 1, Line.size(), Sink);

@@ -45,7 +45,10 @@ SocketTransport::~SocketTransport() {
 
 Expected<Frame> SocketTransport::roundTrip(MessageType Type,
                                            std::string_view Payload) {
-  std::lock_guard<std::mutex> Lock(IoMutex);
+  // evalint: allow(blocking-under-lock): the frame exchange is the critical
+  // section — IoMutex exists precisely to serialize write+read pairs on the
+  // shared fd, and nothing else ever contends on it.
+  LockGuard Lock(IoMutex);
   if (Status S = writeFrame(Fd, Type, Payload); !S.ok())
     return S;
   return readFrame(Fd);

@@ -83,7 +83,7 @@ Status ProgramRegistry::registerSource(const Program &Source,
   Entry->CP = std::move(*CP);
   Entry->Context = Ctx.value();
 
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   if (!Programs.emplace(Source.name(), std::move(Entry)).second)
     return Status::error("program '" + Source.name() + "' already registered");
   return Status::success();
@@ -106,13 +106,13 @@ Status ProgramRegistry::loadFromFile(const std::string &Path,
 
 std::shared_ptr<const RegisteredProgram>
 ProgramRegistry::find(const std::string &Name) const {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   auto It = Programs.find(Name);
   return It == Programs.end() ? nullptr : It->second;
 }
 
 std::vector<ParamSignature> ProgramRegistry::signatures() const {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   std::vector<ParamSignature> Out;
   Out.reserve(Programs.size());
   for (const auto &[Name, Entry] : Programs)
@@ -121,6 +121,6 @@ std::vector<ParamSignature> ProgramRegistry::signatures() const {
 }
 
 size_t ProgramRegistry::size() const {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   return Programs.size();
 }

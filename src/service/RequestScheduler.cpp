@@ -24,13 +24,14 @@ RequestScheduler::RequestScheduler(SchedulerConfig ConfigIn,
 
 RequestScheduler::~RequestScheduler() {
   {
-    std::lock_guard<std::mutex> Lock(M);
+    LockGuard Lock(M);
     Stopping = true;
   }
   QueueCv.notify_all();
   for (std::thread &W : Workers)
     W.join();
-  // Fail whatever never ran so no future blocks forever.
+  // Fail whatever never ran so no future blocks forever. Runs after every
+  // worker joined, so no lock is needed (TSA exempts destructors).
   for (Request &R : Queue)
     R.Promise.set_value(Result::error("scheduler shut down"));
 }
@@ -49,7 +50,7 @@ RequestScheduler::submit(std::shared_ptr<Session> S, SealedInputs Inputs,
   std::future<Result> F = R.Promise.get_future();
   size_t Depth;
   {
-    std::lock_guard<std::mutex> Lock(M);
+    LockGuard Lock(M);
     if (Stopping)
       return SubmitResult::error("scheduler is shutting down");
     if (Queue.size() >= Config.MaxQueueDepth) {
@@ -76,8 +77,9 @@ void RequestScheduler::workerLoop() {
   for (;;) {
     std::vector<Request> Batch;
     {
-      std::unique_lock<std::mutex> Lock(M);
-      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      UniqueLock Lock(M);
+      while (!Stopping && Queue.empty())
+        QueueCv.wait(Lock);
       if (Stopping && Queue.empty())
         return;
       // Claim a FIFO batch in one critical section; requests of many
@@ -124,7 +126,7 @@ void RequestScheduler::workerLoop() {
         Res = Result::error("execution failed with unknown exception");
       }
       R.Promise.set_value(std::move(Res));
-      std::lock_guard<std::mutex> Lock(M);
+      LockGuard Lock(M);
       --InFlight;
       ++(Ok ? Stats.Completed : Stats.Failed);
       if (InFlight == 0 && Queue.empty())
@@ -134,11 +136,12 @@ void RequestScheduler::workerLoop() {
 }
 
 void RequestScheduler::drain() {
-  std::unique_lock<std::mutex> Lock(M);
-  IdleCv.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+  UniqueLock Lock(M);
+  while (!Queue.empty() || InFlight != 0)
+    IdleCv.wait(Lock);
 }
 
 SchedulerStats RequestScheduler::stats() const {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   return Stats;
 }

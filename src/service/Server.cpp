@@ -68,7 +68,7 @@ void ServiceServer::stop() {
     Acceptor.join();
   std::vector<std::unique_ptr<Connection>> Conns;
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    LockGuard Lock(ConnMutex);
     Conns.swap(Connections);
   }
   // Unblock every connection thread still parked in readFrame — a client
@@ -87,7 +87,7 @@ void ServiceServer::stop() {
 void ServiceServer::reapFinished() {
   std::vector<std::unique_ptr<Connection>> Dead;
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    LockGuard Lock(ConnMutex);
     for (std::unique_ptr<Connection> &C : Connections)
       if (C->Done)
         Dead.push_back(std::move(C));
@@ -134,7 +134,7 @@ void ServiceServer::acceptLoop() {
     reapFinished();
     {
       // Bound concurrent connections: each one pins a thread and an fd.
-      std::lock_guard<std::mutex> Lock(ConnMutex);
+      LockGuard Lock(ConnMutex);
       if (Connections.size() >= MaxConnections) {
         LogLine(LogLevel::Warn, "connection_rejected")
             .ratelimit(1.0)
@@ -148,7 +148,7 @@ void ServiceServer::acceptLoop() {
     C->Fd = Fd;
     Connection *Raw = C.get();
     C->T = std::thread([this, Raw] { serveConnection(Raw); });
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    LockGuard Lock(ConnMutex);
     Connections.push_back(std::move(C));
   }
 }

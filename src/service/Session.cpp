@@ -57,7 +57,7 @@ Session::execute(SealedInputs Inputs, TraceContext *Trace) {
     V.set(Name, std::move(Values));
   }
 
-  std::lock_guard<std::mutex> Lock(ExecMutex);
+  LockGuard Lock(ExecMutex);
   Timer ExecTimer;
   Expected<Valuation> Out = Exec->run(V);
   double ExecuteSeconds = ExecTimer.seconds();
@@ -123,7 +123,7 @@ SessionManager::open(std::shared_ptr<const RegisteredProgram> Prog,
     // Check the limit before the (expensive) workspace build too, so a
     // session flood fails fast; the post-build re-check under the lock is
     // the authoritative one.
-    std::lock_guard<std::mutex> Lock(M);
+    LockGuard Lock(M);
     if (Sessions.size() >= MaxSessions) {
       if (Metrics)
         Metrics->counter("eva_sessions_rejected_total").add();
@@ -137,7 +137,7 @@ SessionManager::open(std::shared_ptr<const RegisteredProgram> Prog,
   if (!WS)
     return WS.takeStatus();
 
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   if (Sessions.size() >= MaxSessions) {
     if (Metrics)
       Metrics->counter("eva_sessions_rejected_total").add();
@@ -161,13 +161,13 @@ SessionManager::open(std::shared_ptr<const RegisteredProgram> Prog,
 }
 
 std::shared_ptr<Session> SessionManager::find(uint64_t Id) const {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   auto It = Sessions.find(Id);
   return It == Sessions.end() ? nullptr : It->second;
 }
 
 bool SessionManager::close(uint64_t Id) {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   if (Sessions.erase(Id) == 0)
     return false;
   size_t PinnedBytes = 0;
@@ -186,11 +186,11 @@ bool SessionManager::close(uint64_t Id) {
 }
 
 size_t SessionManager::activeCount() const {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   return Sessions.size();
 }
 
 bool SessionManager::atCapacity() const {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   return Sessions.size() >= MaxSessions;
 }

@@ -6,10 +6,11 @@
 
 #include "eva/support/Log.h"
 
+#include "eva/support/ThreadAnnotations.h"
+
 #include <atomic>
 #include <chrono>
 #include <map>
-#include <mutex>
 
 using namespace eva;
 
@@ -18,8 +19,11 @@ namespace {
 std::atomic<int> GlobalLevel{static_cast<int>(LogLevel::Warn)};
 std::atomic<std::FILE *> GlobalSink{nullptr}; // nullptr = stderr
 
-std::mutex &emitMutex() {
-  static std::mutex M;
+/// Serializes sink writes so concurrent LogLine destructors do not
+/// interleave bytes. Function-local so the mutex outlives every static
+/// logger user.
+Mutex &emitMutex() {
+  static Mutex M;
   return M;
 }
 
@@ -27,14 +31,15 @@ std::mutex &emitMutex() {
 /// rate-limit decision happens on suppressed-or-not paths where the emit
 /// mutex is not otherwise taken.
 struct RateLimiter {
-  std::mutex M;
+  Mutex M;
   std::map<std::string, std::chrono::steady_clock::time_point,
            std::less<>>
-      LastEmit;
+      LastEmit EVA_GUARDED_BY(M);
 
-  bool allow(std::string_view Key, double MinIntervalSeconds) {
+  bool allow(std::string_view Key, double MinIntervalSeconds)
+      EVA_EXCLUDES(M) {
     auto Now = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> Lock(M);
+    LockGuard Lock(M);
     auto It = LastEmit.find(Key);
     if (It != LastEmit.end() &&
         std::chrono::duration<double>(Now - It->second).count() <
@@ -156,7 +161,7 @@ LogLine::~LogLine() {
   std::FILE *Sink = GlobalSink.load(std::memory_order_relaxed);
   if (!Sink)
     Sink = stderr;
-  std::lock_guard<std::mutex> Lock(emitMutex());
+  LockGuard Lock(emitMutex());
   std::fwrite(Buffer.data(), 1, Buffer.size(), Sink);
   std::fflush(Sink);
 }

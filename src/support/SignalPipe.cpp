@@ -1,0 +1,88 @@
+//===- SignalPipe.cpp - Self-pipe for signal handlers ---------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eva/support/SignalPipe.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+namespace eva {
+
+SignalPipe::~SignalPipe() {
+  if (Fds[0] >= 0)
+    ::close(Fds[0]);
+  if (Fds[1] >= 0)
+    ::close(Fds[1]);
+}
+
+Status SignalPipe::open() {
+  if (isOpen())
+    return Status::error("SignalPipe already open");
+  if (::pipe(Fds) != 0)
+    return Status::error(std::string("pipe: ") + std::strerror(errno));
+  for (int Fd : Fds) {
+    int Flags = ::fcntl(Fd, F_GETFL);
+    if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0 ||
+        ::fcntl(Fd, F_SETFD, FD_CLOEXEC) < 0) {
+      Status S = Status::error(std::string("fcntl: ") + std::strerror(errno));
+      ::close(Fds[0]);
+      ::close(Fds[1]);
+      Fds[0] = Fds[1] = -1;
+      return S;
+    }
+  }
+  return Status::success();
+}
+
+void SignalPipe::notifyFromHandler(unsigned char Token) noexcept {
+  if (Fds[1] < 0)
+    return;
+  // Only the async-signal-safe write() — no locks, no allocation, no stdio.
+  // errno is clobbered here, which is fine from a handler only because the
+  // daemons installing these handlers never inspect errno across an
+  // interruption point; a hardened handler would save/restore it.
+  int SavedErrno = errno;
+  unsigned char B = Token;
+  ssize_t Unused = ::write(Fds[1], &B, 1);
+  (void)Unused; // EAGAIN = pipe full = wakeup already pending.
+  errno = SavedErrno;
+}
+
+bool SignalPipe::wait(int TimeoutMs, std::vector<unsigned char> &Tokens) {
+  if (!isOpen())
+    return false;
+  struct pollfd Pfd;
+  Pfd.fd = Fds[0];
+  Pfd.events = POLLIN;
+  for (;;) {
+    Pfd.revents = 0;
+    int Rc = ::poll(&Pfd, 1, TimeoutMs);
+    if (Rc < 0) {
+      if (errno == EINTR)
+        continue; // the interrupting signal's token is now in the pipe
+      return false;
+    }
+    if (Rc == 0)
+      return false; // timeout
+    break;
+  }
+  // Drain everything that has accumulated; tokens coalesce naturally.
+  size_t Before = Tokens.size();
+  unsigned char Buf[256];
+  for (;;) {
+    ssize_t N = ::read(Fds[0], Buf, sizeof(Buf));
+    if (N <= 0)
+      break; // EAGAIN: pipe empty (or a spurious wakeup — report what we have)
+    Tokens.insert(Tokens.end(), Buf, Buf + N);
+  }
+  return Tokens.size() > Before;
+}
+
+} // namespace eva

@@ -228,7 +228,7 @@ std::string MetricsSnapshot::renderText() const {
 //===----------------------------------------------------------------------===//
 
 Counter &MetricsRegistry::counter(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   auto It = Counters.find(Name);
   if (It == Counters.end())
     It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
@@ -237,7 +237,7 @@ Counter &MetricsRegistry::counter(std::string_view Name) {
 }
 
 Gauge &MetricsRegistry::gauge(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   auto It = Gauges.find(Name);
   if (It == Gauges.end())
     It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
@@ -246,7 +246,7 @@ Gauge &MetricsRegistry::gauge(std::string_view Name) {
 
 Histogram &MetricsRegistry::histogram(std::string_view Name,
                                       const std::vector<double> &UpperBounds) {
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   auto It = Histograms.find(Name);
   if (It == Histograms.end())
     It = Histograms
@@ -258,7 +258,7 @@ Histogram &MetricsRegistry::histogram(std::string_view Name,
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot Snap;
-  std::lock_guard<std::mutex> Lock(M);
+  LockGuard Lock(M);
   Snap.Counters.reserve(Counters.size());
   for (const auto &[Name, C] : Counters)
     Snap.Counters.push_back({Name, C->value()});

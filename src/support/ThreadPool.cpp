@@ -25,9 +25,9 @@ ThreadPool::~ThreadPool() {
   // workers it speeds shutdown. Submitting from a task during destruction is
   // still honored because runOneTask re-checks the queue.
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    UniqueLock Lock(PoolMutex);
     while (!Tasks.empty())
-      runOneTask(Lock);
+      runOneTask();
     Stopping = true;
   }
   TaskAvailable.notify_all();
@@ -37,7 +37,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> Task) {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(PoolMutex);
     Tasks.push(std::move(Task));
   }
   TaskAvailable.notify_one();
@@ -46,50 +46,52 @@ void ThreadPool::submit(std::function<void()> Task) {
     Idle.notify_all();
 }
 
-void ThreadPool::runOneTask(std::unique_lock<std::mutex> &Lock) {
+void ThreadPool::runOneTask() {
   std::function<void()> Task = std::move(Tasks.front());
   Tasks.pop();
   ++ActiveTasks;
-  Lock.unlock();
+  // Run the task itself unlocked; the caller's UniqueLock wraps the same
+  // underlying mutex and observes it re-held on return.
+  PoolMutex.unlock();
   Task();
-  Lock.lock();
+  PoolMutex.lock();
   --ActiveTasks;
   if (Tasks.empty() && ActiveTasks == 0)
     Idle.notify_all();
 }
 
 void ThreadPool::waitIdle() {
-  std::unique_lock<std::mutex> Lock(Mutex);
+  UniqueLock Lock(PoolMutex);
   for (;;) {
     if (!Tasks.empty()) {
-      runOneTask(Lock);
+      runOneTask();
       continue;
     }
     if (ActiveTasks == 0)
       return;
-    Idle.wait(Lock,
-              [this] { return !Tasks.empty() || ActiveTasks == 0; });
+    while (Tasks.empty() && ActiveTasks != 0)
+      Idle.wait(Lock);
   }
 }
 
 void ThreadPool::helpUntil(const std::function<bool()> &Done) {
-  std::unique_lock<std::mutex> Lock(Mutex);
+  UniqueLock Lock(PoolMutex);
   for (;;) {
     if (Done())
       return;
     if (!Tasks.empty()) {
-      runOneTask(Lock);
+      runOneTask();
       continue;
     }
-    TaskAvailable.wait(
-        Lock, [&] { return Stopping || !Tasks.empty() || Done(); });
+    while (!Stopping && Tasks.empty() && !Done())
+      TaskAvailable.wait(Lock);
     if (Stopping && Tasks.empty())
       return;
   }
 }
 
 void ThreadPool::poke() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(PoolMutex);
   TaskAvailable.notify_all();
   Idle.notify_all();
 }
@@ -105,7 +107,7 @@ void ThreadPool::runLoopChunks(LoopState &LS) {
     if (LS.DoneIters.fetch_add(Iters) + Iters == LS.Count) {
       // Last chunk: wake the loop's caller. Taking the lock orders the
       // notification after the caller's predicate check.
-      std::lock_guard<std::mutex> Lock(LS.M);
+      LockGuard Lock(LS.M);
       LS.AllDone.notify_all();
     }
   }
@@ -150,9 +152,9 @@ void ThreadPool::parallelForChunks(
   // Wait only for straggler chunks already claimed by helpers. Helpers that
   // run after this returns see an exhausted iteration space and exit without
   // dereferencing Body.
-  std::unique_lock<std::mutex> Lock(LS->M);
-  LS->AllDone.wait(Lock,
-                   [&] { return LS->DoneIters.load() == LS->Count; });
+  UniqueLock Lock(LS->M);
+  while (LS->DoneIters.load() != LS->Count)
+    LS->AllDone.wait(Lock);
 }
 
 void ThreadPool::parallelFor(size_t Count,
@@ -171,11 +173,12 @@ void ThreadPool::parallelFor(size_t Count,
 }
 
 void ThreadPool::workerLoop() {
-  std::unique_lock<std::mutex> Lock(Mutex);
+  UniqueLock Lock(PoolMutex);
   for (;;) {
-    TaskAvailable.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
+    while (!Stopping && Tasks.empty())
+      TaskAvailable.wait(Lock);
     if (Stopping && Tasks.empty())
       return;
-    runOneTask(Lock);
+    runOneTask();
   }
 }

@@ -1,0 +1,140 @@
+//===- LintCppTest.cpp - Golden-file tests for evalint-cpp --------------------===//
+//
+// Part of the EVA-CKKS project (PLDI 2020 "EVA" reproduction).
+//
+// Runs the actual tools/evalint-cpp checker (interpreter and paths injected
+// by CMake) against the seeded-violation TUs under tests/fixtures/lintcpp/
+// and diffs stdout against the *.golden files. Each fixture plants exactly
+// the violations its header comment describes — heap allocation in a
+// designated hot path, a lock-order inversion, a seq_cst instrument, a
+// blocking write under an eva::Mutex — so these tests prove the checker
+// still rejects each class (exit 1 with precise file:line diagnostics) and
+// still accepts the clean TU (exit 0), including the documented
+// `evalint: allow(...)` suppression it exercises.
+//
+// A final test runs the real repo invariants (tools/evalint-invariants.json)
+// over this build's compile_commands.json: the gate CI enforces must hold
+// for the tree the tests were built from.
+//
+// Regenerate goldens after an intentional change with:
+//   EVA_UPDATE_GOLDENS=1 ./tests/LintCppTest
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef EVA_PYTHON
+#error "EVA_PYTHON must be defined by the build"
+#endif
+#ifndef EVA_LINTCPP_TOOL
+#error "EVA_LINTCPP_TOOL must be defined by the build"
+#endif
+#ifndef EVA_LINTCPP_FIXTURES
+#error "EVA_LINTCPP_FIXTURES must be defined by the build"
+#endif
+#ifndef EVA_REPO_CONFIG
+#error "EVA_REPO_CONFIG must be defined by the build"
+#endif
+#ifndef EVA_BUILD_DIR
+#error "EVA_BUILD_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Stdout;
+};
+
+std::string shellQuote(const std::string &Path) { return "\"" + Path + "\""; }
+
+/// Runs evalint-cpp with \p Args from directory \p Cwd, capturing stdout
+/// (stderr stays on the test's own stream so failures remain diagnosable).
+/// The checker prints paths relative to its working directory, so goldens
+/// are stable only when run from the fixtures dir.
+RunResult runLint(const std::string &Cwd, const std::string &Args) {
+  std::string Cmd = "cd " + shellQuote(Cwd) + " && " + shellQuote(EVA_PYTHON) +
+                    " " + shellQuote(EVA_LINTCPP_TOOL) + " " + Args;
+  RunResult R;
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Stdout.append(Buf, N);
+  int Status = pclose(P);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string fixture(const std::string &Name) {
+  return std::string(EVA_LINTCPP_FIXTURES) + "/" + Name;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+bool updateGoldens() {
+  const char *V = std::getenv("EVA_UPDATE_GOLDENS");
+  return V != nullptr && V[0] == '1';
+}
+
+/// Runs the checker on fixtures/lintcpp/<Name>.cpp with the fixture config
+/// and compares stdout against <Name>.golden. \p ExpectExit is 1 for the
+/// seeded-violation TUs and 0 for the clean one.
+void expectGolden(const std::string &Name, int ExpectExit) {
+  RunResult R =
+      runLint(EVA_LINTCPP_FIXTURES, "--config lintcpp.json " + Name + ".cpp");
+  EXPECT_EQ(R.ExitCode, ExpectExit) << "evalint-cpp on " << Name
+                                    << ".cpp\n--- stdout ---\n" << R.Stdout;
+  std::string GoldenPath = fixture(Name + ".golden");
+  if (updateGoldens()) {
+    std::ofstream Out(GoldenPath, std::ios::binary);
+    Out << R.Stdout;
+    return;
+  }
+  EXPECT_EQ(R.Stdout, readFile(GoldenPath))
+      << "golden mismatch for " << Name
+      << " (EVA_UPDATE_GOLDENS=1 regenerates after an intentional change)";
+}
+
+TEST(LintCpp, FlagsHeapAllocationInHotPath) {
+  expectGolden("heap_in_hot_path", 1);
+}
+
+TEST(LintCpp, FlagsLockOrderInversionAndLeafViolation) {
+  expectGolden("lock_order_inversion", 1);
+}
+
+TEST(LintCpp, FlagsNonRelaxedAtomicsInInstrumentFile) {
+  expectGolden("seq_cst_instrument", 1);
+}
+
+TEST(LintCpp, FlagsBlockingSyscallUnderLockAndBareAllow) {
+  expectGolden("blocking_write_under_lock", 1);
+}
+
+TEST(LintCpp, AcceptsCleanTranslationUnit) { expectGolden("clean", 0); }
+
+// The repo itself must satisfy the invariants the fixtures prove the checker
+// enforces — same gate CI runs, against this build's compile_commands.json.
+TEST(LintCpp, RepoSatisfiesDeclaredInvariants) {
+  RunResult R =
+      runLint(EVA_BUILD_DIR, std::string("--config ") +
+                                 shellQuote(EVA_REPO_CONFIG) + " -p .");
+  EXPECT_EQ(R.ExitCode, 0) << "repo invariant violations:\n" << R.Stdout;
+  EXPECT_NE(R.Stdout.find("clean"), std::string::npos) << R.Stdout;
+}
+
+} // namespace

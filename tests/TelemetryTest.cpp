@@ -24,12 +24,15 @@
 #include "eva/service/Audit.h"
 #include "eva/service/Client.h"
 #include "eva/support/Random.h"
+#include "eva/support/SignalPipe.h"
 #include "eva/support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -290,6 +293,57 @@ TEST(Audit, InputHashIsOrderIndependentButByteSensitive) {
   EXPECT_NE(auditHashInputs({}, Collide), HCipherOnly);
 }
 
+TEST(Audit, EnabledIsSafeAgainstConcurrentOpenAndAppend) {
+  // Regression test: enabled() used to read the sink pointer without the
+  // lock, racing a concurrent open() — benign-looking on x86, a genuine
+  // data race under the memory model (the TSan lane flags the old code).
+  std::string Path =
+      "/tmp/eva_audit_race_" + std::to_string(::getpid()) + ".log";
+  std::remove(Path.c_str());
+  {
+    AuditLog Log;
+    std::atomic<bool> Stop{false};
+    std::atomic<uint64_t> EnabledSeen{0};
+    std::thread Reader([&] {
+      while (!Stop.load()) {
+        if (Log.enabled())
+          EnabledSeen.fetch_add(1);
+      }
+    });
+    std::thread Writer([&] {
+      AuditRecord R;
+      R.RequestId = 7;
+      R.Program = "race";
+      R.InputsHash = 1;
+      R.OutputsHash = 2;
+      for (int I = 0; I < 200; ++I)
+        Log.append(R); // silently dropped until the sink opens
+    });
+    EXPECT_TRUE(Log.open(Path).ok());
+    // A second open must fail cleanly while the readers are still spinning.
+    EXPECT_FALSE(Log.open(Path).ok());
+    Writer.join();
+    // After open() returned, every enabled() probe must say true.
+    EXPECT_TRUE(Log.enabled());
+    Stop = true;
+    Reader.join();
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    Expected<AuditRecord> Rec = parseAuditLine(Line);
+    ASSERT_TRUE(Rec.ok()) << Line;
+    EXPECT_EQ(Rec->Program, "race");
+  }
+  // Appends before open() are dropped by design; whatever landed after the
+  // sink attached must have been written whole (no interleaved lines).
+  (void)Lines;
+  std::remove(Path.c_str());
+}
+
 //===----------------------------------------------------------------------===//
 // Service end to end
 //===----------------------------------------------------------------------===//
@@ -490,6 +544,93 @@ TEST(Service, TelemetryOffStaysSilentButAnswersScrapes) {
   EXPECT_EQ(Snap->histogram(labeledMetric("eva_request_seconds", "program",
                                           "served")),
             nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// SignalPipe — the async-signal-safe path behind evaserve's SIGUSR1 dump
+//===----------------------------------------------------------------------===//
+
+SignalPipe *TestSignals = nullptr;
+
+extern "C" void onTestUsr1(int) { TestSignals->notifyFromHandler('U'); }
+
+// Regression for the SIGUSR1 metrics dump: the handler must stay
+// async-signal-safe (one write() into the self-pipe) while the drain side
+// — running in normal thread context under full metrics load — takes the
+// registry lock and renders a complete snapshot. Mirrors evaserve's loop:
+// raise, poll()-drain, dump. Every raised signal must surface as a token
+// (raise() returns only after the handler ran, so nothing may be lost),
+// and every dump rendered mid-load must be well-formed.
+TEST(SignalPipe, Usr1UnderLoadYieldsEveryTokenAndCompleteDumps) {
+  SignalPipe Pipe;
+  ASSERT_TRUE(Pipe.open().ok());
+  TestSignals = &Pipe;
+  auto *Prev = std::signal(SIGUSR1, onTestUsr1);
+  ASSERT_NE(Prev, SIG_ERR);
+
+  MetricsRegistry Reg;
+  // Register the families up front so even a dump racing thread startup
+  // must contain them.
+  Reg.counter("eva_sig_load_total").add();
+  Reg.latencyHistogram("eva_sig_load_seconds").observe(0.001);
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Load;
+  for (int T = 0; T < 4; ++T)
+    Load.emplace_back([&Reg, &Stop] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        Reg.counter("eva_sig_load_total").add();
+        Reg.latencyHistogram("eva_sig_load_seconds").observe(0.001);
+      }
+    });
+
+  constexpr size_t Raises = 64;
+  std::vector<unsigned char> Tokens;
+  for (size_t I = 0; I < Raises; ++I) {
+    ASSERT_EQ(std::raise(SIGUSR1), 0);
+    if (I % 8 != 0)
+      continue;
+    // Drain and dump exactly as evaserve does between wakeups.
+    std::vector<unsigned char> Batch;
+    if (Pipe.wait(/*TimeoutMs=*/2000, Batch)) {
+      Tokens.insert(Tokens.end(), Batch.begin(), Batch.end());
+      std::string Text = Reg.snapshot().renderText();
+      EXPECT_NE(Text.find("# TYPE eva_sig_load_total counter"),
+                std::string::npos)
+          << "dump rendered under load is missing a live metric family";
+      EXPECT_FALSE(Text.empty());
+      EXPECT_EQ(Text.back(), '\n') << "dump truncated";
+    }
+  }
+  while (Tokens.size() < Raises) {
+    std::vector<unsigned char> Batch;
+    ASSERT_TRUE(Pipe.wait(/*TimeoutMs=*/2000, Batch))
+        << "lost wakeup: " << Tokens.size() << " of " << Raises
+        << " tokens drained";
+    Tokens.insert(Tokens.end(), Batch.begin(), Batch.end());
+  }
+
+  Stop = true;
+  for (std::thread &T : Load)
+    T.join();
+  std::signal(SIGUSR1, Prev);
+  TestSignals = nullptr;
+
+  EXPECT_EQ(Tokens.size(), Raises);
+  EXPECT_TRUE(std::all_of(Tokens.begin(), Tokens.end(),
+                          [](unsigned char T) { return T == 'U'; }));
+}
+
+TEST(SignalPipe, WaitTimesOutCleanlyWhenNoSignalArrives) {
+  SignalPipe Pipe;
+  ASSERT_TRUE(Pipe.open().ok());
+  std::vector<unsigned char> Tokens;
+  EXPECT_FALSE(Pipe.wait(/*TimeoutMs=*/10, Tokens));
+  EXPECT_TRUE(Tokens.empty());
+  // And a token written outside any handler still wakes the drain side.
+  Pipe.notifyFromHandler('X');
+  EXPECT_TRUE(Pipe.wait(/*TimeoutMs=*/2000, Tokens));
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0], 'X');
 }
 
 } // namespace

@@ -1,0 +1,38 @@
+// Seeded violation: a blocking syscall while an eva::Mutex is held, plus an
+// allow() escape hatch missing its mandatory justification.
+
+#include "support_stubs.h"
+
+extern "C" long write(int Fd, const void *Buf, unsigned long N);
+extern "C" long read(int Fd, void *Buf, unsigned long N);
+
+struct FrameLog {
+  eva::Mutex IoM;
+  int Fd = -1;
+
+  void append(const char *Buf, unsigned long N) {
+    eva::LockGuard Lock(IoM);
+    ::write(Fd, Buf, N); // flagged: blocking write under IoM
+  }
+
+  // evalint: allow(blocking-under-lock)
+  void appendBadAllow(const char *Buf, unsigned long N) {
+    eva::LockGuard Lock(IoM);
+    ::write(Fd, Buf, N); // flagged anyway: the allow() has no reason
+  }
+
+  void appendUnlocked(const char *Buf, unsigned long N) {
+    {
+      eva::LockGuard Lock(IoM);
+      Fd = Fd < 0 ? 2 : Fd; // lock protects only the fd choice
+    }
+    ::write(Fd, Buf, N); // passes: lock released with its scope
+  }
+
+  long drainManual(char *Buf, unsigned long N) {
+    IoM.lock();
+    long Got = ::read(Fd, Buf, N); // flagged: manual lock() still held
+    IoM.unlock();
+    return Got;
+  }
+};

@@ -1,0 +1,62 @@
+// Clean TU: every discipline observed. Also in instrument_files (relaxed
+// atomics must pass) and exercises a documented allow() suppression.
+
+#include "support_stubs.h"
+
+#include <atomic>
+#include <vector>
+
+extern "C" long write(int Fd, const void *Buf, unsigned long N);
+
+namespace hotpath {
+void butterfly(std::vector<unsigned long> &X);
+} // namespace hotpath
+
+// Hot path, arena-discipline respected: in-place butterflies, no heap.
+void hotpath::butterfly(std::vector<unsigned long> &X) {
+  unsigned long *P = X.data();
+  for (unsigned long I = 0; I + 1 < X.size(); I += 2) {
+    unsigned long U = P[I], V = P[I + 1];
+    P[I] = U + V;
+    P[I + 1] = U - V;
+  }
+}
+
+// Allocation outside the hot-path list: fine.
+std::vector<unsigned long> makeScratch(unsigned long N) {
+  std::vector<unsigned long> V(N);
+  return V;
+}
+
+struct RelaxedCounter {
+  std::atomic<unsigned long> V{0};
+  void add() { V.fetch_add(1, std::memory_order_relaxed); }
+  unsigned long value() const {
+    return V.load(std::memory_order_relaxed);
+  }
+};
+
+struct Manager {
+  eva::Mutex MgrMutex;
+};
+struct Session {
+  eva::Mutex SessMutex;
+};
+
+// Declared order observed.
+void transfer(Manager &M, Session &S) {
+  eva::LockGuard A(M.MgrMutex);
+  eva::LockGuard B(S.SessMutex);
+}
+
+struct FrameLog {
+  eva::Mutex IoM;
+  int Fd = 2;
+
+  // evalint: allow(blocking-under-lock): the write IS the critical section
+  // here — the lock exists to serialize whole frames on the shared fd.
+  void append(const char *Buf, unsigned long N) {
+    eva::LockGuard Lock(IoM);
+    ::write(Fd, Buf, N); // suppressed by the documented allowance above
+  }
+};

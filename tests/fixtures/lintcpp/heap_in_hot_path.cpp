@@ -1,0 +1,27 @@
+// Seeded violation: heap allocation inside a designated hot-path function.
+// The fixture config lists hotpath::butterfly in hot_paths; every
+// allocation below must be flagged, and the identical allocations in the
+// non-hot helper must pass.
+
+#include <cstdlib>
+#include <vector>
+
+namespace hotpath {
+void butterfly(std::vector<unsigned long> &X);
+void helper(std::vector<unsigned long> &X);
+} // namespace hotpath
+
+void hotpath::butterfly(std::vector<unsigned long> &X) {
+  std::vector<unsigned long> Tmp(X.size()); // owning container
+  unsigned long *P = new unsigned long[4];  // operator new
+  void *Q = std::malloc(16);                // malloc-family
+  X.push_back(Tmp.empty() ? 1 : Tmp[0]);    // container growth
+  std::free(Q);
+  delete[] P;
+}
+
+void hotpath::helper(std::vector<unsigned long> &X) {
+  // Same constructs outside the hot-path list: not flagged.
+  std::vector<unsigned long> Tmp(X.size());
+  X.push_back(Tmp.size());
+}

@@ -1,0 +1,42 @@
+// Seeded violation: lock-order inversion and a leaf-lock violation.
+// The fixture config declares Manager::M before Session::M and Leaf::M as
+// a terminal (leaf) lock.
+
+#include "support_stubs.h"
+
+struct Manager {
+  eva::Mutex MgrMutex;
+};
+struct Session {
+  eva::Mutex SessMutex;
+};
+struct Leaf {
+  eva::Mutex LeafMutex;
+};
+
+// Declared order, manager before session: passes.
+void transferInOrder(Manager &M, Session &S) {
+  eva::LockGuard A(M.MgrMutex);
+  eva::LockGuard B(S.SessMutex);
+}
+
+// Inversion: acquiring the manager lock while a session lock is held.
+void transferInverted(Manager &M, Session &S) {
+  eva::LockGuard B(S.SessMutex);
+  eva::LockGuard A(M.MgrMutex); // flagged
+}
+
+// Leaf discipline: nothing may be acquired while Leaf::M is held.
+void leafThenSession(Leaf &L, Session &S) {
+  eva::LockGuard A(L.LeafMutex);
+  eva::LockGuard B(S.SessMutex); // flagged
+}
+
+// Scope-aware: the session lock dies with its block, so the later manager
+// acquisition is NOT an inversion.
+void sequentialScopes(Manager &M, Session &S) {
+  {
+    eva::LockGuard B(S.SessMutex);
+  }
+  eva::LockGuard A(M.MgrMutex); // passes
+}

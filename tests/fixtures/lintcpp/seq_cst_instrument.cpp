@@ -1,0 +1,19 @@
+// Seeded violation: non-relaxed atomics inside an instrument file. The
+// fixture config lists this file in instrument_files; instruments are
+// statistics, not synchronization, so every ordering stronger than relaxed
+// (and every defaulted seq_cst) must be flagged.
+
+#include <atomic>
+
+struct BadCounter {
+  std::atomic<unsigned long> V{0};
+
+  // Defaulted ordering is seq_cst: flagged.
+  void add() { V.fetch_add(1); }
+
+  // Explicit but non-relaxed: flagged.
+  unsigned long value() const { return V.load(std::memory_order_acquire); }
+
+  // Explicitly relaxed: passes.
+  void reset() { V.store(0, std::memory_order_relaxed); }
+};

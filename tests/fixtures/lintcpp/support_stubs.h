@@ -1,0 +1,43 @@
+//===- support_stubs.h - Minimal lock types for the lintcpp fixtures ------===//
+//
+// Just enough surface for the seeded-violation TUs to be plausible C++.
+// evalint-cpp is a textual scanner, so these stand in for the real
+// eva/support/ThreadAnnotations.h without dragging the repo headers into
+// the fixture directory.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LINTCPP_SUPPORT_STUBS_H
+#define LINTCPP_SUPPORT_STUBS_H
+
+namespace eva {
+
+class Mutex {
+public:
+  void lock() {}
+  void unlock() {}
+};
+
+class LockGuard {
+public:
+  explicit LockGuard(Mutex &Mu) : Mu(Mu) { Mu.lock(); }
+  ~LockGuard() { Mu.unlock(); }
+
+private:
+  Mutex &Mu;
+};
+
+class UniqueLock {
+public:
+  explicit UniqueLock(Mutex &Mu) : Mu(Mu) { Mu.lock(); }
+  ~UniqueLock() { Mu.unlock(); }
+  void lock() { Mu.lock(); }
+  void unlock() { Mu.unlock(); }
+
+private:
+  Mutex &Mu;
+};
+
+} // namespace eva
+
+#endif // LINTCPP_SUPPORT_STUBS_H

@@ -22,24 +22,28 @@
 
 #include "eva/service/Server.h"
 #include "eva/support/Log.h"
+#include "eva/support/SignalPipe.h"
 
-#include <atomic>
-#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <thread>
 
 using namespace eva;
 
 namespace {
 
-std::atomic<bool> ShutdownRequested{false};
-std::atomic<bool> MetricsDumpRequested{false};
+// Signal handling uses the self-pipe trick (see SignalPipe.h): handlers
+// write one token byte — the only async-signal-safe thing they do — and
+// the main loop blocks in poll() on the pipe, doing the actual metrics
+// snapshot (which takes the registry mutex) in normal thread context.
+constexpr unsigned char kShutdownToken = 'Q';
+constexpr unsigned char kMetricsToken = 'U';
 
-void onSignal(int) { ShutdownRequested = true; }
-void onMetricsSignal(int) { MetricsDumpRequested = true; }
+SignalPipe *GSignals = nullptr; // set before handlers are installed
+
+void onSignal(int) { GSignals->notifyFromHandler(kShutdownToken); }
+void onMetricsSignal(int) { GSignals->notifyFromHandler(kMetricsToken); }
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
@@ -146,16 +150,34 @@ int main(int Argc, char **Argv) {
                 Sig.NeedsRelin ? ", relin" : "");
   std::fflush(stdout);
 
+  SignalPipe Signals;
+  if (Status S = Signals.open(); !S.ok()) {
+    std::fprintf(stderr, "evaserve: error: %s\n", S.message().c_str());
+    return 1;
+  }
+  GSignals = &Signals;
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
   std::signal(SIGUSR1, onMetricsSignal);
   // Framing writes use MSG_NOSIGNAL, but ignore SIGPIPE as a second line of
   // defense: a disconnecting client must never terminate the daemon.
   std::signal(SIGPIPE, SIG_IGN);
+
+  bool ShutdownRequested = false;
+  std::vector<unsigned char> Tokens;
   while (!ShutdownRequested) {
-    if (MetricsDumpRequested.exchange(false))
+    Tokens.clear();
+    Signals.wait(/*TimeoutMs=*/-1, Tokens);
+    // Coalesce: many SIGUSR1 deliveries between wakeups produce one dump.
+    bool WantDump = false;
+    for (unsigned char T : Tokens) {
+      if (T == kMetricsToken)
+        WantDump = true;
+      else if (T == kShutdownToken)
+        ShutdownRequested = true;
+    }
+    if (WantDump && !ShutdownRequested)
       dumpMetrics(Svc, "SIGUSR1");
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
   LogLine(LogLevel::Info, "shutdown")
